@@ -1,0 +1,162 @@
+// Package cllm is the public API of the confidential-LLM-inference
+// reproduction: open a TEE platform (bare metal, VM, Intel TDX, Gramine-SGX,
+// H100 GPU or confidential GPU), attest it, load a model, run real token
+// generation, measure throughput/latency with the mechanistic performance
+// model, estimate cloud cost, and run the paper's RAG pipelines.
+//
+// The package wraps the internal substrates (tensor engine, transformer,
+// TEE mechanism models, roofline execution engine, cost model, retrieval
+// stack) behind a small surface; the full experiment harness regenerating
+// every table and figure of the paper is reachable through Experiments and
+// RunExperiment.
+package cllm
+
+import (
+	"crypto/rand"
+	"fmt"
+	"time"
+
+	"cllm/internal/dtype"
+	"cllm/internal/gramine"
+	"cllm/internal/hw"
+	"cllm/internal/tee"
+)
+
+// Config selects the platform a Session runs on.
+type Config struct {
+	// Platform is one of: baremetal, vm, vm-th, vm-nb, tdx, sgx, gpu, cgpu,
+	// or the projected extensions sev-snp, b100, cb100 (see DESIGN.md).
+	Platform string
+	// System is the CPU testbed: EMR1 (2×32-core Gold 6530, default) or
+	// EMR2 (2×60-core Platinum 8580). Ignored for gpu/cgpu.
+	System string
+	// EnclaveSize is the SGX enclave size in bytes (default 192 GiB).
+	EnclaveSize int64
+	// SkipAttestation opens protected platforms without the attestation
+	// handshake (not recommended; mirrors trusting an unverified enclave).
+	SkipAttestation bool
+	// Seed drives every deterministic noise source.
+	Seed int64
+}
+
+// Session is an opened (and, for protected platforms, attested) TEE context.
+type Session struct {
+	cfg      Config
+	platform tee.Platform
+	cpu      hw.CPU
+	gpu      hw.GPU
+	isGPU    bool
+	attested bool
+	manifest *gramine.Manifest
+}
+
+// Open validates the configuration, constructs the platform and — for
+// protected platforms — runs the measure→quote→verify attestation flow
+// before returning a usable session.
+func Open(cfg Config) (*Session, error) {
+	s := &Session{cfg: cfg}
+	if cfg.System == "" {
+		cfg.System = "EMR1"
+	}
+	switch cfg.Platform {
+	case "gpu", "cgpu", "b100", "cb100":
+		s.isGPU = true
+		s.gpu = hw.H100NVL()
+	default:
+		cpu, err := hw.Lookup(cfg.System)
+		if err != nil {
+			return nil, err
+		}
+		s.cpu = cpu
+	}
+
+	switch cfg.Platform {
+	case "baremetal", "":
+		s.platform = tee.Baremetal()
+	case "vm":
+		s.platform = tee.VM(tee.VMFullHuge)
+	case "vm-th":
+		s.platform = tee.VM(tee.VMTransparentHuge)
+	case "vm-nb":
+		s.platform = tee.VM(tee.VMNoBinding)
+	case "tdx":
+		s.platform = tee.TDX()
+	case "sgx":
+		size := cfg.EnclaveSize
+		if size == 0 {
+			size = 192 << 30
+		}
+		s.manifest = gramine.DefaultManifest("/models/model.bin", size, 64)
+		p, err := tee.SGX(s.manifest)
+		if err != nil {
+			return nil, err
+		}
+		s.platform = p
+	case "sev-snp", "sevsnp":
+		s.platform = tee.SEVSNP()
+	case "gpu":
+		s.platform = tee.GPU()
+	case "cgpu":
+		s.platform = tee.CGPU()
+	case "b100":
+		s.platform = tee.B100()
+	case "cb100":
+		s.platform = tee.B100CC()
+	default:
+		return nil, fmt.Errorf("cllm: unknown platform %q (want baremetal|vm|vm-th|vm-nb|tdx|sgx|sev-snp|gpu|cgpu|b100|cb100)", cfg.Platform)
+	}
+
+	if s.platform.Protected && !cfg.SkipAttestation {
+		if err := s.attest(); err != nil {
+			return nil, fmt.Errorf("cllm: attestation failed: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// attest runs the software attestation protocol: the platform measures the
+// runtime, signs a quote over a fresh nonce, and the session verifies it
+// against the expected measurement before any secret is provisioned.
+func (s *Session) attest() error {
+	code := []byte("cllm-runtime-v1:" + s.platform.Name)
+	config := []byte(s.cfg.Platform)
+	measurement := tee.Measure(code, config)
+
+	var key tee.PlatformKey
+	copy(key[:], "simulated-platform-signing-key--")
+	var nonce [16]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return err
+	}
+	now := time.Now()
+	quote := tee.GenerateQuote(key, measurement, 3, nonce, false, now)
+	err := tee.VerifyQuote(key, quote, tee.VerifyPolicy{
+		Expected: measurement,
+		MinSVN:   2,
+		Nonce:    nonce,
+		MaxAge:   time.Hour,
+		Now:      now,
+	})
+	if err != nil {
+		return err
+	}
+	s.attested = true
+	return nil
+}
+
+// Attested reports whether the session passed attestation.
+func (s *Session) Attested() bool { return s.attested }
+
+// Protected reports whether the platform provides TEE guarantees.
+func (s *Session) Protected() bool { return s.platform.Protected }
+
+// PlatformName returns the platform label as used in the paper's plots.
+func (s *Session) PlatformName() string { return s.platform.Name }
+
+// parseDType maps a user datatype string.
+func parseDType(d string) (dtype.Kind, error) {
+	if d == "" {
+		return dtype.BF16, nil
+	}
+	return dtype.Parse(d)
+}

@@ -1,0 +1,310 @@
+package cllm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpenPlatforms(t *testing.T) {
+	protected := map[string]bool{"tdx": true, "sgx": true, "cgpu": true, "sev-snp": true, "cb100": true}
+	for _, p := range []string{"baremetal", "vm", "vm-th", "vm-nb", "tdx", "sgx", "sev-snp", "gpu", "cgpu", "b100", "cb100", ""} {
+		s, err := Open(Config{Platform: p, Seed: 1})
+		if err != nil {
+			t.Fatalf("Open(%q): %v", p, err)
+		}
+		if protected[p] != s.Protected() {
+			t.Errorf("Open(%q).Protected() = %v", p, s.Protected())
+		}
+		if s.Protected() && !s.Attested() {
+			t.Errorf("Open(%q) protected but not attested", p)
+		}
+	}
+	if _, err := Open(Config{Platform: "sev"}); err == nil {
+		t.Error("unknown platform opened")
+	}
+	if _, err := Open(Config{Platform: "tdx", System: "XYZ"}); err == nil {
+		t.Error("unknown system opened")
+	}
+}
+
+func TestSkipAttestation(t *testing.T) {
+	s, err := Open(Config{Platform: "tdx", SkipAttestation: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Attested() {
+		t.Error("attested despite SkipAttestation")
+	}
+}
+
+func TestLoadAndGenerate(t *testing.T) {
+	s, err := Open(Config{Platform: "sgx", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.LoadModel("llama2-7b", "bf16", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(m.ConfigName(), "llama2-7b/") {
+		t.Errorf("ConfigName = %q", m.ConfigName())
+	}
+	gen, err := m.Generate("patient presents with chest pain and arrhythmia", GenerateOptions{MaxNewTokens: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gen.Tokens) == 0 || gen.Text == "" || gen.PromptTokens == 0 {
+		t.Fatalf("empty generation: %+v", gen)
+	}
+	if _, err := m.Generate("   ", GenerateOptions{}); err == nil {
+		t.Error("empty prompt accepted")
+	}
+	emb, err := m.Embed("confidential inference")
+	if err != nil || len(emb) == 0 {
+		t.Errorf("Embed: %v (%d dims)", err, len(emb))
+	}
+}
+
+func TestGenerationIdenticalAcrossPlatforms(t *testing.T) {
+	// The paper's TEEs protect execution without changing results: the same
+	// model and prompt must generate identical tokens on every platform.
+	var tokens [][]int
+	for _, p := range []string{"baremetal", "tdx", "sgx"} {
+		s, err := Open(Config{Platform: p, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := s.LoadModel("llama2-7b", "bf16", 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := m.Generate("the quick brown fox", GenerateOptions{MaxNewTokens: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tokens = append(tokens, gen.Tokens)
+	}
+	for i := 1; i < len(tokens); i++ {
+		if len(tokens[i]) != len(tokens[0]) {
+			t.Fatal("platforms generated different lengths")
+		}
+		for j := range tokens[i] {
+			if tokens[i][j] != tokens[0][j] {
+				t.Fatalf("platform %d diverged at token %d", i, j)
+			}
+		}
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	s, _ := Open(Config{Platform: "baremetal", Seed: 1})
+	if _, err := s.LoadModel("gpt5", "bf16", 64); err == nil {
+		t.Error("unknown model loaded")
+	}
+	if _, err := s.LoadModel("llama2-7b", "fp64", 64); err == nil {
+		t.Error("unknown dtype loaded")
+	}
+	g, _ := Open(Config{Platform: "gpu", Seed: 1})
+	if _, err := g.LoadModel("llama2-7b", "bf16", 64); err == nil {
+		t.Error("GPU functional inference should be unsupported")
+	}
+}
+
+func TestMeasureCPUAndGPU(t *testing.T) {
+	cpu, err := Open(Config{Platform: "tdx", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := cpu.Measure(Workload{Model: "llama2-7b", DType: "bf16", OutputLen: 16}, MeasureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TokensPerSec <= 0 || m.MeanTokenLatency <= 0 || m.PrefillSeconds <= 0 {
+		t.Fatalf("bad measurement: %+v", m)
+	}
+	if m.DecodeTokensPerSec <= m.TokensPerSec {
+		t.Error("decode throughput should exceed generation throughput")
+	}
+
+	gpu, err := Open(Config{Platform: "cgpu", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gpu.Measure(Workload{Model: "llama2-7b", OutputLen: 16, InputLen: 128}, MeasureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TokensPerSec <= m.TokensPerSec {
+		t.Error("H100 should beat a CPU socket on raw throughput")
+	}
+}
+
+func TestMeasureBackends(t *testing.T) {
+	s, _ := Open(Config{Platform: "baremetal", Seed: 6})
+	ipex, err := s.Measure(Workload{OutputLen: 16}, MeasureOptions{Backend: "IPEX"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hf, err := s.Measure(Workload{OutputLen: 16}, MeasureOptions{Backend: "HF"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hf.TokensPerSec >= ipex.TokensPerSec {
+		t.Error("HF should be slower than IPEX")
+	}
+	if _, err := s.Measure(Workload{OutputLen: 8}, MeasureOptions{Backend: "TensorRT"}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	if _, err := s.Measure(Workload{DType: "int8", OutputLen: 8}, MeasureOptions{Backend: "vLLM"}); err == nil {
+		t.Error("vLLM int8 should be rejected")
+	}
+}
+
+func TestEstimateCost(t *testing.T) {
+	s, _ := Open(Config{Platform: "tdx", System: "EMR2", Seed: 7})
+	c, err := s.EstimateCost(Workload{OutputLen: 32, InputLen: 128}, MeasureOptions{}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.HourlyUSD <= 0 || c.USDPerMTok <= 0 {
+		t.Fatalf("bad cost: %+v", c)
+	}
+	g, _ := Open(Config{Platform: "cgpu", Seed: 7})
+	gc, err := g.EstimateCost(Workload{OutputLen: 32, InputLen: 128}, MeasureOptions{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc.HourlyUSD <= c.HourlyUSD {
+		t.Error("H100 instance should cost more per hour than a CPU VM")
+	}
+}
+
+func TestRAGFacade(t *testing.T) {
+	s, err := Open(Config{Platform: "tdx", System: "EMR2", Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.NewRAG(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() == 0 {
+		t.Fatal("benchmark corpus empty")
+	}
+	hits, lat, err := r.Query("bm25", "heart rhythm pressure", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || lat <= 0 {
+		t.Fatalf("bad query result: %d hits, %gs", len(hits), lat)
+	}
+	nd, mean, err := r.Benchmark("sbert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd < 0 || nd > 1 || mean <= 0 {
+		t.Fatalf("bad benchmark: ndcg %g mean %g", nd, mean)
+	}
+	if _, _, err := r.Query("vector", "q", 5); err == nil {
+		t.Error("unknown method accepted")
+	}
+	// Custom documents work too.
+	custom, err := s.NewRAG([]RAGDocument{
+		{ID: "a", Title: "insulin dosing", Body: "insulin dosing schedule for diabetes patients"},
+		{ID: "b", Title: "hedge funds", Body: "quarterly returns of hedge funds"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, _, err = custom.Query("bm25", "insulin diabetes", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits[0].ID != "a" {
+		t.Errorf("custom RAG top hit = %s", hits[0].ID)
+	}
+	if _, _, err := custom.Benchmark("bm25"); err == nil {
+		t.Error("benchmark without queries accepted")
+	}
+	// RAG is CPU-only, as in the paper.
+	gpu, _ := Open(Config{Platform: "cgpu", Seed: 8})
+	if _, err := gpu.NewRAG(nil); err == nil {
+		t.Error("GPU RAG accepted")
+	}
+}
+
+func TestExperimentsAPI(t *testing.T) {
+	infos := Experiments()
+	if len(infos) < 16 {
+		t.Fatalf("only %d experiments registered", len(infos))
+	}
+	rep, err := RunExperiment("fig1", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed || len(rep.FailedChecks) != 0 {
+		t.Errorf("fig1 failed checks: %v", rep.FailedChecks)
+	}
+	if !strings.Contains(rep.Table, "fig1") {
+		t.Error("report table missing ID")
+	}
+	if _, err := RunExperiment("fig99", true, 1); err == nil {
+		t.Error("unknown experiment ran")
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	names := ModelNames()
+	found := false
+	for _, n := range names {
+		if n == "llama2-70b" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("llama2-70b missing from ModelNames")
+	}
+}
+
+func TestMeasureDistribution(t *testing.T) {
+	s, err := Open(Config{Platform: "tdx", Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.MeasureDistribution(Workload{Model: "llama2-7b", OutputLen: 200, InputLen: 128}, MeasureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Samples) != 200 {
+		t.Fatalf("samples = %d, want 200", len(d.Samples))
+	}
+	if !(d.P25 <= d.P50 && d.P50 <= d.P75) {
+		t.Errorf("quartiles out of order: %g %g %g", d.P25, d.P50, d.P75)
+	}
+	if d.Mean <= 0 {
+		t.Error("non-positive mean")
+	}
+	// Every reported outlier must exceed the filtered P75 (they are the
+	// heavy upper tail of TEE memory-encryption stalls).
+	for _, o := range d.Outliers {
+		if o <= d.P75 {
+			t.Errorf("outlier %g not in the upper tail (P75 %g)", o, d.P75)
+		}
+	}
+	// Sample count conservation.
+	if len(d.Outliers) > len(d.Samples) {
+		t.Error("more outliers than samples")
+	}
+	// The GPU path works too and is quieter (no outlier injection).
+	g, err := Open(Config{Platform: "cgpu", Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd, err := g.MeasureDistribution(Workload{Model: "llama2-7b", OutputLen: 100, InputLen: 128}, MeasureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gd.Outliers) > len(d.Outliers) {
+		t.Error("GPU shows more outliers than the CPU TEE")
+	}
+}

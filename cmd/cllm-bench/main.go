@@ -1,0 +1,61 @@
+// cllm-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	cllm-bench -list
+//	cllm-bench -exp fig4
+//	cllm-bench -exp all [-quick] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cllm"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	exp := flag.String("exp", "", "experiment id (e.g. fig4) or 'all'")
+	quick := flag.Bool("quick", false, "shorter generations for a fast pass")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("Available experiments (paper artifact reproductions):")
+		for _, e := range cllm.Experiments() {
+			fmt.Printf("  %-12s %s\n", e.ID, e.Title)
+			fmt.Printf("  %-12s paper: %s\n", "", e.Paper)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+		}
+		return
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = ids[:0]
+		for _, e := range cllm.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	failed := 0
+	for _, id := range ids {
+		rep, err := cllm.RunExperiment(id, *quick, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.Table)
+		if !rep.Passed {
+			failed++
+			fmt.Fprintf(os.Stderr, "experiment %s failed shape checks: %v\n", id, rep.FailedChecks)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,149 @@
+package cllm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"cllm/internal/gramine"
+	"cllm/internal/model"
+)
+
+// Model is a loaded, runnable transformer bound to a session. Functional
+// inference runs real arithmetic at a reduced scale; the architecture
+// (layer structure, head layout, datatype behaviour) matches the named
+// full-size model.
+type Model struct {
+	session *Session
+	t       *model.Transformer
+	tok     *model.Tokenizer
+	name    string
+}
+
+// LoadModel instantiates the named model (see ModelNames) at 1/scale of its
+// full dimensions with deterministic weights. On SGX sessions the weights
+// travel through the sealed-file store, exercising the encrypted-weights
+// path of the paper's deployment.
+func (s *Session) LoadModel(name, dt string, scale int) (*Model, error) {
+	if s.isGPU {
+		return nil, fmt.Errorf("cllm: functional inference on the GPU model is not implemented; use Measure for GPU performance")
+	}
+	if s.platform.Protected && !s.attested && !s.cfg.SkipAttestation {
+		return nil, fmt.Errorf("cllm: refusing to load weights into an unattested enclave")
+	}
+	kind, err := parseDType(dt)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := model.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if scale > 1 {
+		cfg = cfg.Scaled(scale)
+	}
+	t, err := model.Build(cfg, kind, s.cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	if s.manifest != nil {
+		if err := exerciseSealedWeights(s.manifest, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return &Model{session: s, t: t, tok: model.NewTokenizer(cfg.VocabSize), name: name}, nil
+}
+
+// exerciseSealedWeights round-trips a weight header through the Gramine
+// sealed store, verifying confidentiality and integrity the way the real
+// deployment protects model files at rest.
+func exerciseSealedWeights(m *gramine.Manifest, cfg model.Config) error {
+	key := gramine.DeriveKey([]byte("enclave-measurement"), m.KeyName)
+	store := gramine.NewStore(key)
+	header := make([]byte, 16)
+	binary.BigEndian.PutUint64(header[:8], uint64(cfg.ParamCount()))
+	binary.BigEndian.PutUint64(header[8:], uint64(cfg.HiddenDim))
+	path := m.EncryptedFiles[0]
+	if err := store.Put(path, header); err != nil {
+		return err
+	}
+	back, err := store.Get(path)
+	if err != nil {
+		return err
+	}
+	if binary.BigEndian.Uint64(back[:8]) != uint64(cfg.ParamCount()) {
+		return fmt.Errorf("cllm: sealed weight header corrupted")
+	}
+	return nil
+}
+
+// ModelNames lists the models available to LoadModel and Measure.
+func ModelNames() []string {
+	names := make([]string, 0)
+	for n := range model.Zoo() {
+		names = append(names, n)
+	}
+	return names
+}
+
+// GenerateOptions controls Generate.
+type GenerateOptions struct {
+	// MaxNewTokens bounds the generation length (default 32).
+	MaxNewTokens int
+	// BeamSize > 1 enables beam search.
+	BeamSize int
+}
+
+// Generation is the result of a Generate call.
+type Generation struct {
+	// Tokens are the generated token IDs.
+	Tokens []int
+	// Text is a deterministic pseudo-text rendering of the tokens (the
+	// hashed tokenizer is not invertible; IDs render as "⟨t1234⟩" words).
+	Text string
+	// PromptTokens is the encoded prompt length.
+	PromptTokens int
+}
+
+// Generate encodes the prompt, runs real decoding through the KV cache, and
+// returns the generated tokens. Results are identical on every platform —
+// TEEs change timing, never outputs.
+func (m *Model) Generate(prompt string, opts GenerateOptions) (*Generation, error) {
+	if strings.TrimSpace(prompt) == "" {
+		return nil, fmt.Errorf("cllm: empty prompt")
+	}
+	if opts.MaxNewTokens <= 0 {
+		opts.MaxNewTokens = 32
+	}
+	tokens := m.tok.Encode(prompt)
+	res, err := m.t.Generate(tokens, model.GenOptions{
+		MaxNewTokens: opts.MaxNewTokens,
+		BeamSize:     opts.BeamSize,
+		StopToken:    model.TokenEOS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	for i, tok := range res.Tokens {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "⟨t%d⟩", tok)
+	}
+	return &Generation{Tokens: res.Tokens, Text: b.String(), PromptTokens: len(tokens)}, nil
+}
+
+// Embed returns the mean-pooled dense embedding of the text (the SBERT-style
+// encoding used by the RAG pipeline).
+func (m *Model) Embed(text string) ([]float32, error) {
+	tokens := m.tok.Encode(text)
+	if len(tokens) > 64 {
+		tokens = tokens[:64]
+	}
+	return m.t.Embed(tokens)
+}
+
+// ConfigName returns the underlying (possibly scaled) model configuration
+// name, e.g. "llama2-7b/x64".
+func (m *Model) ConfigName() string { return m.t.Config.Name }

@@ -1,0 +1,94 @@
+// Package backend models the CPU inference frameworks the paper compares in
+// its framework-selection microbenchmark (Fig 3): IPEX, vLLM, Hugging Face
+// Transformers and llama.cpp. Frameworks differ in how much of the hardware
+// roofline they achieve (kernel fusion, memory layout, allocator behaviour)
+// and in whether they drive AMX; a framework is therefore an efficiency
+// transform applied to the same workload trace.
+package backend
+
+import (
+	"fmt"
+	"sort"
+
+	"cllm/internal/dtype"
+	"cllm/internal/hw"
+)
+
+// Backend describes one inference framework.
+type Backend struct {
+	// Name as shown in the paper's Fig 3 ("IPEX", "vLLM", "HF", "Llama.cpp").
+	Name string
+	// Efficiency is the fraction of the roofline achieved (IPEX = 1).
+	Efficiency float64
+	// UsesAMX reports whether the framework drives the tile units.
+	UsesAMX bool
+	// Kinds are the supported inference datatypes.
+	Kinds []dtype.Kind
+	// UsesOneCCL reports tuned cross-NUMA communication (Insight 3).
+	UsesOneCCL bool
+}
+
+// Supports reports whether the backend can run the datatype.
+func (b Backend) Supports(kind dtype.Kind) bool {
+	for _, k := range b.Kinds {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// IPEX is the Intel extension for PyTorch: AMX bf16/int8, oneCCL, fastest.
+func IPEX() Backend {
+	return Backend{
+		Name: "IPEX", Efficiency: hw.EffIPEX, UsesAMX: true, UsesOneCCL: true,
+		Kinds: []dtype.Kind{dtype.F32, dtype.BF16, dtype.I8},
+	}
+}
+
+// VLLM is vLLM's CPU backend: paged attention; GEMMs reach AMX through
+// oneDNN but with lower end-to-end efficiency than IPEX.
+func VLLM() Backend {
+	return Backend{
+		Name: "vLLM", Efficiency: hw.EffVLLMCPU, UsesAMX: true,
+		Kinds: []dtype.Kind{dtype.F32, dtype.BF16},
+	}
+}
+
+// HuggingFace is the eager-mode transformers baseline (PyTorch linear
+// layers still hit AMX via oneDNN; everything else is unfused).
+func HuggingFace() Backend {
+	return Backend{
+		Name: "HF", Efficiency: hw.EffHF, UsesAMX: true,
+		Kinds: []dtype.Kind{dtype.F32, dtype.BF16},
+	}
+}
+
+// LlamaCpp is llama.cpp with its mixed-precision GGUF kernels (AMX tile
+// support landed upstream in 2024).
+func LlamaCpp() Backend {
+	return Backend{
+		Name: "Llama.cpp", Efficiency: hw.EffLlamaCpp, UsesAMX: true,
+		Kinds: []dtype.Kind{dtype.BF16}, // stands in for GGUF mixed precision
+	}
+}
+
+// All returns the benchmark set in a stable order.
+func All() []Backend {
+	return []Backend{IPEX(), VLLM(), HuggingFace(), LlamaCpp()}
+}
+
+// Lookup finds a backend by (case-sensitive) name.
+func Lookup(name string) (Backend, error) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	names := make([]string, 0, 4)
+	for _, b := range All() {
+		names = append(names, b.Name)
+	}
+	sort.Strings(names)
+	return Backend{}, fmt.Errorf("backend: unknown framework %q (have %v)", name, names)
+}

@@ -1,0 +1,107 @@
+package backend
+
+import (
+	"testing"
+
+	"cllm/internal/dtype"
+	"cllm/internal/hw"
+	"cllm/internal/model"
+	"cllm/internal/perf"
+	"cllm/internal/tee"
+	"cllm/internal/trace"
+)
+
+func TestLookup(t *testing.T) {
+	for _, name := range []string{"IPEX", "vLLM", "HF", "Llama.cpp"} {
+		b, err := Lookup(name)
+		if err != nil || b.Name != name {
+			t.Errorf("Lookup(%q) = %+v, %v", name, b, err)
+		}
+	}
+	if _, err := Lookup("TensorRT"); err == nil {
+		t.Error("unknown backend resolved")
+	}
+}
+
+func TestSupports(t *testing.T) {
+	if !IPEX().Supports(dtype.I8) {
+		t.Error("IPEX must support int8")
+	}
+	if VLLM().Supports(dtype.I8) {
+		t.Error("vLLM CPU int8 unexpectedly supported")
+	}
+	if !HuggingFace().Supports(dtype.F32) {
+		t.Error("HF must support f32")
+	}
+}
+
+func TestEfficiencyOrdering(t *testing.T) {
+	// Insight 3 / Fig 3: IPEX fastest, then vLLM (~50% slower), HF (~100%).
+	if !(IPEX().Efficiency > VLLM().Efficiency &&
+		VLLM().Efficiency > LlamaCpp().Efficiency &&
+		LlamaCpp().Efficiency > HuggingFace().Efficiency) {
+		t.Error("framework efficiency ordering broken")
+	}
+	if !IPEX().UsesAMX {
+		t.Error("IPEX must drive AMX")
+	}
+}
+
+// fig3Time measures the paper's Fig 3 configuration: Llama2 7B, 1024 input,
+// 128 output tokens, batch=beam=1, bare metal EMR1.
+func fig3Time(t *testing.T, b Backend, kind dtype.Kind) float64 {
+	t.Helper()
+	cfg, err := model.Lookup("llama2-7b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := perf.RunCPU(perf.CPURun{
+		CPU: hw.EMR1(), Platform: tee.Baremetal(),
+		Workload:          trace.Workload{Model: cfg, Kind: kind, Batch: 1, Beam: 1, InputLen: 1024, OutputLen: 128},
+		Sockets:           1,
+		AMX:               b.UsesAMX,
+		BackendEfficiency: b.Efficiency,
+		Seed:              41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.TotalSec
+}
+
+func TestFig3Shape(t *testing.T) {
+	ipexBF := fig3Time(t, IPEX(), dtype.BF16)
+	vllmBF := fig3Time(t, VLLM(), dtype.BF16)
+	hfBF := fig3Time(t, HuggingFace(), dtype.BF16)
+	lcpp := fig3Time(t, LlamaCpp(), dtype.BF16)
+	ipexF32 := fig3Time(t, IPEX(), dtype.F32)
+	vllmF32 := fig3Time(t, VLLM(), dtype.F32)
+	hfF32 := fig3Time(t, HuggingFace(), dtype.F32)
+
+	// Paper ordering: IPEX(bf16) < vLLM(bf16) < Llama.cpp < HF(bf16) <
+	// IPEX(f32) < vLLM(f32) < HF(f32).
+	order := []struct {
+		name string
+		v    float64
+	}{
+		{"IPEX bf16", ipexBF}, {"vLLM bf16", vllmBF}, {"Llama.cpp", lcpp},
+		{"HF bf16", hfBF}, {"IPEX f32", ipexF32}, {"vLLM f32", vllmF32}, {"HF f32", hfF32},
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i].v <= order[i-1].v {
+			t.Errorf("Fig 3 ordering broken: %s (%.1fs) <= %s (%.1fs)",
+				order[i].name, order[i].v, order[i-1].name, order[i-1].v)
+		}
+	}
+	// vLLM ≈ 50% slower, HF ≈ 100% slower than IPEX (generous bands).
+	if r := vllmBF / ipexBF; r < 1.25 || r > 1.9 {
+		t.Errorf("vLLM/IPEX = %.2f, want ≈1.5", r)
+	}
+	if r := hfBF / ipexBF; r < 1.6 || r > 2.6 {
+		t.Errorf("HF/IPEX = %.2f, want ≈2.0", r)
+	}
+	// Absolute scale: the paper's IPEX bf16 run takes ≈8-10s on EMR1.
+	if ipexBF < 4 || ipexBF > 16 {
+		t.Errorf("IPEX bf16 total = %.1fs, want in the paper's ~8-10s regime", ipexBF)
+	}
+}

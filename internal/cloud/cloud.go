@@ -1,0 +1,134 @@
+// Package cloud implements the cost model of the paper's §V-D: GCP-style
+// spot pricing where vCPU count and memory are rented separately (Figs 12
+// and 13), the confidential H100 instance price, and dollars-per-million-
+// tokens arithmetic on top of measured throughput.
+package cloud
+
+import (
+	"fmt"
+	"math"
+)
+
+// PriceBook holds the hourly spot prices used by the cost experiments.
+// Values follow the paper's methodology (GCP US East 1 spot prices for the
+// same machine type, memory fixed at 128 GB while vCPUs scale).
+type PriceBook struct {
+	// VCPUHour is the price of one vCPU for one hour (USD).
+	VCPUHour float64
+	// MemGiBHour is the price of one GiB of RAM for one hour (USD).
+	MemGiBHour float64
+	// CGPUHour is the price of the confidential H100 instance per hour
+	// (GPU + host CPU + memory, as rented).
+	CGPUHour float64
+	// SapphireRapidsDiscount is the cheaper previous-generation alternative
+	// the paper mentions (≈2x cheaper, up to 40% slower).
+	SapphireRapidsDiscount float64
+}
+
+// DefaultPrices returns the calibrated price book.
+func DefaultPrices() PriceBook {
+	return PriceBook{
+		VCPUHour:               0.0105,
+		MemGiBHour:             0.0012,
+		CGPUHour:               6.20,
+		SapphireRapidsDiscount: 0.5,
+	}
+}
+
+// CPUInstance describes a rented confidential-VM shape.
+type CPUInstance struct {
+	VCPUs  int
+	MemGiB int
+}
+
+// Validate rejects empty shapes.
+func (c CPUInstance) Validate() error {
+	if c.VCPUs <= 0 || c.MemGiB <= 0 {
+		return fmt.Errorf("cloud: instance needs positive vCPUs and memory, got %+v", c)
+	}
+	return nil
+}
+
+// HourlyCost returns the instance's rental price per hour.
+func (p PriceBook) HourlyCost(inst CPUInstance) (float64, error) {
+	if err := inst.Validate(); err != nil {
+		return 0, err
+	}
+	return float64(inst.VCPUs)*p.VCPUHour + float64(inst.MemGiB)*p.MemGiBHour, nil
+}
+
+// CostPerMTokens converts an hourly price and a throughput into dollars per
+// one million generated tokens.
+func CostPerMTokens(hourly, tokensPerSec float64) (float64, error) {
+	if tokensPerSec <= 0 {
+		return 0, fmt.Errorf("cloud: non-positive throughput %g", tokensPerSec)
+	}
+	if hourly < 0 {
+		return 0, fmt.Errorf("cloud: negative hourly price %g", hourly)
+	}
+	secondsPerMTok := 1e6 / tokensPerSec
+	return hourly / 3600 * secondsPerMTok, nil
+}
+
+// CPUCostPerMTokens prices a CPU run: the paper fixes memory at 128 GiB and
+// scales vCPUs (Fig 12).
+func (p PriceBook) CPUCostPerMTokens(vcpus int, tokensPerSec float64) (float64, error) {
+	hourly, err := p.HourlyCost(CPUInstance{VCPUs: vcpus, MemGiB: 128})
+	if err != nil {
+		return 0, err
+	}
+	return CostPerMTokens(hourly, tokensPerSec)
+}
+
+// CGPUCostPerMTokens prices a confidential-GPU run.
+func (p PriceBook) CGPUCostPerMTokens(tokensPerSec float64) (float64, error) {
+	return CostPerMTokens(p.CGPUHour, tokensPerSec)
+}
+
+// CostPoint is one (vCPUs, throughput, cost) sample of a scaling sweep.
+type CostPoint struct {
+	VCPUs        int
+	TokensPerSec float64
+	USDPerMTok   float64
+}
+
+// Sweep prices a throughput-vs-vCPU curve.
+func (p PriceBook) Sweep(vcpus []int, tput []float64) ([]CostPoint, error) {
+	if len(vcpus) != len(tput) {
+		return nil, fmt.Errorf("cloud: %d vCPU points vs %d throughputs", len(vcpus), len(tput))
+	}
+	out := make([]CostPoint, len(vcpus))
+	for i := range vcpus {
+		c, err := p.CPUCostPerMTokens(vcpus[i], tput[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = CostPoint{VCPUs: vcpus[i], TokensPerSec: tput[i], USDPerMTok: c}
+	}
+	return out, nil
+}
+
+// Cheapest returns the sweep point with minimal $/Mtok.
+func Cheapest(points []CostPoint) (CostPoint, error) {
+	if len(points) == 0 {
+		return CostPoint{}, fmt.Errorf("cloud: empty sweep")
+	}
+	best := points[0]
+	for _, pt := range points[1:] {
+		if pt.USDPerMTok < best.USDPerMTok {
+			best = pt
+		}
+	}
+	return best, nil
+}
+
+// AdvantagePct returns how much cheaper `mine` is than `theirs`, in percent
+// of `mine` — the convention of the paper's Fig 12 annotations
+// ("TDX=100.32%" means the cGPU costs 100.32% more than the best TDX
+// configuration). Negative values mean `mine` is more expensive.
+func AdvantagePct(mine, theirs float64) float64 {
+	if mine <= 0 {
+		return math.NaN()
+	}
+	return (theirs - mine) / mine * 100
+}

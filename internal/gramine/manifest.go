@@ -1,0 +1,225 @@
+// Package gramine implements the process-TEE software layer the paper runs
+// SGX workloads on: a Gramine-style manifest (a TOML subset) describing the
+// enclave, trusted-file integrity measurement, a syscall classifier that
+// decides which calls the libOS can emulate inside the enclave versus which
+// force an expensive enclave exit (OCALL), and an encrypted file store for
+// sealed model weights.
+package gramine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Manifest mirrors the fields of a Gramine manifest the paper's Fig 2 shows:
+// entrypoint, enclave size, thread count, trusted and encrypted files.
+type Manifest struct {
+	// Entrypoint is the binary the libOS starts (libos.entrypoint).
+	Entrypoint string
+	// EnclaveSize is sgx.enclave_size in bytes.
+	EnclaveSize int64
+	// MaxThreads is sgx.max_threads.
+	MaxThreads int
+	// TrustedFiles are integrity-protected, world-readable inputs.
+	TrustedFiles []string
+	// EncryptedFiles are confidentiality+integrity protected paths.
+	EncryptedFiles []string
+	// KeyName selects the sealing key (fs.insecure__keys or PF key).
+	KeyName string
+	// Debug enables the (insecure) debug enclave.
+	Debug bool
+}
+
+// Validate checks the manifest is runnable.
+func (m *Manifest) Validate() error {
+	switch {
+	case m.Entrypoint == "":
+		return fmt.Errorf("gramine: manifest missing libos.entrypoint")
+	case m.EnclaveSize <= 0:
+		return fmt.Errorf("gramine: sgx.enclave_size must be positive")
+	case m.MaxThreads <= 0:
+		return fmt.Errorf("gramine: sgx.max_threads must be positive")
+	}
+	return nil
+}
+
+// ParseManifest parses the TOML subset Gramine manifests use: dotted
+// `key = value` assignments with string, integer, boolean and string-array
+// values, plus `#` comments. Sizes accept Gramine's "512M"/"8G" suffixes.
+func ParseManifest(text string) (*Manifest, error) {
+	m := &Manifest{}
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		key, val, err := splitAssignment(line)
+		if err != nil {
+			return nil, fmt.Errorf("gramine: line %d: %w", lineNo+1, err)
+		}
+		if err := m.apply(key, val); err != nil {
+			return nil, fmt.Errorf("gramine: line %d: %w", lineNo+1, err)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func stripComment(line string) string {
+	inStr := false
+	for i, r := range line {
+		switch r {
+		case '"':
+			inStr = !inStr
+		case '#':
+			if !inStr {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+func splitAssignment(line string) (key, val string, err error) {
+	eq := strings.Index(line, "=")
+	if eq < 0 {
+		return "", "", fmt.Errorf("expected key = value, got %q", line)
+	}
+	key = strings.TrimSpace(line[:eq])
+	val = strings.TrimSpace(line[eq+1:])
+	if key == "" || val == "" {
+		return "", "", fmt.Errorf("empty key or value in %q", line)
+	}
+	return key, val, nil
+}
+
+func (m *Manifest) apply(key, val string) error {
+	switch key {
+	case "libos.entrypoint":
+		s, err := parseString(val)
+		if err != nil {
+			return err
+		}
+		m.Entrypoint = s
+	case "sgx.enclave_size":
+		s, err := parseString(val)
+		if err != nil {
+			return err
+		}
+		n, err := ParseSize(s)
+		if err != nil {
+			return err
+		}
+		m.EnclaveSize = n
+	case "sgx.max_threads":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("sgx.max_threads: %w", err)
+		}
+		m.MaxThreads = n
+	case "sgx.debug":
+		b, err := strconv.ParseBool(val)
+		if err != nil {
+			return fmt.Errorf("sgx.debug: %w", err)
+		}
+		m.Debug = b
+	case "sgx.trusted_files":
+		files, err := parseStringArray(val)
+		if err != nil {
+			return err
+		}
+		m.TrustedFiles = files
+	case "fs.encrypted_files":
+		files, err := parseStringArray(val)
+		if err != nil {
+			return err
+		}
+		m.EncryptedFiles = files
+	case "fs.key_name":
+		s, err := parseString(val)
+		if err != nil {
+			return err
+		}
+		m.KeyName = s
+	default:
+		// Unknown keys are tolerated, as Gramine tolerates loader.env.* etc.
+	}
+	return nil
+}
+
+func parseString(val string) (string, error) {
+	if len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+		return "", fmt.Errorf("expected quoted string, got %q", val)
+	}
+	return val[1 : len(val)-1], nil
+}
+
+func parseStringArray(val string) ([]string, error) {
+	if len(val) < 2 || val[0] != '[' || val[len(val)-1] != ']' {
+		return nil, fmt.Errorf("expected array, got %q", val)
+	}
+	inner := strings.TrimSpace(val[1 : len(val)-1])
+	if inner == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, part := range strings.Split(inner, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		s, err := parseString(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// ParseSize parses Gramine-style sizes: "1024", "512M", "8G", "64K".
+func ParseSize(s string) (int64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty size")
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'K', 'k':
+		mult = 1 << 10
+		s = s[:len(s)-1]
+	case 'M', 'm':
+		mult = 1 << 20
+		s = s[:len(s)-1]
+	case 'G', 'g':
+		mult = 1 << 30
+		s = s[:len(s)-1]
+	case 'T', 't':
+		mult = 1 << 40
+		s = s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q: %w", s, err)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative size %q", s)
+	}
+	return n * mult, nil
+}
+
+// DefaultManifest returns the manifest used by the inference pipeline,
+// mirroring the paper's Fig 2 excerpt.
+func DefaultManifest(modelPath string, enclaveSize int64, threads int) *Manifest {
+	return &Manifest{
+		Entrypoint:     "/usr/bin/cllm-infer",
+		EnclaveSize:    enclaveSize,
+		MaxThreads:     threads,
+		TrustedFiles:   []string{"file:/usr/bin/cllm-infer", "file:/etc/tokenizer.json"},
+		EncryptedFiles: []string{"file:" + modelPath},
+		KeyName:        "default",
+	}
+}

@@ -1,0 +1,117 @@
+package gramine
+
+// Syscall classification: Gramine emulates many syscalls entirely inside the
+// enclave (futex fast paths, memory management over preallocated enclave
+// pages, clock reads via the VDSO emulation); the rest must leave the
+// enclave through an OCALL, paying the EEXIT/EENTER + TLB/cache flush cost
+// that is one of SGX's two overhead sources (§III-A).
+
+// SyscallClass says where a call is handled.
+type SyscallClass int
+
+const (
+	// InEnclave calls are emulated by the libOS without leaving SGX.
+	InEnclave SyscallClass = iota
+	// OCALL calls must exit the enclave to the untrusted host.
+	OCALL
+	// Unsupported calls fail inside Gramine (the paper's "if a given call
+	// is not implemented fully, it can result in considerable overhead").
+	Unsupported
+)
+
+// String names the class.
+func (c SyscallClass) String() string {
+	switch c {
+	case InEnclave:
+		return "in-enclave"
+	case OCALL:
+		return "ocall"
+	default:
+		return "unsupported"
+	}
+}
+
+var syscallTable = map[string]SyscallClass{
+	// Emulated in-enclave by the libOS.
+	"futex":         InEnclave,
+	"mmap":          InEnclave, // over preallocated enclave memory
+	"munmap":        InEnclave,
+	"brk":           InEnclave,
+	"clock_gettime": InEnclave,
+	"gettimeofday":  InEnclave,
+	"getpid":        InEnclave,
+	"gettid":        InEnclave,
+	"sched_yield":   InEnclave,
+	"madvise":       InEnclave,
+	"mprotect":      InEnclave,
+	"exit":          InEnclave,
+	"rt_sigaction":  InEnclave,
+
+	// Require host services: exit the enclave.
+	"read":           OCALL,
+	"write":          OCALL,
+	"open":           OCALL,
+	"openat":         OCALL,
+	"close":          OCALL,
+	"stat":           OCALL,
+	"fstat":          OCALL,
+	"socket":         OCALL,
+	"connect":        OCALL,
+	"accept":         OCALL,
+	"sendto":         OCALL,
+	"recvfrom":       OCALL,
+	"epoll_wait":     OCALL,
+	"poll":           OCALL,
+	"nanosleep":      OCALL,
+	"clone":          OCALL, // thread creation needs a host TCS
+	"execve":         Unsupported,
+	"fork":           Unsupported,
+	"io_uring_setup": Unsupported,
+}
+
+// Classify returns where the named syscall is handled. Unknown syscalls are
+// conservatively treated as OCALLs.
+func Classify(name string) SyscallClass {
+	if c, ok := syscallTable[name]; ok {
+		return c
+	}
+	return OCALL
+}
+
+// ExitProfile summarizes the enclave-exit behaviour of a syscall trace.
+type ExitProfile struct {
+	Total       int
+	InEnclave   int
+	Exits       int
+	Unsupported int
+}
+
+// Profile classifies a syscall name sequence.
+func Profile(callNames []string) ExitProfile {
+	var p ExitProfile
+	for _, n := range callNames {
+		p.Total++
+		switch Classify(n) {
+		case InEnclave:
+			p.InEnclave++
+		case OCALL:
+			p.Exits++
+		default:
+			p.Unsupported++
+		}
+	}
+	return p
+}
+
+// InferenceLoopSyscalls returns the steady-state per-token syscall mix of
+// the IPEX inference loop under Gramine (thread synchronization via futex,
+// occasional clock reads, and rare host I/O for logging). This drives the
+// SGXExitsPerToken calibration.
+func InferenceLoopSyscalls() []string {
+	return []string{
+		"futex", "futex", "futex", "futex", "futex", "futex", "futex", "futex",
+		"clock_gettime", "clock_gettime", "sched_yield",
+		"write", "read", "futex", "poll", "clock_gettime",
+		"write", "nanosleep", "epoll_wait",
+	}
+}

@@ -1,0 +1,484 @@
+package harness
+
+import (
+	"fmt"
+
+	"cllm/internal/backend"
+	"cllm/internal/dtype"
+	"cllm/internal/gramine"
+	"cllm/internal/hw"
+	"cllm/internal/model"
+	"cllm/internal/perf"
+	"cllm/internal/stats"
+	"cllm/internal/tee"
+	"cllm/internal/trace"
+)
+
+// sgxPlatform builds the standard SGX deployment used across experiments:
+// a Gramine manifest with a 192 GiB enclave (ample for 7B/13B weights).
+func sgxPlatform() (tee.Platform, error) {
+	return tee.SGX(gramine.DefaultManifest("/models/llama2.bin", 192<<30, 64))
+}
+
+func mustModel(name string) model.Config {
+	cfg, err := model.Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+func runCPU(p tee.Platform, cpu hw.CPU, wl trace.Workload, sockets, cores int, amx bool, eff float64, seed int64) (*perf.Result, error) {
+	return perf.RunCPU(perf.CPURun{
+		CPU: cpu, Platform: p, Workload: wl,
+		Sockets: sockets, CoresPerSocket: cores, AMX: amx,
+		BackendEfficiency: eff, Seed: seed,
+	})
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig3",
+		Title: "Framework comparison: Llama2-7B, 1024 in / 128 out, batch=beam=1, EMR1 bare metal",
+		Paper: "IPEX fastest; vLLM ≈50% slower; HF ≈100% slower; bf16 beats f32 (Fig 3, Insight 3)",
+		Run:   runFig3,
+	})
+	register(Experiment{
+		ID:    "fig4",
+		Title: "Single-socket TEE overheads: Llama2-{7B,13B} × {bf16,int8} on EMR1",
+		Paper: "SGX 4.80-6.15%, TDX 5.51-10.68%, VM 1.82-5.38%; SGX between VM and TDX (Fig 4, Insights 4-5)",
+		Run:   runFig4,
+	})
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Two-socket 70B NUMA bindings: VM B vs TDX vs VM NB on EMR1",
+		Paper: "TDX between VM B and VM NB; VM NB ≈ +62% latency; 200ms budget broken (Fig 5, Insight 6)",
+		Run:   runFig5,
+	})
+	register(Experiment{
+		ID:    "fig6",
+		Title: "Two-socket hugepage strategies: baremetal, VM FH, VM TH, TDX on EMR1",
+		Paper: "VM TH costs 3.19-5.20% over VM FH; TDX-over-VM-TH stays 4-10% (Fig 6, Insight 7)",
+		Run:   runFig6,
+	})
+	register(Experiment{
+		ID:    "fig7",
+		Title: "Per-decoder-block layer durations and TDX overheads (7B, batch 4, EMR2)",
+		Paper: "Self-attention and linear-SiLU dominate block time; layer norms show the largest relative TDX overheads (Fig 7)",
+		Run:   runFig7,
+	})
+	register(Experiment{
+		ID:    "fig8",
+		Title: "AMX vs no-AMX across batch sizes (7B, VM/TDX, EMR2)",
+		Paper: "AMX advantage grows with batch to 100s of %; no-AMX int8 loses 85-96%; AMX lowers TDX overheads (Fig 8, Insight 8)",
+		Run:   runFig8,
+	})
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Batch-size scaling 1-512 (7B, EMR2, single socket throughput / two-socket latency)",
+		Paper: "TDX throughput overheads 7-10% dropping to 4-7% at saturation; int8 saturates earlier (Fig 9, Insight 9)",
+		Run:   runFig9,
+	})
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Input-size scaling 32-2048 (7B, batch 64, EMR2)",
+		Paper: "TDX overhead decreases with input size until ~2048 where cache/TLB pressure raises it again (Fig 10)",
+		Run:   runFig10,
+	})
+}
+
+func runFig3(o Options) (*Result, error) {
+	res := &Result{ID: "fig3", Title: "Framework comparison (Fig 3)",
+		Header: []string{"backend", "dtype", "time(s)", "vs IPEX bf16"}}
+	cfg := mustModel("llama2-7b")
+	type cell struct {
+		name string
+		kind dtype.Kind
+		b    backend.Backend
+	}
+	cells := []cell{
+		{"IPEX", dtype.BF16, backend.IPEX()},
+		{"vLLM", dtype.BF16, backend.VLLM()},
+		{"Llama.cpp", dtype.BF16, backend.LlamaCpp()},
+		{"HF", dtype.BF16, backend.HuggingFace()},
+		{"IPEX", dtype.F32, backend.IPEX()},
+		{"vLLM", dtype.F32, backend.VLLM()},
+		{"HF", dtype.F32, backend.HuggingFace()},
+	}
+	out := o.tokens(128)
+	times := make([]float64, len(cells))
+	for i, c := range cells {
+		wl := trace.Workload{Model: cfg, Kind: c.kind, Batch: 1, Beam: 1, InputLen: 1024, OutputLen: out}
+		r, err := runCPU(tee.Baremetal(), hw.EMR1(), wl, 1, 0, c.b.UsesAMX, c.b.Efficiency, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		// Scale to the full 128-token run for comparability in Quick mode.
+		times[i] = r.PrefillSec + r.MeanTokenLatency()*128
+	}
+	for i, c := range cells {
+		res.Rows = append(res.Rows, []string{c.name, c.kind.String(),
+			fmt.Sprintf("%.1f", times[i]), fmt.Sprintf("%.2fx", times[i]/times[0])})
+	}
+	// Paper ordering: strictly increasing in this cell order.
+	rev := make([]float64, len(times))
+	for i := range times {
+		rev[i] = -times[i]
+	}
+	labels := make([]string, len(cells))
+	for i, c := range cells {
+		labels[i] = c.name + "/" + c.kind.String()
+	}
+	res.Checks = append(res.Checks, ordering("Fig3 ordering (fastest first)", labels, rev))
+	res.Checks = append(res.Checks, band("vLLM bf16 vs IPEX bf16 (≈1.5x)", times[1]/times[0], 1.25, 1.9))
+	res.Checks = append(res.Checks, band("HF bf16 vs IPEX bf16 (≈2x)", times[3]/times[0], 1.6, 2.6))
+	return res, nil
+}
+
+func runFig4(o Options) (*Result, error) {
+	res := &Result{ID: "fig4", Title: "Single-socket TEE overheads (Fig 4)",
+		Header: []string{"model", "dtype", "metric", "baremetal", "VM", "TDX", "SGX", "paper TDX", "paper SGX"}}
+	sgx, err := sgxPlatform()
+	if err != nil {
+		return nil, err
+	}
+	paperTput := map[string][2]float64{ // paper's TDX/SGX throughput overheads
+		"llama2-7b/bf16":  {7.01, 4.84},
+		"llama2-13b/bf16": {5.17, 5.23},
+		"llama2-7b/int8":  {3.76, 4.92},
+		"llama2-13b/int8": {3.02, 6.15},
+	}
+	paperLat := map[string][2]float64{
+		"llama2-7b/bf16":  {6.95, 5.58},
+		"llama2-13b/bf16": {6.56, 4.80},
+		"llama2-7b/int8":  {10.68, 5.43},
+		"llama2-13b/int8": {9.37, 5.19},
+	}
+	var tdxT, sgxT, tdxL, sgxL []float64
+	out := o.tokens(64)
+	for _, name := range []string{"llama2-7b", "llama2-13b"} {
+		cfg := mustModel(name)
+		for _, kind := range []dtype.Kind{dtype.BF16, dtype.I8} {
+			key := name + "/" + kind.String()
+			// Throughput: batch 6, beam 4.
+			wlT := trace.Workload{Model: cfg, Kind: kind, Batch: 6, Beam: 4, InputLen: 1024, OutputLen: out}
+			// Latency: batch 1, beam 1.
+			wlL := trace.Workload{Model: cfg, Kind: kind, Batch: 1, Beam: 1, InputLen: 1024, OutputLen: out}
+			plats := []tee.Platform{tee.Baremetal(), tee.VM(tee.VMFullHuge), tee.TDX(), sgx}
+			var tputs, lats []float64
+			for _, p := range plats {
+				rT, err := runCPU(p, hw.EMR1(), wlT, 1, 0, true, 1, o.Seed)
+				if err != nil {
+					return nil, err
+				}
+				rL, err := runCPU(p, hw.EMR1(), wlL, 1, 0, true, 1, o.Seed)
+				if err != nil {
+					return nil, err
+				}
+				tputs = append(tputs, rT.DecodeThroughput())
+				lats = append(lats, rL.MeanTokenLatency())
+			}
+			ovT := func(i int) float64 { return stats.ThroughputOverheadPct(tputs[0], tputs[i]) }
+			ovL := func(i int) float64 { return stats.OverheadPct(lats[0], lats[i]) }
+			res.Rows = append(res.Rows, []string{name, kind.String(), "tput(tok/s)",
+				fmt.Sprintf("%.1f", tputs[0]), pct(ovT(1)), pct(ovT(2)), pct(ovT(3)),
+				pct(paperTput[key][0]), pct(paperTput[key][1])})
+			res.Rows = append(res.Rows, []string{name, kind.String(), "latency(ms)",
+				fmt.Sprintf("%.1f", lats[0]*1e3), pct(ovL(1)), pct(ovL(2)), pct(ovL(3)),
+				pct(paperLat[key][0]), pct(paperLat[key][1])})
+			tdxT = append(tdxT, ovT(2))
+			sgxT = append(sgxT, ovT(3))
+			tdxL = append(tdxL, ovL(2))
+			sgxL = append(sgxL, ovL(3))
+			// Insight 5 ordering per cell: VM faster than SGX faster than TDX.
+			res.Checks = append(res.Checks, ordering("VM > SGX > TDX throughput ("+key+")",
+				[]string{"VM", "SGX", "TDX"}, []float64{tputs[1], tputs[3], tputs[2]}))
+		}
+	}
+	res.Checks = append(res.Checks,
+		band("TDX throughput overhead range", stats.Mean(tdxT), 3, 11),
+		band("SGX throughput overhead range", stats.Mean(sgxT), 3, 8),
+		band("TDX latency overhead range", stats.Mean(tdxL), 4, 12),
+		band("SGX latency overhead range", stats.Mean(sgxL), 3, 8),
+	)
+	res.Notes = append(res.Notes, "Insight 4: TEE overheads stay within ~4-10% for throughput and <20% for latency.")
+	return res, nil
+}
+
+func runFig5(o Options) (*Result, error) {
+	res := &Result{ID: "fig5", Title: "70B two-socket NUMA bindings (Fig 5)",
+		Header: []string{"dtype", "metric", "VM B", "TDX", "VM NB", "paper TDX", "paper VM NB"}}
+	cfg := mustModel("llama2-70b")
+	out := o.tokens(32)
+	paperLat := map[string][2]float64{"bf16": {21.46, 61.81}, "int8": {14.73, 44.20}}
+	for _, kind := range []dtype.Kind{dtype.BF16, dtype.I8} {
+		wl := trace.Workload{Model: cfg, Kind: kind, Batch: 1, Beam: 1, InputLen: 1024, OutputLen: out}
+		plats := []tee.Platform{tee.VM(tee.VMTransparentHuge), tee.TDX(), tee.VM(tee.VMNoBinding)}
+		var lats, tputs []float64
+		for _, p := range plats {
+			r, err := runCPU(p, hw.EMR1(), wl, 2, 0, true, 1, o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			lats = append(lats, r.MeanTokenLatency())
+			tputs = append(tputs, r.DecodeThroughput())
+		}
+		ovL := func(i int) float64 { return stats.OverheadPct(lats[0], lats[i]) }
+		res.Rows = append(res.Rows, []string{kind.String(), "latency(ms)",
+			fmt.Sprintf("%.0f", lats[0]*1e3), pct(ovL(1)), pct(ovL(2)),
+			pct(paperLat[kind.String()][0]), pct(paperLat[kind.String()][1])})
+		res.Rows = append(res.Rows, []string{kind.String(), "tput(tok/s)",
+			fmt.Sprintf("%.2f", tputs[0]), pct(stats.ThroughputOverheadPct(tputs[0], tputs[1])),
+			pct(stats.ThroughputOverheadPct(tputs[0], tputs[2])), "-", "-"})
+		res.Checks = append(res.Checks, ordering("VM B > TDX > VM NB throughput ("+kind.String()+")",
+			[]string{"VM-B", "TDX", "VM-NB"}, tputs))
+		if kind == dtype.BF16 {
+			res.Checks = append(res.Checks,
+				band("TDX latency overhead vs VM B", ovL(1), 10, 40),
+				band("VM NB latency overhead vs VM B", ovL(2), 40, 85),
+				Check{Name: "200ms budget broken for 70B", Pass: lats[0] > 0.2,
+					Detail: fmt.Sprintf("VM B latency %.0fms", lats[0]*1e3)})
+		}
+	}
+	return res, nil
+}
+
+func runFig6(o Options) (*Result, error) {
+	res := &Result{ID: "fig6", Title: "Two-socket hugepage strategies (Fig 6)",
+		Header: []string{"model", "dtype", "baremetal tok/s", "VM FH", "VM TH", "TDX", "paper TDX"}}
+	out := o.tokens(64)
+	paperTDX := map[string]float64{
+		"llama2-7b/bf16": 15.12, "llama2-13b/bf16": 13.82,
+		"llama2-7b/int8": 15.59, "llama2-13b/int8": 12.43,
+	}
+	var gaps []float64
+	for _, name := range []string{"llama2-7b", "llama2-13b"} {
+		cfg := mustModel(name)
+		for _, kind := range []dtype.Kind{dtype.BF16, dtype.I8} {
+			key := name + "/" + kind.String()
+			wl := trace.Workload{Model: cfg, Kind: kind, Batch: 6, Beam: 4, InputLen: 1024, OutputLen: out}
+			plats := []tee.Platform{tee.Baremetal(), tee.VM(tee.VMFullHuge), tee.VM(tee.VMTransparentHuge), tee.TDX()}
+			var tputs []float64
+			for _, p := range plats {
+				r, err := runCPU(p, hw.EMR1(), wl, 2, 0, true, 1, o.Seed)
+				if err != nil {
+					return nil, err
+				}
+				tputs = append(tputs, r.DecodeThroughput())
+			}
+			ov := func(i int) float64 { return stats.ThroughputOverheadPct(tputs[0], tputs[i]) }
+			res.Rows = append(res.Rows, []string{name, kind.String(),
+				fmt.Sprintf("%.1f", tputs[0]), pct(ov(1)), pct(ov(2)), pct(ov(3)), pct(paperTDX[key])})
+			gaps = append(gaps, stats.ThroughputOverheadPct(tputs[1], tputs[2]))
+			res.Checks = append(res.Checks, ordering("bm > FH > TH > TDX ("+key+")",
+				[]string{"bm", "FH", "TH", "TDX"}, tputs))
+		}
+	}
+	res.Checks = append(res.Checks, band("VM TH over VM FH gap (Insight 7: 3.19-5.20%)", stats.Mean(gaps), 1.5, 7))
+	return res, nil
+}
+
+func runFig7(o Options) (*Result, error) {
+	res := &Result{ID: "fig7", Title: "Per-decoder-block breakdown (Fig 7)",
+		Header: []string{"layer", "baremetal(us)", "TDX(us)", "overhead", "paper overhead"}}
+	cfg := mustModel("llama2-7b")
+	wl := trace.Workload{Model: cfg, Kind: dtype.BF16, Batch: 4, Beam: 1, InputLen: 128, OutputLen: 128}
+	base, err := perf.DecoderBlockBreakdown(perf.CPURun{
+		CPU: hw.EMR2(), Platform: tee.Baremetal(), Workload: wl, Sockets: 1, AMX: true}, 128)
+	if err != nil {
+		return nil, err
+	}
+	tdx, err := perf.DecoderBlockBreakdown(perf.CPURun{
+		CPU: hw.EMR2(), Platform: tee.TDX(), Workload: wl, Sockets: 1, AMX: true}, 128)
+	if err != nil {
+		return nil, err
+	}
+	paper := map[string]float64{
+		"input_layernorm": 53.94, "self_attn": 9.94, "mha_linear_add": 6.14,
+		"post_attention_layernorm": 10.62, "linear_silu_mul": 4.93, "mlp_linear_add": 6.88,
+	}
+	var normOv, gemmOv []float64
+	durations := map[string]float64{}
+	for i := range base {
+		name := base[i].Kind.String()
+		ov := stats.OverheadPct(base[i].Seconds, tdx[i].Seconds)
+		durations[name] = base[i].Seconds
+		res.Rows = append(res.Rows, []string{name,
+			fmt.Sprintf("%.1f", base[i].Seconds*1e6), fmt.Sprintf("%.1f", tdx[i].Seconds*1e6),
+			pct(ov), pct(paper[name])})
+		switch name {
+		case "input_layernorm", "post_attention_layernorm":
+			normOv = append(normOv, ov)
+		case "self_attn", "linear_silu_mul", "mlp_linear_add":
+			gemmOv = append(gemmOv, ov)
+		}
+	}
+	res.Checks = append(res.Checks,
+		Check{Name: "norm layers show largest relative overheads",
+			Pass:   stats.Mean(normOv) > stats.Mean(gemmOv),
+			Detail: fmt.Sprintf("norm mean %.1f%% vs GEMM mean %.1f%%", stats.Mean(normOv), stats.Mean(gemmOv))},
+		Check{Name: "self_attn and linear_silu_mul dominate block time",
+			Pass: durations["self_attn"] > durations["input_layernorm"] &&
+				durations["linear_silu_mul"] > durations["post_attention_layernorm"] &&
+				durations["self_attn"]+durations["linear_silu_mul"] >
+					durations["mha_linear_add"]+durations["mlp_linear_add"],
+			Detail: fmt.Sprintf("attn=%.0fus silu=%.0fus", durations["self_attn"]*1e6, durations["linear_silu_mul"]*1e6)},
+	)
+	return res, nil
+}
+
+func runFig8(o Options) (*Result, error) {
+	res := &Result{ID: "fig8", Title: "AMX ablation across batch size (Fig 8)",
+		Header: []string{"dtype", "batch", "VM+AMX tok/s", "TDX+AMX", "VM noAMX", "TDX noAMX"}}
+	cfg := mustModel("llama2-7b")
+	out := o.tokens(32)
+	batches := []int{1, 8, 32, 128}
+	var noAMXLossBF, noAMXLossI8 []float64
+	var tdxOvAMX, tdxOvNoAMX []float64
+	for _, kind := range []dtype.Kind{dtype.BF16, dtype.I8} {
+		for _, bs := range batches {
+			wl := trace.Workload{Model: cfg, Kind: kind, Batch: bs, Beam: 1, InputLen: 128, OutputLen: out}
+			get := func(p tee.Platform, amx bool) float64 {
+				r, err := runCPU(p, hw.EMR2(), wl, 1, 0, amx, 1, o.Seed)
+				if err != nil {
+					panic(err)
+				}
+				return r.DecodeThroughput()
+			}
+			vmA := get(tee.VM(tee.VMFullHuge), true)
+			tdxA := get(tee.TDX(), true)
+			vmN := get(tee.VM(tee.VMFullHuge), false)
+			tdxN := get(tee.TDX(), false)
+			res.Rows = append(res.Rows, []string{kind.String(), fmt.Sprintf("%d", bs),
+				fmt.Sprintf("%.1f", vmA), pct(stats.ThroughputOverheadPct(vmA, tdxA)),
+				pct(stats.ThroughputOverheadPct(vmA, vmN)), pct(stats.ThroughputOverheadPct(vmA, tdxN))})
+			if bs == 128 {
+				if kind == dtype.BF16 {
+					noAMXLossBF = append(noAMXLossBF, stats.ThroughputOverheadPct(vmA, vmN))
+				} else {
+					noAMXLossI8 = append(noAMXLossI8, stats.ThroughputOverheadPct(vmA, vmN))
+				}
+			}
+			if kind == dtype.BF16 {
+				tdxOvAMX = append(tdxOvAMX, stats.ThroughputOverheadPct(vmA, tdxA))
+				tdxOvNoAMX = append(tdxOvNoAMX, stats.ThroughputOverheadPct(vmN, tdxN))
+			}
+		}
+	}
+	res.Checks = append(res.Checks,
+		band("no-AMX bf16 loss at batch 128 (paper ≈66%)", stats.Mean(noAMXLossBF), 40, 80),
+		band("no-AMX int8 loss at batch 128 (paper ≈86-96%)", stats.Mean(noAMXLossI8), 85, 99.5),
+		// The paper reports AMX lowering TDX throughput overheads by up to
+		// ~2%; our mechanistic model keeps the two within a small band but
+		// can tip slightly the other way (see EXPERIMENTS.md).
+		Check{Name: "TDX overhead comparable with and without AMX (Insight 8, |Δ|≤3.5%)",
+			Pass:   absf(stats.Mean(tdxOvAMX)-stats.Mean(tdxOvNoAMX)) <= 3.5,
+			Detail: fmt.Sprintf("TDX overhead with AMX %.2f%% vs without %.2f%%", stats.Mean(tdxOvAMX), stats.Mean(tdxOvNoAMX))},
+	)
+	return res, nil
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func runFig9(o Options) (*Result, error) {
+	res := &Result{ID: "fig9", Title: "Batch-size scaling (Fig 9)",
+		Header: []string{"dtype", "batch", "baremetal tok/s", "VM", "TDX", "lat bm(ms)", "lat TDX"}}
+	cfg := mustModel("llama2-7b")
+	out := o.tokens(32)
+	batches := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+	type point struct{ tdxOv float64 }
+	series := map[dtype.Kind][]point{}
+	for _, kind := range []dtype.Kind{dtype.BF16, dtype.I8} {
+		for _, bs := range batches {
+			wl := trace.Workload{Model: cfg, Kind: kind, Batch: bs, Beam: 1, InputLen: 128, OutputLen: out}
+			bm, err := runCPU(tee.Baremetal(), hw.EMR2(), wl, 1, 0, true, 1, o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			vm, err := runCPU(tee.VM(tee.VMFullHuge), hw.EMR2(), wl, 1, 0, true, 1, o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			tdx, err := runCPU(tee.TDX(), hw.EMR2(), wl, 1, 0, true, 1, o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			// Latency on two sockets, as the paper measures.
+			bm2, err := runCPU(tee.Baremetal(), hw.EMR2(), wl, 2, 0, true, 1, o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			tdx2, err := runCPU(tee.TDX(), hw.EMR2(), wl, 2, 0, true, 1, o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			ovT := stats.ThroughputOverheadPct(bm.DecodeThroughput(), tdx.DecodeThroughput())
+			res.Rows = append(res.Rows, []string{kind.String(), fmt.Sprintf("%d", bs),
+				fmt.Sprintf("%.1f", bm.DecodeThroughput()),
+				pct(stats.ThroughputOverheadPct(bm.DecodeThroughput(), vm.DecodeThroughput())),
+				pct(ovT),
+				fmt.Sprintf("%.1f", bm2.MeanTokenLatency()*1e3),
+				pct(stats.OverheadPct(bm2.MeanTokenLatency(), tdx2.MeanTokenLatency()))})
+			series[kind] = append(series[kind], point{tdxOv: ovT})
+		}
+	}
+	bf := series[dtype.BF16]
+	i8 := series[dtype.I8]
+	res.Checks = append(res.Checks,
+		Check{Name: "TDX bf16 overhead drops at saturation (Insight 9)",
+			Pass:   bf[len(bf)-1].tdxOv < bf[4].tdxOv,
+			Detail: fmt.Sprintf("bs16 %.2f%% → bs512 %.2f%%", bf[4].tdxOv, bf[len(bf)-1].tdxOv)},
+		Check{Name: "int8 saturates earlier than bf16",
+			Pass:   i8[6].tdxOv < bf[6].tdxOv+1,
+			Detail: fmt.Sprintf("bs64: int8 %.2f%% vs bf16 %.2f%%", i8[6].tdxOv, bf[6].tdxOv)},
+		band("TDX overhead at small batch", bf[2].tdxOv, 5, 11),
+	)
+	return res, nil
+}
+
+func runFig10(o Options) (*Result, error) {
+	res := &Result{ID: "fig10", Title: "Input-size scaling (Fig 10)",
+		Header: []string{"dtype", "input", "baremetal tok/s", "VM", "TDX", "paper TDX"}}
+	cfg := mustModel("llama2-7b")
+	out := o.tokens(32)
+	inputs := []int{32, 64, 128, 256, 512, 1024, 2048}
+	paperTDX := map[string]map[int]float64{
+		"bf16": {32: 5.03, 64: 6.75, 128: 5.88, 256: 4.42, 512: 2.32, 1024: 2.06, 2048: 9.30},
+		"int8": {32: 5.63, 64: 8.82, 128: 8.71, 256: 6.99, 512: 2.08, 1024: -1.37, 2048: 10.18},
+	}
+	for _, kind := range []dtype.Kind{dtype.BF16, dtype.I8} {
+		var ovs []float64
+		for _, in := range inputs {
+			wl := trace.Workload{Model: cfg, Kind: kind, Batch: 64, Beam: 1, InputLen: in, OutputLen: out}
+			bm, err := runCPU(tee.Baremetal(), hw.EMR2(), wl, 1, 0, true, 1, o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			vm, err := runCPU(tee.VM(tee.VMFullHuge), hw.EMR2(), wl, 1, 0, true, 1, o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			tdx, err := runCPU(tee.TDX(), hw.EMR2(), wl, 1, 0, true, 1, o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			ov := stats.ThroughputOverheadPct(bm.Throughput(), tdx.Throughput())
+			ovs = append(ovs, ov)
+			res.Rows = append(res.Rows, []string{kind.String(), fmt.Sprintf("%d", in),
+				fmt.Sprintf("%.1f", bm.Throughput()),
+				pct(stats.ThroughputOverheadPct(bm.Throughput(), vm.Throughput())),
+				pct(ov), pct(paperTDX[kind.String()][in])})
+		}
+		res.Checks = append(res.Checks, Check{
+			Name:   "TDX overhead shrinks as input grows to 1024 (" + kind.String() + ")",
+			Pass:   ovs[5] < ovs[1],
+			Detail: fmt.Sprintf("in64 %.2f%% → in1024 %.2f%%", ovs[1], ovs[5]),
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "table1", "othermodels", "snc",
+		"sev", "b100", "scaleout", "hybrid", "spr", "ablation",
+	}
+	for _, id := range want {
+		if _, err := Lookup(id); err != nil {
+			t.Errorf("experiment %s not registered: %v", id, err)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	if _, err := Lookup("fig99"); err == nil {
+		t.Error("unknown experiment resolved")
+	}
+}
+
+func TestAllExperimentsPassShapeChecks(t *testing.T) {
+	// Every paper artifact must run and reproduce the paper's shape.
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(Options{Seed: 1, Quick: true})
+			if err != nil {
+				t.Fatalf("%s failed to run: %v", e.ID, err)
+			}
+			if len(res.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			for _, c := range res.Checks {
+				if !c.Pass {
+					t.Errorf("%s shape check failed: %s (%s)", e.ID, c.Name, c.Detail)
+				}
+			}
+			out := res.Render()
+			if !strings.Contains(out, res.ID) {
+				t.Error("render missing experiment ID")
+			}
+		})
+	}
+}
+
+func TestResultRender(t *testing.T) {
+	r := &Result{
+		ID: "x", Title: "demo", Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}},
+		Checks: []Check{{Name: "c", Pass: true, Detail: "d"}},
+		Notes:  []string{"n"},
+	}
+	out := r.Render()
+	for _, want := range []string{"demo", "bb", "PASS", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if !r.Passed() {
+		t.Error("Passed() = false with all-pass checks")
+	}
+	r.Checks = append(r.Checks, Check{Name: "f", Pass: false})
+	if r.Passed() {
+		t.Error("Passed() = true with a failing check")
+	}
+}
+
+func TestChecksHelpers(t *testing.T) {
+	if c := band("b", 5, 1, 10); !c.Pass {
+		t.Error("band inside range failed")
+	}
+	if c := band("b", 11, 1, 10); c.Pass {
+		t.Error("band outside range passed")
+	}
+	if c := ordering("o", []string{"a", "b"}, []float64{2, 1}); !c.Pass {
+		t.Error("descending ordering failed")
+	}
+	if c := ordering("o", []string{"a", "b"}, []float64{1, 2}); c.Pass {
+		t.Error("ascending ordering passed")
+	}
+}

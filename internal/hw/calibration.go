@@ -1,0 +1,158 @@
+package hw
+
+// Calibration constants for the mechanistic performance model.
+//
+// These are the ONLY tuned numbers in the repository. Each is a physical
+// rate or cost with a documented source: either a published hardware
+// parameter or a value fitted so that the *mechanism* reproduces an
+// overhead band the paper reports. The experiments never consume paper
+// percentages directly — they consume these rates, and the percentages
+// emerge from the roofline/TLB/NUMA/crypto mechanics.
+const (
+	// --- CPU compute rates (per core, per cycle) ---
+
+	// AMXBF16FlopsPerCycle is the sustained bf16 FLOPs/cycle/core with AMX
+	// tiles (peak 2048 on a 16x16x32 TMUL; ~50% sustained in GEMMs).
+	AMXBF16FlopsPerCycle = 1024
+	// AMXInt8FlopsPerCycle doubles bf16 (8-bit tiles are twice as dense).
+	AMXInt8FlopsPerCycle = 2048
+	// AVX512F32FlopsPerCycle: two 512-bit FMA pipes × 16 lanes × 2.
+	AVX512F32FlopsPerCycle = 64
+	// AVX512BF16FlopsPerCycle: VDPBF16PS doubles f32 throughput.
+	AVX512BF16FlopsPerCycle = 128
+	// NoAMXInt8FlopsPerCycle models IPEX lacking AVX int8 kernels: the
+	// fallback dequantizes to f32 scalar-ishly. Fitted to the paper's
+	// 86–96% int8 no-AMX throughput loss (Fig 8).
+	NoAMXInt8FlopsPerCycle = 12
+	// ComputeEfficiency derates peak to sustained GEMM efficiency.
+	ComputeEfficiency = 0.45
+
+	// --- CPU memory system ---
+
+	// EMRMemBWPerSocket is sustained socket DRAM bandwidth: 8 channels of
+	// DDR5-4800 (307 GB/s peak) at ~80% sustained.
+	EMRMemBWPerSocket = 250e9
+	// SPRMemBWPerSocket: Sapphire Rapids' 8 channels of DDR5-4400 at a
+	// lower sustained fraction (older memory controller).
+	SPRMemBWPerSocket = 185e9
+	// EMRUPIBandwidth is sustained cross-socket bandwidth per direction
+	// (3×UPI 2.0 links at 16 GT/s, ~75% sustained).
+	EMRUPIBandwidth = 90e9
+	// EMRDTLBEntries approximates the unified second-level TLB.
+	EMRDTLBEntries = 2048
+	// TLBMissPenalty4K/2M are the fractional memory-time penalties when the
+	// working set fully escapes TLB reach at that page size; scaled by the
+	// escape fraction and the platform's page-walk amplification. Fitted to
+	// the paper's VM TH vs VM FH gap (3.19–5.20%, Insight 7).
+	TLBMissPenalty4K = 0.14
+	TLBMissPenalty2M = 0.032
+	TLBMissPenalty1G = 0.004
+
+	// --- TEE mechanism costs (CPU) ---
+
+	// MemEncryptBWFactor is the DRAM bandwidth retained under the in-line
+	// memory encryption engine (TDX/SGX TME-MK). Fitted to the TDX-over-VM
+	// gap of 3.0–7.0% (Fig 4) net of page-walk effects.
+	MemEncryptBWFactor = 0.975
+	// MemEncryptJitter is the extra relative latency stddev memory
+	// encryption adds (drives the paper's Z>3 outliers, §III-D).
+	MemEncryptJitter = 0.012
+	// VMComputeTax is the virtualization compute derating of a KVM guest
+	// (scheduling, interrupt virtualization). Paper: VM costs 1.8–5.4%.
+	VMComputeTax = 0.045
+	// VMPageWalkAmplification: EPT nested walks roughly double walk cost.
+	VMPageWalkAmplification = 1.6
+	// TDXPageWalkAmplification: secure-EPT walks with integrity checks.
+	TDXPageWalkAmplification = 1.9
+	// SGXExitCostSec is one synchronous enclave exit (EEXIT/EENTER +
+	// cache/TLB flush), ~8 µs on Gramine.
+	SGXExitCostSec = 8e-6
+	// SGXExitsPerToken is the Gramine-emulated-syscall exit rate per
+	// generated token in a steady-state IPEX loop (futexes, clock reads).
+	SGXExitsPerToken = 6
+	// SGXEPCBWFactor is bandwidth retained on the EPC integrity-protected
+	// path. SGX total (4.8–6.2%) sits between VM and TDX per Fig 4.
+	SGXEPCBWFactor = 0.955
+	// UPIEncryptBWFactor is cross-socket link bandwidth retained when the
+	// UPI crypto engine is active (multi-socket SGX/TDX, §IV-A.1).
+	UPIEncryptBWFactor = 0.82
+	// SNCMisplacementRemoteFraction is the remote-access fraction when
+	// sub-NUMA clustering confuses TEE memory placement (paper: overhead
+	// jumps ~5% → ~42%).
+	SNCMisplacementRemoteFraction = 0.20
+
+	// --- Extension platforms (projections, §V-A / §V-D discussions) ---
+
+	// SEVMemEncryptBWFactor: AMD SME-class inline encryption, slightly
+	// costlier per line than Intel TME-MK in published microbenchmarks.
+	SEVMemEncryptBWFactor = 0.970
+	// SEVPageWalkAmplification: nested walks with RMP checks, a bit cheaper
+	// than TDX's secure-EPT verification.
+	SEVPageWalkAmplification = 1.8
+	// B100HBMEncryptBWFactor: projected HBM bandwidth retained once
+	// Blackwell encrypts device memory (scaled from the CPU engines').
+	B100HBMEncryptBWFactor = 0.965
+	// B100PCIeBWFactor: TDISP/PCIe-IDE link encryption replaces the H100's
+	// software bounce buffer, retaining most of the link.
+	B100PCIeBWFactor = 0.85
+
+	// --- GPU ---
+
+	// H100HBMBandwidth: 3.9 TB/s peak HBM3 on NVL; vLLM's decode path
+	// sustains well under half of peak (paged-KV gather, sampling sync).
+	H100HBMBandwidth = 1.5e12
+	// H100TensorFlops: 989 TFLOPS dense bf16 peak, ~60% sustained in vLLM.
+	H100TensorFlops = 600e12
+	// H100PCIeBandwidth: PCIe Gen5 x16 sustained.
+	H100PCIeBandwidth = 55e9
+	// H100KernelLaunchSec is the base launch latency per kernel.
+	H100KernelLaunchSec = 4e-6
+	// CGPULaunchExtraSec is the added launch cost with confidential compute
+	// (encrypted command buffers through the bounce buffer). Fitted to the
+	// 4.4–7.9% cGPU overhead band of Fig 11.
+	CGPULaunchExtraSec = 1.3e-6
+	// CGPUPCIeBWFactor is PCIe goodput retained when transfers are
+	// AES-GCM-protected through the bounce buffer (~3 GB/s of 40 GB/s for
+	// large transfers per §V-D.4 — but small inference transfers pipeline
+	// better; this factor applies to the per-step host traffic).
+	CGPUPCIeBWFactor = 0.12
+	// GPUStepOverheadSec is per-decode-step scheduler/runtime cost (vLLM).
+	GPUStepOverheadSec = 180e-6
+	// CGPUStepExtraSec is the fixed per-step confidential-compute cost
+	// (bounce-buffer doorbells, encrypted synchronization) that keeps the
+	// cGPU overhead floor near 4-5% at large batches (Fig 11).
+	CGPUStepExtraSec = 450e-6
+
+	// --- Framework (backend) efficiency factors, Fig 3 ---
+	// Fraction of the roofline each CPU framework achieves; IPEX is the
+	// reference the roofline efficiency constants above embody.
+
+	EffIPEX     = 1.00
+	EffVLLMCPU  = 0.66 // paper: vLLM ≈ 50% slower than IPEX
+	EffHF       = 0.50 // paper: HF ≈ 100% slower
+	EffLlamaCpp = 0.58 // mixed-precision llama.cpp sits between vLLM and HF
+
+	// CPUPrefillEfficiency further derates CPU compute during the prompt
+	// pass: prefill interleaves GEMMs with softmax/layout work that the AMX
+	// pipeline cannot hide, so CPUs fall further behind GPUs as input length
+	// grows — the mechanism behind Fig 13's cost collapse.
+	CPUPrefillEfficiency = 0.42
+	// CPUOpDispatchSec is the per-operator dispatch cost of the eager CPU
+	// runtime (kernel selection, thread wake-up). It floors tiny ops like
+	// layer norms, which is why their *relative* TEE overheads are the
+	// largest in Fig 7 while contributing little absolute time.
+	CPUOpDispatchSec = 8e-6
+	// CPUPerSeqStepCost is the per-sequence per-step framework overhead of
+	// the CPU serving stack (PyTorch/IPEX batching, sampling, cache
+	// management); it is why CPU throughput saturates near batch 64-512
+	// instead of scaling linearly (Fig 9).
+	CPUPerSeqStepCost = 0.4e-3
+	// GPUPerSeqStepCost is vLLM's per-sequence sampling/scheduling cost.
+	GPUPerSeqStepCost = 20e-6
+
+	// NoiseBase is the baseline relative latency jitter of a bare-metal run.
+	NoiseBase = 0.008
+	// OutlierProb/OutlierScale parameterize TEE heavy-tail samples.
+	OutlierProb  = 0.0064
+	OutlierScale = 3.5
+)

@@ -1,0 +1,180 @@
+// Package mem models the memory-system mechanisms behind the paper's CPU
+// TEE overheads: TLB reach as a function of page size (4K / 2M transparent /
+// 1G), page-walk amplification under nested paging (VM EPT, TDX secure EPT),
+// NUMA placement policies including the broken bindings of the TDX/SGX
+// drivers (Insight 6), sub-NUMA clustering misplacement, and the SGX enclave
+// page cache (EPC) with its paging penalty.
+package mem
+
+import (
+	"fmt"
+
+	"cllm/internal/hw"
+)
+
+// PageSize is a virtual-memory page size in bytes.
+type PageSize int64
+
+// Supported page sizes.
+const (
+	Page4K PageSize = 4 << 10
+	Page2M PageSize = 2 << 20
+	Page1G PageSize = 1 << 30
+)
+
+// String renders the conventional name.
+func (p PageSize) String() string {
+	switch p {
+	case Page4K:
+		return "4K"
+	case Page2M:
+		return "2M"
+	case Page1G:
+		return "1G"
+	default:
+		return fmt.Sprintf("PageSize(%d)", int64(p))
+	}
+}
+
+// basePenalty is the fractional memory-time penalty when the working set
+// fully escapes TLB reach at this page size (single-level walk cost).
+func (p PageSize) basePenalty() float64 {
+	switch p {
+	case Page4K:
+		return hw.TLBMissPenalty4K
+	case Page2M:
+		return hw.TLBMissPenalty2M
+	case Page1G:
+		return hw.TLBMissPenalty1G
+	default:
+		return hw.TLBMissPenalty4K
+	}
+}
+
+// PagePolicy captures requested versus effective page handling. TDX ignores
+// manually reserved 1G hugepages and silently uses 2M transparent hugepages
+// (Insight 7); Effective records what the hardware actually walks.
+type PagePolicy struct {
+	Requested PageSize
+	Effective PageSize
+}
+
+// Policy constructors matching the paper's VM variants.
+var (
+	// PolicyFullHuge is a VM backed by preallocated 1G pages (VM FH).
+	PolicyFullHuge = PagePolicy{Requested: Page1G, Effective: Page1G}
+	// PolicyTransparentHuge is 2M transparent hugepages (VM TH).
+	PolicyTransparentHuge = PagePolicy{Requested: Page2M, Effective: Page2M}
+	// PolicyTDX requests 1G but the TDX module degrades to 2M THP.
+	PolicyTDX = PagePolicy{Requested: Page1G, Effective: Page2M}
+	// PolicyBase is regular 4K paging.
+	PolicyBase = PagePolicy{Requested: Page4K, Effective: Page4K}
+)
+
+// TLBPenalty returns the fractional extra memory time caused by TLB misses
+// for a working set of ws bytes under the given effective page size, TLB
+// entry count, and page-walk amplification (1 = native, ~2 = nested EPT,
+// ~2.4 = TDX secure EPT with integrity verification).
+func TLBPenalty(ws float64, p PagePolicy, entries int, walkAmp float64) float64 {
+	if ws <= 0 || entries <= 0 {
+		return 0
+	}
+	coverage := float64(entries) * float64(p.Effective)
+	if ws <= coverage {
+		return 0
+	}
+	escape := 1 - coverage/ws
+	if walkAmp < 1 {
+		walkAmp = 1
+	}
+	return p.Effective.basePenalty() * escape * walkAmp
+}
+
+// NUMAPolicy selects how memory is placed across sockets.
+type NUMAPolicy int
+
+const (
+	// NUMABound pins memory node-local (QEMU bindings honoured): VM B.
+	NUMABound NUMAPolicy = iota
+	// NUMAUnbound lets allocations land anywhere: VM NB.
+	NUMAUnbound
+	// NUMABrokenTDX models the TDX KVM driver ignoring provided bindings.
+	NUMABrokenTDX
+	// NUMASingleNodeSGX models SGX presenting all memory as one node, so
+	// allocations pile onto one socket (the paper's 230% SGX case).
+	NUMASingleNodeSGX
+	// NUMASubNUMAMisplaced models sub-NUMA clustering confusing TEE
+	// drivers' placement (~5% → ~42% overhead, §IV-A.1).
+	NUMASubNUMAMisplaced
+)
+
+// String names the policy.
+func (n NUMAPolicy) String() string {
+	switch n {
+	case NUMABound:
+		return "bound"
+	case NUMAUnbound:
+		return "unbound"
+	case NUMABrokenTDX:
+		return "tdx-broken-binding"
+	case NUMASingleNodeSGX:
+		return "sgx-single-node"
+	case NUMASubNUMAMisplaced:
+		return "snc-misplaced"
+	default:
+		return fmt.Sprintf("NUMAPolicy(%d)", int(n))
+	}
+}
+
+// RemoteFraction returns the fraction of memory traffic that crosses the
+// socket interconnect for the policy on the given socket count. On a single
+// socket there is no remote traffic regardless of policy.
+func RemoteFraction(p NUMAPolicy, sockets int) float64 {
+	if sockets <= 1 {
+		return 0
+	}
+	switch p {
+	case NUMABound:
+		// Well-partitioned tensor-parallel runs still exchange activations.
+		return 0.05
+	case NUMAUnbound:
+		return 0.22
+	case NUMABrokenTDX:
+		return 0.07
+	case NUMASingleNodeSGX:
+		// All memory on one node: the other socket's cores are fully remote
+		// and even local cores contend on one controller.
+		return 0.50
+	case NUMASubNUMAMisplaced:
+		return hw.SNCMisplacementRemoteFraction
+	default:
+		return 0.22
+	}
+}
+
+// EPC models the SGX enclave page cache.
+type EPC struct {
+	// Size is the protected memory capacity in bytes.
+	Size int64
+	// PageInCostFactor is the slowdown multiplier applied to the escaping
+	// fraction of traffic when the working set exceeds the EPC (each page-in
+	// requires eviction, re-encryption and verification).
+	PageInCostFactor float64
+}
+
+// DefaultEPC returns the Emerald Rapids configuration: 512 GiB per socket of
+// protected memory (SGX2), paging ~25x slower than a direct access.
+func DefaultEPC() EPC {
+	return EPC{Size: 512 << 30, PageInCostFactor: 25}
+}
+
+// PagingPenalty returns the multiplicative memory-time factor for a resident
+// working set of ws bytes: 1 when it fits, growing with the thrashing
+// fraction when it does not.
+func (e EPC) PagingPenalty(ws float64) float64 {
+	if e.Size <= 0 || ws <= float64(e.Size) {
+		return 1
+	}
+	escape := 1 - float64(e.Size)/ws
+	return 1 + escape*(e.PageInCostFactor-1)
+}

@@ -1,0 +1,138 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageSizeString(t *testing.T) {
+	if Page4K.String() != "4K" || Page2M.String() != "2M" || Page1G.String() != "1G" {
+		t.Error("page size names wrong")
+	}
+	if PageSize(123).String() == "" {
+		t.Error("unknown page size empty")
+	}
+}
+
+func TestTLBPenaltyZeroWithinReach(t *testing.T) {
+	// 2048 entries × 1G pages cover 2 TiB: any realistic working set fits.
+	if p := TLBPenalty(100e9, PolicyFullHuge, 2048, 1); p != 0 {
+		t.Errorf("1G penalty = %g, want 0", p)
+	}
+	// 2048 × 2M = 4 GiB; a 1 GiB working set fits.
+	if p := TLBPenalty(1e9, PolicyTransparentHuge, 2048, 1); p != 0 {
+		t.Errorf("2M penalty for 1GB = %g, want 0", p)
+	}
+}
+
+func TestTLBPenaltyOrdering(t *testing.T) {
+	// Same working set (14 GB ≈ Llama2-7B bf16): 4K worse than 2M worse
+	// than 1G.
+	ws := 14e9
+	p4 := TLBPenalty(ws, PolicyBase, 2048, 1)
+	p2 := TLBPenalty(ws, PolicyTransparentHuge, 2048, 1)
+	p1 := TLBPenalty(ws, PolicyFullHuge, 2048, 1)
+	if !(p4 > p2 && p2 > p1) {
+		t.Errorf("penalties not ordered: 4K=%g 2M=%g 1G=%g", p4, p2, p1)
+	}
+}
+
+func TestTLBWalkAmplification(t *testing.T) {
+	ws := 14e9
+	native := TLBPenalty(ws, PolicyTransparentHuge, 2048, 1)
+	nested := TLBPenalty(ws, PolicyTransparentHuge, 2048, 2)
+	tdx := TLBPenalty(ws, PolicyTransparentHuge, 2048, 2.4)
+	if nested <= native || tdx <= nested {
+		t.Errorf("walk amplification not monotone: %g %g %g", native, nested, tdx)
+	}
+	// Amplification below 1 is clamped.
+	if got := TLBPenalty(ws, PolicyTransparentHuge, 2048, 0.5); got != native {
+		t.Errorf("walkAmp<1 not clamped: %g vs %g", got, native)
+	}
+}
+
+func TestTDXPolicyDegradesTo2M(t *testing.T) {
+	if PolicyTDX.Requested != Page1G || PolicyTDX.Effective != Page2M {
+		t.Errorf("PolicyTDX = %+v", PolicyTDX)
+	}
+	// TDX's effective penalty equals a 2M policy's, not a 1G policy's.
+	ws := 30e9
+	if TLBPenalty(ws, PolicyTDX, 2048, 2.4) != TLBPenalty(ws, PolicyTransparentHuge, 2048, 2.4) {
+		t.Error("TDX policy does not walk like 2M")
+	}
+}
+
+func TestTLBPenaltyProperties(t *testing.T) {
+	if err := quick.Check(func(wsRaw uint32, entRaw uint16) bool {
+		ws := float64(wsRaw) * 1e6
+		entries := int(entRaw%4096) + 1
+		p := TLBPenalty(ws, PolicyTransparentHuge, entries, 2)
+		// Penalty is bounded by basePenalty × amplification and non-negative.
+		return p >= 0 && p <= 0.042*2+1e-12
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if TLBPenalty(-5, PolicyBase, 100, 1) != 0 {
+		t.Error("negative working set not guarded")
+	}
+	if TLBPenalty(1e9, PolicyBase, 0, 1) != 0 {
+		t.Error("zero entries not guarded")
+	}
+}
+
+func TestRemoteFractionSingleSocketZero(t *testing.T) {
+	for p := NUMABound; p <= NUMASubNUMAMisplaced; p++ {
+		if f := RemoteFraction(p, 1); f != 0 {
+			t.Errorf("%v on 1 socket: remote %g, want 0", p, f)
+		}
+	}
+}
+
+func TestRemoteFractionOrdering(t *testing.T) {
+	// Paper ordering (Fig 5, §IV-A.1): bound < TDX broken < SNC-misplaced ≤
+	// unbound < SGX single-node.
+	b := RemoteFraction(NUMABound, 2)
+	tdx := RemoteFraction(NUMABrokenTDX, 2)
+	nb := RemoteFraction(NUMAUnbound, 2)
+	snc := RemoteFraction(NUMASubNUMAMisplaced, 2)
+	sgx := RemoteFraction(NUMASingleNodeSGX, 2)
+	if !(b < tdx && tdx < snc && snc <= nb && nb < sgx) {
+		t.Errorf("remote fractions out of order: %g %g %g %g %g", b, tdx, snc, nb, sgx)
+	}
+}
+
+func TestNUMAPolicyString(t *testing.T) {
+	for p := NUMABound; p <= NUMASubNUMAMisplaced; p++ {
+		if p.String() == "" {
+			t.Errorf("policy %d has empty name", p)
+		}
+	}
+	if NUMAPolicy(42).String() == "" {
+		t.Error("unknown policy empty name")
+	}
+}
+
+func TestEPCPaging(t *testing.T) {
+	e := DefaultEPC()
+	if f := e.PagingPenalty(1e9); f != 1 {
+		t.Errorf("small ws penalty = %g, want 1", f)
+	}
+	if f := e.PagingPenalty(float64(e.Size)); f != 1 {
+		t.Errorf("exact-fit penalty = %g, want 1", f)
+	}
+	over := e.PagingPenalty(2 * float64(e.Size))
+	if over <= 1 {
+		t.Errorf("2x oversubscription penalty = %g, want > 1", over)
+	}
+	way := e.PagingPenalty(20 * float64(e.Size))
+	if way <= over {
+		t.Error("penalty not monotone in oversubscription")
+	}
+	if way > e.PageInCostFactor {
+		t.Errorf("penalty %g exceeds the page-in cost factor bound", way)
+	}
+	// Disabled EPC (size 0) never penalizes.
+	if f := (EPC{}).PagingPenalty(1e15); f != 1 {
+		t.Errorf("zero-size EPC penalty = %g", f)
+	}
+}

@@ -1,0 +1,168 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"cllm/internal/tensor"
+)
+
+// GenOptions controls decoding.
+type GenOptions struct {
+	// MaxNewTokens is the number of tokens to generate.
+	MaxNewTokens int
+	// BeamSize selects beam search when > 1, greedy otherwise.
+	BeamSize int
+	// StopToken ends generation early when produced (-1 disables).
+	StopToken int
+}
+
+// GenResult carries the generated tokens and per-token accounting used by
+// the latency/throughput metrics.
+type GenResult struct {
+	Tokens []int
+	// PrefillTokens is the prompt length that was processed in one pass.
+	PrefillTokens int
+}
+
+// Generate produces tokens after the prompt with greedy decoding or beam
+// search. Each sequence keeps its own KV cache, mirroring the paper's
+// per-sequence inference state whose movement dominates TEE overhead.
+func (m *Transformer) Generate(prompt []int, opts GenOptions) (*GenResult, error) {
+	if len(prompt) == 0 {
+		return nil, fmt.Errorf("model: empty prompt")
+	}
+	if opts.MaxNewTokens <= 0 {
+		return nil, fmt.Errorf("model: MaxNewTokens must be positive")
+	}
+	if opts.BeamSize <= 1 {
+		return m.greedy(prompt, opts)
+	}
+	return m.beam(prompt, opts)
+}
+
+func (m *Transformer) greedy(prompt []int, opts GenOptions) (*GenResult, error) {
+	cache := NewKVCache(m.Config)
+	logits, err := m.Forward(prompt, cache)
+	if err != nil {
+		return nil, err
+	}
+	res := &GenResult{PrefillTokens: len(prompt)}
+	next := tensor.ArgMax(logits)
+	for i := 0; i < opts.MaxNewTokens; i++ {
+		res.Tokens = append(res.Tokens, next)
+		if next == opts.StopToken {
+			break
+		}
+		if i == opts.MaxNewTokens-1 {
+			break
+		}
+		logits, err = m.Forward([]int{next}, cache)
+		if err != nil {
+			return nil, err
+		}
+		next = tensor.ArgMax(logits)
+	}
+	return res, nil
+}
+
+type beamState struct {
+	cache  *KVCache
+	tokens []int
+	score  float64
+	done   bool
+}
+
+func (m *Transformer) beam(prompt []int, opts GenOptions) (*GenResult, error) {
+	width := opts.BeamSize
+	first := &beamState{cache: NewKVCache(m.Config)}
+	logits, err := m.Forward(prompt, first.cache)
+	if err != nil {
+		return nil, err
+	}
+	probs := append([]float32(nil), logits...)
+	tensor.SoftmaxInPlace(probs)
+	var beams []*beamState
+	for _, tok := range tensor.TopK(probs, width) {
+		b := &beamState{
+			cache:  cloneCache(first.cache),
+			tokens: []int{tok},
+			score:  math.Log(float64(probs[tok]) + 1e-30),
+			done:   tok == opts.StopToken,
+		}
+		beams = append(beams, b)
+	}
+
+	for step := 1; step < opts.MaxNewTokens; step++ {
+		type cand struct {
+			parent *beamState
+			tok    int
+			score  float64
+		}
+		var cands []cand
+		allDone := true
+		for _, b := range beams {
+			if b.done {
+				cands = append(cands, cand{parent: b, tok: -1, score: b.score})
+				continue
+			}
+			allDone = false
+			lg, err := m.Forward([]int{b.tokens[len(b.tokens)-1]}, b.cache)
+			if err != nil {
+				return nil, err
+			}
+			p := append([]float32(nil), lg...)
+			tensor.SoftmaxInPlace(p)
+			for _, tok := range tensor.TopK(p, width) {
+				cands = append(cands, cand{parent: b, tok: tok, score: b.score + math.Log(float64(p[tok])+1e-30)})
+			}
+		}
+		if allDone {
+			break
+		}
+		// Select the top `width` candidates by score.
+		for i := 0; i < len(cands); i++ {
+			for j := i + 1; j < len(cands); j++ {
+				if cands[j].score > cands[i].score {
+					cands[i], cands[j] = cands[j], cands[i]
+				}
+			}
+		}
+		if len(cands) > width {
+			cands = cands[:width]
+		}
+		next := make([]*beamState, 0, width)
+		for _, c := range cands {
+			if c.tok < 0 { // finished beam carried forward
+				next = append(next, c.parent)
+				continue
+			}
+			nb := &beamState{
+				cache:  cloneCache(c.parent.cache),
+				tokens: append(append([]int(nil), c.parent.tokens...), c.tok),
+				score:  c.score,
+				done:   c.tok == opts.StopToken,
+			}
+			next = append(next, nb)
+		}
+		beams = next
+	}
+
+	best := beams[0]
+	for _, b := range beams[1:] {
+		if b.score > best.score {
+			best = b
+		}
+	}
+	return &GenResult{Tokens: best.tokens, PrefillTokens: len(prompt)}, nil
+}
+
+func cloneCache(c *KVCache) *KVCache {
+	n := NewKVCache(c.cfg)
+	n.length = c.length
+	for i := range c.k {
+		copy(n.k[i].Data, c.k[i].Data)
+		copy(n.v[i].Data, c.v[i].Data)
+	}
+	return n
+}

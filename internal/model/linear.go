@@ -1,0 +1,106 @@
+package model
+
+import (
+	"fmt"
+
+	"cllm/internal/dtype"
+	"cllm/internal/tensor"
+)
+
+// Linear is a dense projection y = x·Wᵀ whose weights are stored in one of
+// the inference datatypes. The float32 master copy is transformed on
+// construction (rounded for bf16, quantized per output channel for int8) so
+// forward passes exercise the numeric behaviour of each datatype.
+type Linear struct {
+	// OutDim × InDim, row per output channel.
+	OutDim, InDim int
+	Kind          dtype.Kind
+
+	f32    *tensor.Tensor // used for F32 and BF16 (pre-rounded) weights
+	q      []int8         // used for I8 weights
+	scales []float32      // per-channel scales for I8
+}
+
+// NewLinear builds a Linear from row-major float32 weights of shape out×in.
+func NewLinear(w []float32, outDim, inDim int, kind dtype.Kind) (*Linear, error) {
+	if len(w) != outDim*inDim {
+		return nil, fmt.Errorf("model: linear %dx%d needs %d weights, got %d", outDim, inDim, outDim*inDim, len(w))
+	}
+	l := &Linear{OutDim: outDim, InDim: inDim, Kind: kind}
+	switch kind {
+	case dtype.F32:
+		t, err := tensor.FromSlice(append([]float32(nil), w...), outDim, inDim)
+		if err != nil {
+			return nil, err
+		}
+		l.f32 = t
+	case dtype.BF16:
+		rounded := make([]float32, len(w))
+		for i, v := range w {
+			rounded[i] = dtype.RoundBF16(v)
+		}
+		t, err := tensor.FromSlice(rounded, outDim, inDim)
+		if err != nil {
+			return nil, err
+		}
+		l.f32 = t
+	case dtype.I8:
+		q, scales, err := dtype.QuantizePerChannel(w, outDim, inDim)
+		if err != nil {
+			return nil, err
+		}
+		l.q, l.scales = q, scales
+	default:
+		return nil, fmt.Errorf("model: unsupported linear dtype %v", kind)
+	}
+	return l, nil
+}
+
+// Forward computes y = x·Wᵀ for x of shape tokens×InDim.
+func (l *Linear) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if len(x.Shape) != 2 || x.Shape[1] != l.InDim {
+		return nil, fmt.Errorf("model: linear expects ?x%d input, got %v", l.InDim, x.Shape)
+	}
+	switch l.Kind {
+	case dtype.F32, dtype.BF16:
+		return tensor.MatMulTransposed(x, l.f32)
+	case dtype.I8:
+		return l.forwardI8(x)
+	default:
+		return nil, fmt.Errorf("model: unsupported linear dtype %v", l.Kind)
+	}
+}
+
+// forwardI8 quantizes each input row to int8 (dynamic activation
+// quantization, as IPEX's int8 path does) and accumulates in int32 before
+// applying the combined scales — the AMX tile-int8 execution pattern.
+func (l *Linear) forwardI8(x *tensor.Tensor) (*tensor.Tensor, error) {
+	tokens := x.Shape[0]
+	out := tensor.New(tokens, l.OutDim)
+	for t := 0; t < tokens; t++ {
+		row := x.Row(t)
+		qx, sx := dtype.QuantizeAbsmax(row)
+		for o := 0; o < l.OutDim; o++ {
+			wRow := l.q[o*l.InDim : (o+1)*l.InDim]
+			var acc int32
+			for i := range wRow {
+				acc += int32(qx[i]) * int32(wRow[i])
+			}
+			out.Set(t, o, float32(acc)*sx*l.scales[o])
+		}
+	}
+	return out, nil
+}
+
+// WeightBytes returns the resident weight footprint in bytes.
+func (l *Linear) WeightBytes() int64 {
+	n := int64(l.OutDim) * int64(l.InDim)
+	switch l.Kind {
+	case dtype.I8:
+		return n + int64(len(l.scales))*4
+	case dtype.BF16:
+		return n * 2
+	default:
+		return n * 4
+	}
+}

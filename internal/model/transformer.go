@@ -1,0 +1,387 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cllm/internal/dtype"
+	"cllm/internal/tensor"
+)
+
+// block holds one decoder layer's parameters.
+type block struct {
+	inputNorm []float32 // RMSNorm gain before attention
+	postNorm  []float32 // RMSNorm gain before MLP
+	wq        *Linear   // hidden -> heads*headDim
+	wk        *Linear   // hidden -> kvHeads*headDim
+	wv        *Linear   // hidden -> kvHeads*headDim
+	wo        *Linear   // hidden -> hidden
+	wGate     *Linear   // hidden -> ff
+	wUp       *Linear   // hidden -> ff
+	wDown     *Linear   // ff -> hidden
+}
+
+// Transformer is an instantiated decoder-only model with real weights.
+type Transformer struct {
+	Config Config
+	Kind   dtype.Kind
+
+	embed     *tensor.Tensor // vocab × hidden
+	blocks    []*block
+	finalNorm []float32
+	lmHead    *Linear
+}
+
+// Build instantiates the model with deterministic synthetic weights drawn
+// from the given seed. Weights use a scaled normal initialization so
+// activations stay numerically well-behaved through many layers.
+func Build(cfg Config, kind dtype.Kind, seed int64) (*Transformer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	h, f, v := cfg.HiddenDim, cfg.FFDim, cfg.VocabSize
+	kv := cfg.KVDim()
+
+	m := &Transformer{Config: cfg, Kind: kind}
+	m.embed = tensor.New(v, h)
+	fillNormal(rng, m.embed.Data, 1/math.Sqrt(float64(h)))
+
+	newLin := func(out, in int) (*Linear, error) {
+		w := make([]float32, out*in)
+		fillNormal(rng, w, 1/math.Sqrt(float64(in)))
+		return NewLinear(w, out, in, kind)
+	}
+
+	for i := 0; i < cfg.Layers; i++ {
+		b := &block{
+			inputNorm: ones(h),
+			postNorm:  ones(h),
+		}
+		var err error
+		if b.wq, err = newLin(h, h); err != nil {
+			return nil, err
+		}
+		if b.wk, err = newLin(kv, h); err != nil {
+			return nil, err
+		}
+		if b.wv, err = newLin(kv, h); err != nil {
+			return nil, err
+		}
+		if b.wo, err = newLin(h, h); err != nil {
+			return nil, err
+		}
+		if b.wGate, err = newLin(f, h); err != nil {
+			return nil, err
+		}
+		if b.wUp, err = newLin(f, h); err != nil {
+			return nil, err
+		}
+		if b.wDown, err = newLin(h, f); err != nil {
+			return nil, err
+		}
+		m.blocks = append(m.blocks, b)
+	}
+	m.finalNorm = ones(h)
+	var err error
+	if m.lmHead, err = newLin(v, h); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func fillNormal(rng *rand.Rand, dst []float32, std float64) {
+	for i := range dst {
+		dst[i] = float32(rng.NormFloat64() * std)
+	}
+}
+
+func ones(n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// WeightBytes returns the total resident weight footprint.
+func (m *Transformer) WeightBytes() int64 {
+	elem := int64(m.Kind.Size())
+	total := int64(m.embed.NumElements()) * 4 // embeddings kept in f32
+	for _, b := range m.blocks {
+		total += b.wq.WeightBytes() + b.wk.WeightBytes() + b.wv.WeightBytes() +
+			b.wo.WeightBytes() + b.wGate.WeightBytes() + b.wUp.WeightBytes() + b.wDown.WeightBytes()
+		total += int64(len(b.inputNorm)+len(b.postNorm)) * 4
+	}
+	total += m.lmHead.WeightBytes()
+	_ = elem
+	return total
+}
+
+// KVCache stores per-layer key/value history for one sequence.
+type KVCache struct {
+	cfg    Config
+	length int
+	k      []*tensor.Tensor // per layer: ContextLen × KVDim
+	v      []*tensor.Tensor
+}
+
+// NewKVCache allocates an empty cache for the model's context length.
+func NewKVCache(cfg Config) *KVCache {
+	c := &KVCache{cfg: cfg}
+	for i := 0; i < cfg.Layers; i++ {
+		c.k = append(c.k, tensor.New(cfg.ContextLen, cfg.KVDim()))
+		c.v = append(c.v, tensor.New(cfg.ContextLen, cfg.KVDim()))
+	}
+	return c
+}
+
+// Len returns the number of cached positions.
+func (c *KVCache) Len() int { return c.length }
+
+// Bytes returns the live cache footprint at the given element size.
+func (c *KVCache) Bytes(elemSize int) int64 {
+	return 2 * int64(c.cfg.Layers) * int64(c.length) * int64(c.cfg.KVDim()) * int64(elemSize)
+}
+
+// append stores new K/V rows for layer l at positions [length, length+rows).
+func (c *KVCache) append(l int, k, v *tensor.Tensor) error {
+	rows := k.Shape[0]
+	if c.length+rows > c.cfg.ContextLen {
+		return fmt.Errorf("model: KV cache overflow: %d+%d > %d", c.length, rows, c.cfg.ContextLen)
+	}
+	kvd := c.cfg.KVDim()
+	copy(c.k[l].Data[c.length*kvd:], k.Data)
+	copy(c.v[l].Data[c.length*kvd:], v.Data)
+	return nil
+}
+
+// Embed encodes tokens into a single vector by running the decoder stack
+// and mean-pooling the final hidden states — the Sentence-BERT-style dense
+// encoding the RAG pipeline uses for retrieval (§VI).
+func (m *Transformer) Embed(tokens []int) ([]float32, error) {
+	cache := NewKVCache(m.Config)
+	x, err := m.forwardHidden(tokens, cache)
+	if err != nil {
+		return nil, err
+	}
+	h := m.Config.HiddenDim
+	out := make([]float32, h)
+	n := x.Shape[0]
+	for t := 0; t < n; t++ {
+		row := x.Row(t)
+		for i := 0; i < h; i++ {
+			out[i] += row[i]
+		}
+	}
+	inv := 1 / float32(n)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out, nil
+}
+
+// Forward runs the decoder over the given token IDs (a new chunk appended
+// after the cache), returning the logits of the final position. The cache is
+// advanced by len(tokens). Prefill passes all prompt tokens at once; decode
+// passes one token at a time — the two phases the paper's latency metrics
+// separate.
+func (m *Transformer) Forward(tokens []int, cache *KVCache) ([]float32, error) {
+	x, err := m.forwardHidden(tokens, cache)
+	if err != nil {
+		return nil, err
+	}
+	cfg := m.Config
+	n := x.Shape[0]
+	// Final norm + LM head on the last position only.
+	last := tensor.New(1, cfg.HiddenDim)
+	copy(last.Row(0), x.Row(n-1))
+	if err := tensor.RMSNorm(last, m.finalNorm, cfg.NormEps); err != nil {
+		return nil, err
+	}
+	logits, err := m.lmHead.Forward(last)
+	if err != nil {
+		return nil, err
+	}
+	return m.round(logits.Row(0)), nil
+}
+
+// forwardHidden runs embedding lookup and all decoder blocks, returning the
+// final hidden states of the new chunk and advancing the cache.
+func (m *Transformer) forwardHidden(tokens []int, cache *KVCache) (*tensor.Tensor, error) {
+	if len(tokens) == 0 {
+		return nil, fmt.Errorf("model: empty token chunk")
+	}
+	cfg := m.Config
+	n := len(tokens)
+	start := cache.Len()
+
+	x := tensor.New(n, cfg.HiddenDim)
+	for i, id := range tokens {
+		if id < 0 || id >= cfg.VocabSize {
+			return nil, fmt.Errorf("model: token %d out of vocab %d", id, cfg.VocabSize)
+		}
+		copy(x.Row(i), m.embed.Row(id))
+	}
+
+	positions := make([]int, n)
+	for i := range positions {
+		positions[i] = start + i
+	}
+
+	for li, b := range m.blocks {
+		if err := m.forwardBlock(li, b, x, positions, cache); err != nil {
+			return nil, fmt.Errorf("model: layer %d: %w", li, err)
+		}
+	}
+	cache.length += n
+	return x, nil
+}
+
+func (m *Transformer) forwardBlock(li int, b *block, x *tensor.Tensor, positions []int, cache *KVCache) error {
+	cfg := m.Config
+	n := x.Shape[0]
+
+	// --- Attention sub-block ---
+	normed := x.Clone()
+	if err := tensor.RMSNorm(normed, b.inputNorm, cfg.NormEps); err != nil {
+		return err
+	}
+	m.roundTensor(normed)
+
+	q, err := b.wq.Forward(normed)
+	if err != nil {
+		return err
+	}
+	k, err := b.wk.Forward(normed)
+	if err != nil {
+		return err
+	}
+	v, err := b.wv.Forward(normed)
+	if err != nil {
+		return err
+	}
+
+	// RoPE on Q and K, applied per head pair-wise over the head dimension.
+	if err := m.applyRoPEHeads(q, positions, cfg.Heads); err != nil {
+		return err
+	}
+	if err := m.applyRoPEHeads(k, positions, cfg.KVHeads); err != nil {
+		return err
+	}
+
+	if err := cache.append(li, k, v); err != nil {
+		return err
+	}
+	total := cache.Len() + n // positions visible to the new chunk
+
+	hd := cfg.HeadDim()
+	group := cfg.Heads / cfg.KVHeads
+	attnOut := tensor.New(n, cfg.HiddenDim)
+	scale := float32(1 / math.Sqrt(float64(hd)))
+
+	kvd := cfg.KVDim()
+	for h := 0; h < cfg.Heads; h++ {
+		kvh := h / group
+		for t := 0; t < n; t++ {
+			causal := cache.Len() + t + 1 // this token sees history + itself
+			if causal > total {
+				causal = total
+			}
+			qRow := q.Row(t)[h*hd : (h+1)*hd]
+			scores := make([]float32, causal)
+			for s := 0; s < causal; s++ {
+				kRow := cache.k[li].Data[s*kvd+kvh*hd : s*kvd+(kvh+1)*hd]
+				scores[s] = tensor.Dot(qRow, kRow) * scale
+			}
+			tensor.SoftmaxInPlace(scores)
+			outRow := attnOut.Row(t)[h*hd : (h+1)*hd]
+			for s := 0; s < causal; s++ {
+				w := scores[s]
+				vRow := cache.v[li].Data[s*kvd+kvh*hd : s*kvd+(kvh+1)*hd]
+				for d := 0; d < hd; d++ {
+					outRow[d] += w * vRow[d]
+				}
+			}
+		}
+	}
+	m.roundTensor(attnOut)
+
+	proj, err := b.wo.Forward(attnOut)
+	if err != nil {
+		return err
+	}
+	if _, err := tensor.Add(x, proj); err != nil { // mha_linear_add in the paper's trace
+		return err
+	}
+
+	// --- MLP sub-block (linear_silu_mul + mlp_linear_add) ---
+	normed2 := x.Clone()
+	if err := tensor.RMSNorm(normed2, b.postNorm, cfg.NormEps); err != nil {
+		return err
+	}
+	m.roundTensor(normed2)
+	gate, err := b.wGate.Forward(normed2)
+	if err != nil {
+		return err
+	}
+	up, err := b.wUp.Forward(normed2)
+	if err != nil {
+		return err
+	}
+	tensor.SiLU(gate)
+	if _, err := tensor.Mul(gate, up); err != nil {
+		return err
+	}
+	m.roundTensor(gate)
+	down, err := b.wDown.Forward(gate)
+	if err != nil {
+		return err
+	}
+	if _, err := tensor.Add(x, down); err != nil {
+		return err
+	}
+	return nil
+}
+
+// applyRoPEHeads applies rotary embeddings independently per head.
+func (m *Transformer) applyRoPEHeads(x *tensor.Tensor, positions []int, heads int) error {
+	n := x.Shape[0]
+	hd := x.Shape[1] / heads
+	tmp := tensor.New(n, hd)
+	for h := 0; h < heads; h++ {
+		for t := 0; t < n; t++ {
+			copy(tmp.Row(t), x.Row(t)[h*hd:(h+1)*hd])
+		}
+		if err := tensor.RoPE(tmp, positions, m.Config.RopeTheta); err != nil {
+			return err
+		}
+		for t := 0; t < n; t++ {
+			copy(x.Row(t)[h*hd:(h+1)*hd], tmp.Row(t))
+		}
+	}
+	return nil
+}
+
+// roundTensor pushes activations through the model datatype (bf16 rounding;
+// f32 and int8 activations stay f32 between ops — int8 quantization happens
+// dynamically inside Linear).
+func (m *Transformer) roundTensor(t *tensor.Tensor) {
+	if m.Kind != dtype.BF16 {
+		return
+	}
+	for i, v := range t.Data {
+		t.Data[i] = dtype.RoundBF16(v)
+	}
+}
+
+func (m *Transformer) round(v []float32) []float32 {
+	if m.Kind != dtype.BF16 {
+		return v
+	}
+	for i := range v {
+		v[i] = dtype.RoundBF16(v[i])
+	}
+	return v
+}

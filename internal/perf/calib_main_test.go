@@ -1,0 +1,162 @@
+package perf
+
+import (
+	"fmt"
+	"testing"
+
+	"cllm/internal/dtype"
+	"cllm/internal/gramine"
+	"cllm/internal/hw"
+	"cllm/internal/model"
+	"cllm/internal/tee"
+	"cllm/internal/trace"
+)
+
+// TestCalibrationReport prints the overhead structure of the headline
+// experiments so calibration drift is visible in -v runs. It asserts only
+// loose sanity; the tight band checks live in the harness tests.
+func TestCalibrationReport(t *testing.T) {
+	cfg7, _ := model.Lookup("llama2-7b")
+	cfg13, _ := model.Lookup("llama2-13b")
+
+	sgxManifest := gramine.DefaultManifest("/models/w.bin", 192<<30, 64)
+	sgx, err := tee.SGX(sgxManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	platforms := []tee.Platform{tee.Baremetal(), tee.VM(tee.VMFullHuge), tee.TDX(), sgx}
+
+	for _, mc := range []model.Config{cfg7, cfg13} {
+		for _, kind := range []dtype.Kind{dtype.BF16, dtype.I8} {
+			// Fig 4 latency config: batch 1, beam 1, 1024 in, 32 out.
+			var base float64
+			line := fmt.Sprintf("fig4-lat %s %v:", mc.Name, kind)
+			for _, p := range platforms {
+				r, err := RunCPU(CPURun{
+					CPU: hw.EMR1(), Platform: p,
+					Workload: trace.Workload{Model: mc, Kind: kind, Batch: 1, Beam: 1, InputLen: 1024, OutputLen: 32},
+					Sockets:  1, AMX: true, Seed: 1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				lat := r.MeanTokenLatency()
+				if p.Name == "baremetal" {
+					base = lat
+					line += fmt.Sprintf(" base=%.1fms", lat*1e3)
+				} else {
+					line += fmt.Sprintf(" %s=+%.2f%%", p.Name, (lat-base)/base*100)
+				}
+			}
+			t.Log(line)
+
+			// Fig 4 throughput config: batch 6, beam 4.
+			line = fmt.Sprintf("fig4-tput %s %v:", mc.Name, kind)
+			for _, p := range platforms {
+				r, err := RunCPU(CPURun{
+					CPU: hw.EMR1(), Platform: p,
+					Workload: trace.Workload{Model: mc, Kind: kind, Batch: 6, Beam: 4, InputLen: 1024, OutputLen: 32},
+					Sockets:  1, AMX: true, Seed: 1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				tput := r.DecodeThroughput()
+				if p.Name == "baremetal" {
+					base = tput
+					line += fmt.Sprintf(" base=%.1ftok/s", tput)
+				} else {
+					line += fmt.Sprintf(" %s=-%.2f%%", p.Name, (base-tput)/base*100)
+				}
+			}
+			t.Log(line)
+		}
+	}
+
+	// Fig 9-style batch scaling on EMR2, TDX vs baremetal.
+	for _, bs := range []int{1, 8, 64, 512} {
+		wl := trace.Workload{Model: cfg7, Kind: dtype.BF16, Batch: bs, Beam: 1, InputLen: 128, OutputLen: 32}
+		rb, err := RunCPU(CPURun{CPU: hw.EMR2(), Platform: tee.Baremetal(), Workload: wl, Sockets: 1, AMX: true, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := RunCPU(CPURun{CPU: hw.EMR2(), Platform: tee.TDX(), Workload: wl, Sockets: 1, AMX: true, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("fig9 bs=%d: base=%.1f tok/s TDX=-%.2f%%", bs, rb.DecodeThroughput(),
+			(rb.DecodeThroughput()-rt.DecodeThroughput())/rb.DecodeThroughput()*100)
+	}
+
+	// Fig 11-style GPU batch scaling.
+	for _, bs := range []int{1, 16, 256} {
+		wl := trace.Workload{Model: cfg7, Kind: dtype.BF16, Batch: bs, Beam: 1, InputLen: 128, OutputLen: 32}
+		rg, err := RunGPU(GPURun{GPU: hw.H100NVL(), Platform: tee.GPU(), Workload: wl, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := RunGPU(GPURun{GPU: hw.H100NVL(), Platform: tee.CGPU(), Workload: wl, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("fig11 bs=%d: GPU=%.0f tok/s cGPU=-%.2f%%", bs, rg.DecodeThroughput(),
+			(rg.DecodeThroughput()-rc.DecodeThroughput())/rg.DecodeThroughput()*100)
+	}
+
+	// Fig 8: AMX vs no AMX at large batch (bf16 and int8).
+	for _, kind := range []dtype.Kind{dtype.BF16, dtype.I8} {
+		wl := trace.Workload{Model: cfg7, Kind: kind, Batch: 128, Beam: 1, InputLen: 128, OutputLen: 32}
+		ra, err := RunCPU(CPURun{CPU: hw.EMR2(), Platform: tee.VM(tee.VMFullHuge), Workload: wl, Sockets: 1, AMX: true, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rn, err := RunCPU(CPURun{CPU: hw.EMR2(), Platform: tee.VM(tee.VMFullHuge), Workload: wl, Sockets: 1, AMX: false, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("fig8 %v bs=128: AMX=%.0f tok/s noAMX=-%.2f%%", kind, ra.DecodeThroughput(),
+			(ra.DecodeThroughput()-rn.DecodeThroughput())/ra.DecodeThroughput()*100)
+	}
+}
+
+// TestCalibrationTwoSocket prints the multi-socket structure (Figs 5, 6, SNC).
+func TestCalibrationTwoSocket(t *testing.T) {
+	cfg7, _ := model.Lookup("llama2-7b")
+	cfg70, _ := model.Lookup("llama2-70b")
+
+	// Fig 5: 70B on two sockets — VM B vs TDX vs VM NB.
+	wl70 := trace.Workload{Model: cfg70, Kind: dtype.BF16, Batch: 1, Beam: 1, InputLen: 1024, OutputLen: 16}
+	run := func(p tee.Platform, wl trace.Workload, amx bool) *Result {
+		r, err := RunCPU(CPURun{CPU: hw.EMR1(), Platform: p, Workload: wl, Sockets: 2, AMX: amx, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	vmB := run(tee.VM(tee.VMTransparentHuge), wl70, true)
+	tdx70 := run(tee.TDX(), wl70, true)
+	vmNB := run(tee.VM(tee.VMNoBinding), wl70, true)
+	t.Logf("fig5 70B: VM-B lat=%.0fms TDX=+%.1f%% VM-NB=+%.1f%%",
+		vmB.MeanTokenLatency()*1e3,
+		(tdx70.MeanTokenLatency()-vmB.MeanTokenLatency())/vmB.MeanTokenLatency()*100,
+		(vmNB.MeanTokenLatency()-vmB.MeanTokenLatency())/vmB.MeanTokenLatency()*100)
+
+	// Fig 6: 7B two sockets — baremetal, VM FH, VM TH, TDX.
+	wl7 := trace.Workload{Model: cfg7, Kind: dtype.BF16, Batch: 6, Beam: 4, InputLen: 1024, OutputLen: 32}
+	bm := run(tee.Baremetal(), wl7, true)
+	fh := run(tee.VM(tee.VMFullHuge), wl7, true)
+	th := run(tee.VM(tee.VMTransparentHuge), wl7, true)
+	tdx := run(tee.TDX(), wl7, true)
+	sgxM := gramine.DefaultManifest("/m", 192<<30, 64)
+	sgxP, _ := tee.SGX(sgxM)
+	sgx := run(sgxP, wl7, true)
+	snc := run(tee.TDX().WithSNC(), wl7, true)
+	base := bm.DecodeThroughput()
+	t.Logf("fig6 7B 2S: bm=%.1f tok/s FH=-%.2f%% TH=-%.2f%% TDX=-%.2f%% SGX=-%.2f%% TDX+SNC=-%.2f%%",
+		base,
+		(base-fh.DecodeThroughput())/base*100,
+		(base-th.DecodeThroughput())/base*100,
+		(base-tdx.DecodeThroughput())/base*100,
+		(base-sgx.DecodeThroughput())/base*100,
+		(base-snc.DecodeThroughput())/base*100)
+}

@@ -1,0 +1,170 @@
+package perf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cllm/internal/dtype"
+	"cllm/internal/hw"
+	"cllm/internal/model"
+	"cllm/internal/tee"
+	"cllm/internal/trace"
+)
+
+// Property tests on the execution engine's core monotonicities: the model
+// must never produce paradoxes (more hardware slower, bigger workloads
+// faster, protection free) regardless of workload parameters.
+
+func quickWorkload(batch, in uint8) trace.Workload {
+	cfg, _ := model.Lookup("llama2-7b")
+	b := int(batch%32) + 1
+	i := int(in%10)*64 + 64
+	return trace.Workload{Model: cfg, Kind: dtype.BF16, Batch: b, Beam: 1, InputLen: i, OutputLen: 4}
+}
+
+func TestPropertyMoreCoresNeverSlower(t *testing.T) {
+	if err := quick.Check(func(batch, in uint8, coresRaw uint8) bool {
+		wl := quickWorkload(batch, in)
+		cores := int(coresRaw%59) + 1
+		lo, err := RunCPU(CPURun{CPU: hw.EMR2(), Platform: tee.Baremetal(), Workload: wl, Sockets: 1, CoresPerSocket: cores, AMX: true, Seed: 1})
+		if err != nil {
+			return false
+		}
+		hi, err := RunCPU(CPURun{CPU: hw.EMR2(), Platform: tee.Baremetal(), Workload: wl, Sockets: 1, CoresPerSocket: 60, AMX: true, Seed: 1})
+		if err != nil {
+			return false
+		}
+		// Allow a sliver of slack for noise sampling differences.
+		return hi.TotalSec <= lo.TotalSec*1.02
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyProtectionNeverFree(t *testing.T) {
+	if err := quick.Check(func(batch, in uint8) bool {
+		wl := quickWorkload(batch, in)
+		base, err := RunCPU(CPURun{CPU: hw.EMR1(), Platform: tee.Baremetal(), Workload: wl, Sockets: 1, AMX: true, Seed: 2})
+		if err != nil {
+			return false
+		}
+		tdx, err := RunCPU(CPURun{CPU: hw.EMR1(), Platform: tee.TDX(), Workload: wl, Sockets: 1, AMX: true, Seed: 2})
+		if err != nil {
+			return false
+		}
+		return tdx.MeanTokenLatency() > base.MeanTokenLatency()
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBiggerBatchMoreThroughput(t *testing.T) {
+	if err := quick.Check(func(in uint8, batchRaw uint8) bool {
+		small := quickWorkload(batchRaw%8, in)
+		big := small
+		big.Batch = small.Batch * 2
+		rs, err := RunCPU(CPURun{CPU: hw.EMR2(), Platform: tee.TDX(), Workload: small, Sockets: 1, AMX: true, Seed: 3})
+		if err != nil {
+			return false
+		}
+		rb, err := RunCPU(CPURun{CPU: hw.EMR2(), Platform: tee.TDX(), Workload: big, Sockets: 1, AMX: true, Seed: 3})
+		if err != nil {
+			return false
+		}
+		// Doubling batch never reduces aggregate throughput in this regime.
+		return rb.DecodeThroughput() >= rs.DecodeThroughput()*0.98
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyLongerInputSlowerPrefill(t *testing.T) {
+	if err := quick.Check(func(batch uint8) bool {
+		wl := quickWorkload(batch, 0) // input 64
+		long := wl
+		long.InputLen = 1024
+		rs, err := RunCPU(CPURun{CPU: hw.EMR1(), Platform: tee.Baremetal(), Workload: wl, Sockets: 1, AMX: true, Seed: 4})
+		if err != nil {
+			return false
+		}
+		rl, err := RunCPU(CPURun{CPU: hw.EMR1(), Platform: tee.Baremetal(), Workload: long, Sockets: 1, AMX: true, Seed: 4})
+		if err != nil {
+			return false
+		}
+		return rl.PrefillSec > rs.PrefillSec
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyInt8NeverSlowerThanBF16WithAMX(t *testing.T) {
+	// With AMX, int8 halves bytes and doubles compute rate: it must never
+	// lose to bf16 on the same workload shape.
+	if err := quick.Check(func(batch, in uint8) bool {
+		wl := quickWorkload(batch, in)
+		i8 := wl
+		i8.Kind = dtype.I8
+		rb, err := RunCPU(CPURun{CPU: hw.EMR2(), Platform: tee.TDX(), Workload: wl, Sockets: 1, AMX: true, Seed: 5})
+		if err != nil {
+			return false
+		}
+		ri, err := RunCPU(CPURun{CPU: hw.EMR2(), Platform: tee.TDX(), Workload: i8, Sockets: 1, AMX: true, Seed: 5})
+		if err != nil {
+			return false
+		}
+		return ri.DecodeThroughput() >= rb.DecodeThroughput()
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyGPUOverheadBounded(t *testing.T) {
+	// The cGPU's mechanisms are fixed per-step costs: overhead must stay
+	// within (0, 25%) for any workload that fits.
+	if err := quick.Check(func(batch, in uint8) bool {
+		wl := quickWorkload(batch, in)
+		g, err := RunGPU(GPURun{GPU: hw.H100NVL(), Platform: tee.GPU(), Workload: wl, Seed: 6})
+		if err != nil {
+			return true // skip non-fitting shapes
+		}
+		c, err := RunGPU(GPURun{GPU: hw.H100NVL(), Platform: tee.CGPU(), Workload: wl, Seed: 6})
+		if err != nil {
+			return false
+		}
+		ov := (g.DecodeThroughput() - c.DecodeThroughput()) / g.DecodeThroughput()
+		return ov > 0 && ov < 0.25
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTraceConservation(t *testing.T) {
+	// The engine must cost every op: sum of per-op times equals the step
+	// total net of per-step costs (checked via the breakdown API).
+	cfg, _ := model.Lookup("llama2-7b")
+	wl := trace.Workload{Model: cfg, Kind: dtype.BF16, Batch: 4, Beam: 1, InputLen: 128, OutputLen: 4}
+	run := CPURun{CPU: hw.EMR2(), Platform: tee.TDX(), Workload: wl, Sockets: 1, AMX: true, Seed: 7}
+	breakdown, err := DecoderBlockBreakdown(run, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, oc := range breakdown {
+		if oc.Seconds <= 0 {
+			t.Fatalf("op %v costed nothing", oc.Kind)
+		}
+		sum += oc.Seconds
+	}
+	res, err := RunCPU(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perStep := res.MeanTokenLatency()
+	blockTotal := sum * float64(cfg.Layers)
+	if blockTotal > perStep {
+		t.Fatalf("decoder blocks (%.2gs) cost more than the whole step (%.2gs)", blockTotal, perStep)
+	}
+	if blockTotal < perStep*0.5 {
+		t.Fatalf("decoder blocks (%.2gs) unexpectedly below half the step (%.2gs)", blockTotal, perStep)
+	}
+}

@@ -1,0 +1,163 @@
+// Package quant provides the quantization-quality toolkit used when
+// preparing int8 models: signal-to-noise measurement, logit-distribution
+// divergence, and a percentile-clipping quantizer that trades clipping error
+// against resolution (the calibration procedure behind the paper's
+// quantized Llama2 runs).
+package quant
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cllm/internal/dtype"
+)
+
+// SNRdB returns the quantization signal-to-noise ratio in decibels:
+// 10·log10(Σx² / Σ(x-x̂)²). Higher is better; +∞ for exact reconstruction.
+func SNRdB(orig, approx []float32) (float64, error) {
+	if len(orig) != len(approx) {
+		return 0, fmt.Errorf("quant: SNR length mismatch %d vs %d", len(orig), len(approx))
+	}
+	var sig, noise float64
+	for i := range orig {
+		sig += float64(orig[i]) * float64(orig[i])
+		d := float64(orig[i]) - float64(approx[i])
+		noise += d * d
+	}
+	if noise == 0 {
+		return math.Inf(1), nil
+	}
+	if sig == 0 {
+		return 0, nil
+	}
+	return 10 * math.Log10(sig/noise), nil
+}
+
+// KLDivergence computes KL(p‖q) between two softmax distributions derived
+// from logit vectors — the standard check that a quantized model's output
+// distribution tracks the full-precision one.
+func KLDivergence(logitsP, logitsQ []float32) (float64, error) {
+	if len(logitsP) != len(logitsQ) || len(logitsP) == 0 {
+		return 0, fmt.Errorf("quant: KL needs equal non-empty logits, got %d/%d", len(logitsP), len(logitsQ))
+	}
+	p := softmax(logitsP)
+	q := softmax(logitsQ)
+	var kl float64
+	for i := range p {
+		if p[i] > 0 {
+			kl += p[i] * math.Log(p[i]/math.Max(q[i], 1e-12))
+		}
+	}
+	if kl < 0 { // numerical floor
+		kl = 0
+	}
+	return kl, nil
+}
+
+func softmax(logits []float32) []float64 {
+	maxV := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(float64(v - maxV))
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// PercentileQuantize clips the tensor at the given magnitude percentile
+// (e.g. 99.9) before absmax quantization, sacrificing rare outliers for
+// finer resolution on the bulk of the distribution.
+func PercentileQuantize(src []float32, pct float64) ([]int8, float32, error) {
+	if pct <= 0 || pct > 100 {
+		return nil, 0, fmt.Errorf("quant: percentile %g out of (0,100]", pct)
+	}
+	if len(src) == 0 {
+		return nil, 1, nil
+	}
+	mags := make([]float64, len(src))
+	for i, v := range src {
+		mags[i] = math.Abs(float64(v))
+	}
+	sort.Float64s(mags)
+	idx := int(math.Ceil(pct/100*float64(len(mags)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	clip := float32(mags[idx])
+	if clip == 0 {
+		return make([]int8, len(src)), 1, nil
+	}
+	scale := clip / 127
+	out := make([]int8, len(src))
+	for i, v := range src {
+		q := math.RoundToEven(float64(v / scale))
+		if q > 127 {
+			q = 127
+		} else if q < -127 {
+			q = -127
+		}
+		out[i] = int8(q)
+	}
+	return out, scale, nil
+}
+
+// Report summarizes the quality of one quantization scheme on a tensor.
+type Report struct {
+	Scheme   string
+	SNRdB    float64
+	MaxErr   float64
+	MeanAbsE float64
+}
+
+// Compare evaluates absmax and percentile quantization on the same data.
+func Compare(src []float32, pct float64) ([]Report, error) {
+	if len(src) == 0 {
+		return nil, fmt.Errorf("quant: empty input")
+	}
+	reports := make([]Report, 0, 2)
+
+	qa, sa := dtype.QuantizeAbsmax(src)
+	ra, err := report("absmax", src, dtype.Dequantize(qa, sa))
+	if err != nil {
+		return nil, err
+	}
+	reports = append(reports, ra)
+
+	qp, sp, err := PercentileQuantize(src, pct)
+	if err != nil {
+		return nil, err
+	}
+	rp, err := report(fmt.Sprintf("p%.4g", pct), src, dtype.Dequantize(qp, sp))
+	if err != nil {
+		return nil, err
+	}
+	reports = append(reports, rp)
+	return reports, nil
+}
+
+func report(name string, orig, approx []float32) (Report, error) {
+	snr, err := SNRdB(orig, approx)
+	if err != nil {
+		return Report{}, err
+	}
+	var maxE, sumE float64
+	for i := range orig {
+		e := math.Abs(float64(orig[i]) - float64(approx[i]))
+		if e > maxE {
+			maxE = e
+		}
+		sumE += e
+	}
+	return Report{Scheme: name, SNRdB: snr, MaxErr: maxE, MeanAbsE: sumE / float64(len(orig))}, nil
+}

@@ -1,0 +1,159 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cllm/internal/dtype"
+)
+
+func TestSNRExact(t *testing.T) {
+	x := []float32{1, 2, 3}
+	snr, err := SNRdB(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(snr, 1) {
+		t.Errorf("exact SNR = %g, want +Inf", snr)
+	}
+	if _, err := SNRdB(x, x[:2]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if snr, _ := SNRdB([]float32{0, 0}, []float32{1, 1}); snr != 0 {
+		t.Errorf("zero-signal SNR = %g", snr)
+	}
+}
+
+func TestSNRInt8Range(t *testing.T) {
+	// int8 absmax quantization of a uniform distribution should land in the
+	// ballpark of 6.02·8 - a few dB ≈ 40-50 dB.
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float32, 8192)
+	for i := range x {
+		x[i] = rng.Float32()*2 - 1
+	}
+	q, s := dtype.QuantizeAbsmax(x)
+	snr, err := SNRdB(x, dtype.Dequantize(q, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snr < 35 || snr > 60 {
+		t.Errorf("int8 SNR = %.1f dB, want 35-60", snr)
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	a := []float32{1, 2, 3}
+	kl, err := KLDivergence(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kl > 1e-12 {
+		t.Errorf("KL(p,p) = %g, want 0", kl)
+	}
+	b := []float32{3, 2, 1}
+	kl2, err := KLDivergence(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kl2 <= 0 {
+		t.Errorf("KL of different distributions = %g, want > 0", kl2)
+	}
+	if _, err := KLDivergence(a, a[:1]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := KLDivergence(nil, nil); err == nil {
+		t.Error("empty logits accepted")
+	}
+}
+
+func TestKLShiftInvariance(t *testing.T) {
+	a := []float32{1, 2, 3, 4}
+	b := []float32{2, 2, 3, 5}
+	kl1, _ := KLDivergence(a, b)
+	aShift := []float32{101, 102, 103, 104}
+	kl2, _ := KLDivergence(aShift, b)
+	if math.Abs(kl1-kl2) > 1e-9 {
+		t.Errorf("KL not shift invariant: %g vs %g", kl1, kl2)
+	}
+}
+
+func TestPercentileQuantizeClipsOutliers(t *testing.T) {
+	// 1000 small values plus one huge outlier: percentile clipping must
+	// yield much better bulk resolution than absmax.
+	x := make([]float32, 1001)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		x[i] = rng.Float32()*0.2 - 0.1
+	}
+	x[1000] = 100
+
+	qa, sa := dtype.QuantizeAbsmax(x)
+	qp, sp, err := PercentileQuantize(x, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da := dtype.Dequantize(qa, sa)
+	dp := dtype.Dequantize(qp, sp)
+	var errA, errP float64
+	for i := 0; i < 1000; i++ { // bulk error only
+		errA += math.Abs(float64(x[i] - da[i]))
+		errP += math.Abs(float64(x[i] - dp[i]))
+	}
+	if errP >= errA/10 {
+		t.Errorf("percentile bulk error %g not ≪ absmax %g", errP, errA)
+	}
+	// The outlier itself is clipped to the percentile scale.
+	if float64(dp[1000]) > float64(sp)*127.5 {
+		t.Error("outlier not clipped")
+	}
+}
+
+func TestPercentileQuantizeEdgeCases(t *testing.T) {
+	if _, _, err := PercentileQuantize([]float32{1}, 0); err == nil {
+		t.Error("pct 0 accepted")
+	}
+	if _, _, err := PercentileQuantize([]float32{1}, 101); err == nil {
+		t.Error("pct 101 accepted")
+	}
+	q, s, err := PercentileQuantize(nil, 99)
+	if err != nil || len(q) != 0 || s != 1 {
+		t.Errorf("empty input: %v %v %v", q, s, err)
+	}
+	qz, sz, err := PercentileQuantize(make([]float32, 8), 99)
+	if err != nil || sz != 1 {
+		t.Fatalf("zero vector: scale %v err %v", sz, err)
+	}
+	for _, v := range qz {
+		if v != 0 {
+			t.Error("zero vector quantized to non-zero")
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float32, 4096)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	reports, err := Compare(x, 99.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	for _, r := range reports {
+		if r.SNRdB < 20 {
+			t.Errorf("%s SNR = %.1f dB, implausibly low", r.Scheme, r.SNRdB)
+		}
+		if r.MeanAbsE <= 0 || r.MaxErr < r.MeanAbsE {
+			t.Errorf("%s error stats inconsistent: %+v", r.Scheme, r)
+		}
+	}
+	if _, err := Compare(nil, 99); err == nil {
+		t.Error("empty Compare accepted")
+	}
+}

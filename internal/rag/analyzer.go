@@ -1,0 +1,81 @@
+// Package rag implements the retrieval-augmented-generation pipeline of the
+// paper's §VI: an Elasticsearch-style document store with an inverted index
+// and BM25 ranking, a cross-encoder reranker (reranked BM25), and an
+// SBERT-style dense retriever built on the real transformer encoder — all
+// timed under the same TEE platforms as LLM inference (Fig 14), evaluated
+// with nDCG@10 on a BEIR-like synthetic benchmark.
+package rag
+
+import (
+	"strings"
+	"unicode"
+)
+
+// stopwords is a compact English stopword list (Lucene's default set).
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "but": true, "by": true, "for": true, "if": true, "in": true,
+	"into": true, "is": true, "it": true, "no": true, "not": true, "of": true,
+	"on": true, "or": true, "such": true, "that": true, "the": true,
+	"their": true, "then": true, "there": true, "these": true, "they": true,
+	"this": true, "to": true, "was": true, "will": true, "with": true,
+}
+
+// Analyze lowercases, splits on non-alphanumerics, removes stopwords and
+// applies light suffix stemming — the standard text analysis chain of an
+// Elasticsearch text field.
+func Analyze(text string) []string {
+	var terms []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() == 0 {
+			return
+		}
+		term := cur.String()
+		cur.Reset()
+		if stopwords[term] {
+			return
+		}
+		term = stem(term)
+		if term != "" {
+			terms = append(terms, term)
+		}
+	}
+	for _, r := range strings.ToLower(text) {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			cur.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return terms
+}
+
+// stem applies a light Porter-style suffix strip: plural and progressive
+// endings only, preserving short stems.
+func stem(t string) string {
+	switch {
+	case len(t) > 5 && strings.HasSuffix(t, "ing"):
+		return t[:len(t)-3]
+	case len(t) > 4 && strings.HasSuffix(t, "edly"):
+		return t[:len(t)-4]
+	case len(t) > 4 && strings.HasSuffix(t, "ies"):
+		return t[:len(t)-3] + "y"
+	case len(t) > 3 && strings.HasSuffix(t, "es") && sibilantBefore(t):
+		return t[:len(t)-2]
+	case len(t) > 3 && strings.HasSuffix(t, "ed"):
+		return t[:len(t)-2]
+	case len(t) > 2 && strings.HasSuffix(t, "s") && !strings.HasSuffix(t, "ss"):
+		return t[:len(t)-1]
+	default:
+		return t
+	}
+}
+
+// sibilantBefore reports whether the "es" suffix follows a sibilant
+// (boxes, passes, churches) rather than being part of the stem (valves).
+func sibilantBefore(t string) bool {
+	c := t[len(t)-3]
+	return c == 's' || c == 'x' || c == 'z' || c == 'h'
+}

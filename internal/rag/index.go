@@ -1,0 +1,149 @@
+package rag
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Document is one indexed item.
+type Document struct {
+	ID    string
+	Title string
+	Body  string
+}
+
+// posting records one document's term frequency for a term.
+type posting struct {
+	doc int // index into docs
+	tf  int
+}
+
+// Store is the Elasticsearch-style document store: documents plus an
+// inverted index with term postings. It is deliberately single-node and
+// in-memory; the paper runs exactly one Elasticsearch instance inside TDX.
+type Store struct {
+	docs     []Document
+	byID     map[string]int
+	index    map[string][]posting
+	docLen   []int
+	totalLen int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		byID:  make(map[string]int),
+		index: make(map[string][]posting),
+	}
+}
+
+// Add indexes a document. Duplicate IDs are rejected.
+func (s *Store) Add(d Document) error {
+	if d.ID == "" {
+		return fmt.Errorf("rag: document needs an ID")
+	}
+	if _, dup := s.byID[d.ID]; dup {
+		return fmt.Errorf("rag: duplicate document ID %q", d.ID)
+	}
+	terms := Analyze(d.Title + " " + d.Body)
+	idx := len(s.docs)
+	s.docs = append(s.docs, d)
+	s.byID[d.ID] = idx
+
+	counts := make(map[string]int)
+	for _, t := range terms {
+		counts[t]++
+	}
+	for t, c := range counts {
+		s.index[t] = append(s.index[t], posting{doc: idx, tf: c})
+	}
+	s.docLen = append(s.docLen, len(terms))
+	s.totalLen += len(terms)
+	return nil
+}
+
+// Len returns the number of indexed documents.
+func (s *Store) Len() int { return len(s.docs) }
+
+// Doc returns a document by ID.
+func (s *Store) Doc(id string) (Document, error) {
+	i, ok := s.byID[id]
+	if !ok {
+		return Document{}, fmt.Errorf("rag: no document %q", id)
+	}
+	return s.docs[i], nil
+}
+
+// avgDocLen returns the mean analyzed document length.
+func (s *Store) avgDocLen() float64 {
+	if len(s.docs) == 0 {
+		return 0
+	}
+	return float64(s.totalLen) / float64(len(s.docs))
+}
+
+// IDF returns the BM25 inverse document frequency of a term:
+// ln(1 + (N - df + 0.5)/(df + 0.5)).
+func (s *Store) IDF(term string) float64 {
+	df := float64(len(s.index[term]))
+	n := float64(len(s.docs))
+	return math.Log(1 + (n-df+0.5)/(df+0.5))
+}
+
+// Hit is one ranked search result.
+type Hit struct {
+	ID    string
+	Score float64
+}
+
+// BM25Params are the classic Okapi constants.
+type BM25Params struct {
+	K1 float64
+	B  float64
+}
+
+// DefaultBM25 returns Elasticsearch's defaults (k1=1.2, b=0.75).
+func DefaultBM25() BM25Params { return BM25Params{K1: 1.2, B: 0.75} }
+
+// SearchBM25 ranks documents for the query and returns the top k hits.
+// It also reports the number of postings scanned, which drives the TEE
+// timing model (index-scan bytes).
+func (s *Store) SearchBM25(query string, k int, p BM25Params) ([]Hit, int, error) {
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("rag: k must be positive")
+	}
+	if len(s.docs) == 0 {
+		return nil, 0, fmt.Errorf("rag: empty index")
+	}
+	terms := Analyze(query)
+	if len(terms) == 0 {
+		return nil, 0, fmt.Errorf("rag: query %q has no indexable terms", query)
+	}
+	scores := make(map[int]float64)
+	avg := s.avgDocLen()
+	scanned := 0
+	for _, t := range terms {
+		idf := s.IDF(t)
+		for _, post := range s.index[t] {
+			scanned++
+			tf := float64(post.tf)
+			norm := p.K1 * (1 - p.B + p.B*float64(s.docLen[post.doc])/avg)
+			scores[post.doc] += idf * tf * (p.K1 + 1) / (tf + norm)
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for doc, sc := range scores {
+		hits = append(hits, Hit{ID: s.docs[doc].ID, Score: sc})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].ID < hits[j].ID
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits, scanned, nil
+}

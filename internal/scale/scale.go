@@ -1,0 +1,253 @@
+// Package scale models the scale-up and scale-out deployments of §V-D:
+// multi-GPU serving of models that exceed one device (Llama2-70B needs at
+// least two H100s), tensor- and pipeline-parallel communication over
+// NVLink or — in confidential mode, where NVLink is unprotected and
+// RDMA/GPUdirect are unavailable — through host-routed encrypted copies
+// capped near 3 GB/s (vs 40 GB/s unprotected), cross-node IPsec with up to
+// ~90% overhead, and hybrid CPU-GPU offload where host-resident layers
+// compute on AMX while activations cross an (optionally encrypted) PCIe
+// boundary.
+package scale
+
+import (
+	"fmt"
+
+	"cllm/internal/hw"
+	"cllm/internal/tee"
+	"cllm/internal/trace"
+)
+
+// Link bandwidths (bytes/s, sustained), from the paper's §V-D.4.
+const (
+	// NVLinkBandwidth is intra-node GPU-GPU bandwidth when NVLink is used.
+	NVLinkBandwidth = 450e9
+	// GPUDirectBandwidth is unprotected multi-GPU traffic via RDMA/GPUdirect.
+	GPUDirectBandwidth = 40e9
+	// ConfidentialHostRouteBandwidth is the paper's measured cap when cGPU
+	// instances must route all inter-GPU data through the CPU (~3 GB/s).
+	ConfidentialHostRouteBandwidth = 3e9
+	// IPsecBandwidthFactor models up to ~90% throughput overhead of IPsec
+	// protection on cross-node links (both CPU and GPU need it).
+	IPsecBandwidthFactor = 0.53
+
+	// Per-message latencies: a host-routed encrypted copy (bounce buffer in,
+	// re-encrypt, bounce buffer out) costs two orders of magnitude more
+	// setup than a direct NVLink transfer.
+	NVLinkMessageLatency    = 5e-6
+	HostRouteMessageLatency = 120e-6
+	CrossNodeMessageLatency = 50e-6
+)
+
+// Parallelism selects the multi-GPU decomposition.
+type Parallelism int
+
+const (
+	// TensorParallel splits every layer across GPUs (two all-reduces per
+	// decoder block per step).
+	TensorParallel Parallelism = iota
+	// PipelineParallel assigns contiguous layer ranges to GPUs (one
+	// activation hop per stage boundary per microbatch).
+	PipelineParallel
+)
+
+// String names the scheme.
+func (p Parallelism) String() string {
+	if p == TensorParallel {
+		return "tensor-parallel"
+	}
+	return "pipeline-parallel"
+}
+
+// Cluster describes a multi-GPU deployment.
+type Cluster struct {
+	GPU      hw.GPU
+	Platform tee.Platform
+	// NGPUs is the device count (model must fit in NGPUs × HBM).
+	NGPUs int
+	// Scheme is the parallelism decomposition.
+	Scheme Parallelism
+	// CrossNode adds IPsec-protected network hops between devices.
+	CrossNode bool
+}
+
+// Validate rejects deployments that cannot host the workload.
+func (c Cluster) Validate(w trace.Workload) error {
+	if c.NGPUs < 1 {
+		return fmt.Errorf("scale: need at least one GPU")
+	}
+	need := trace.WeightFootprint(w) + trace.KVCacheBytes(w, w.InputLen+w.OutputLen)
+	have := float64(c.NGPUs) * float64(c.GPU.HBMBytes)
+	if need > have {
+		return fmt.Errorf("scale: workload needs %.0f GB, %d×%s provide %.0f GB",
+			need/1e9, c.NGPUs, c.GPU.Name, have/1e9)
+	}
+	return nil
+}
+
+// interconnectBW returns the usable GPU-GPU bandwidth for this deployment.
+// Confidential H100s cannot trust NVLink or use GPUdirect, so everything
+// routes through the host; a protected-NVLink platform (projected B100)
+// keeps the fast path.
+func (c Cluster) interconnectBW() float64 {
+	var bw float64
+	switch {
+	case !c.Platform.Protected:
+		bw = NVLinkBandwidth
+		if c.CrossNode {
+			bw = GPUDirectBandwidth
+		}
+	case c.Platform.NVLinkProtected:
+		bw = NVLinkBandwidth * c.Platform.MemBWFactor // link crypto engine
+		if c.CrossNode {
+			bw = GPUDirectBandwidth * c.Platform.PCIeBWFactor
+		}
+	default: // H100 CC: host-routed bounce buffers
+		bw = ConfidentialHostRouteBandwidth
+	}
+	if c.CrossNode {
+		bw *= IPsecBandwidthFactor
+	}
+	return bw
+}
+
+// commBytesPerStep returns the inter-GPU traffic and message count of one
+// decode step.
+func (c Cluster) commBytesPerStep(w trace.Workload) (bytes float64, messages int) {
+	if c.NGPUs == 1 {
+		return 0, 0
+	}
+	rows := float64(w.Rows())
+	h := float64(w.Model.HiddenDim)
+	elem := 2.0 // activations travel in bf16
+	switch c.Scheme {
+	case TensorParallel:
+		// Two all-reduces per decoder block (after attention and after the
+		// MLP); ring all-reduce moves 2(N-1)/N of the message per GPU.
+		msg := rows * h * elem
+		perBlock := 2 * msg * 2 * float64(c.NGPUs-1) / float64(c.NGPUs)
+		return perBlock * float64(w.Model.Layers), 2 * w.Model.Layers
+	default:
+		// One activation hop per stage boundary.
+		return rows * h * elem * float64(c.NGPUs-1), c.NGPUs - 1
+	}
+}
+
+// messageLatency returns the fixed per-message cost of the interconnect.
+func (c Cluster) messageLatency() float64 {
+	lat := NVLinkMessageLatency
+	if c.Platform.Protected && !c.Platform.NVLinkProtected {
+		lat = HostRouteMessageLatency // bounce in, re-encrypt, bounce out
+	}
+	if c.CrossNode {
+		lat += CrossNodeMessageLatency
+	}
+	return lat
+}
+
+// DecodeStepTime returns the modeled time of one decode step at context
+// ctxLen on the cluster.
+func (c Cluster) DecodeStepTime(w trace.Workload, ctxLen int) (float64, error) {
+	if err := c.Validate(w); err != nil {
+		return 0, err
+	}
+	st, err := trace.DecodeStep(w, ctxLen)
+	if err != nil {
+		return 0, err
+	}
+	// Per-GPU share of compute and memory traffic.
+	n := float64(c.NGPUs)
+	computeT := st.TotalFLOPs() / n / c.GPU.TensorFlops
+	memT := st.TotalBytes() / n / (c.GPU.HBMBandwidth * c.Platform.MemBWFactor)
+	launch := float64(w.Model.Layers*c.GPU.KernelsPerBlock/c.NGPUs+4) *
+		(c.GPU.KernelLaunchSec + c.Platform.KernelLaunchExtraSec)
+	comm := 0.0
+	commBytes, messages := c.commBytesPerStep(w)
+	if bw := c.interconnectBW(); bw > 0 {
+		comm = commBytes/bw + float64(messages)*c.messageLatency()
+	}
+	roof := computeT
+	if memT > roof {
+		roof = memT
+	}
+	// Pipeline parallelism overlaps comm with compute across microbatches;
+	// tensor parallelism's all-reduces sit on the critical path.
+	if c.Scheme == PipelineParallel {
+		if comm > roof {
+			roof = comm
+		}
+		comm = 0
+	}
+	total := roof + comm + launch + hw.GPUStepOverheadSec + c.Platform.StepExtraSec
+	return total, nil
+}
+
+// DecodeThroughput returns steady-state tokens/s over the output window.
+func (c Cluster) DecodeThroughput(w trace.Workload) (float64, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	var total float64
+	for i := 0; i < w.OutputLen; i++ {
+		t, err := c.DecodeStepTime(w, w.InputLen+i)
+		if err != nil {
+			return 0, err
+		}
+		total += t
+	}
+	return float64(w.Batch*w.OutputLen) / total, nil
+}
+
+// HybridOffload models §V-D.1: a model too large (or a deployment too
+// cheap) to keep all weights in HBM streams OffloadFraction of the layer
+// weights from host memory over PCIe every decode step (FlexGen/llama.cpp
+// style offload). On a confidential GPU those transfers cross the encrypted
+// bounce buffer, which is why the paper notes offloaded serving hurts more
+// under confidential computing — and why AMX CPUs win that regime.
+type HybridOffload struct {
+	GPU      hw.GPU
+	Platform tee.Platform // GPU-side platform (GPU or CGPU)
+	// OffloadFraction in [0,1] of the weights resident in host memory.
+	OffloadFraction float64
+}
+
+// DecodeStepTime costs one decode step of the hybrid deployment.
+func (h HybridOffload) DecodeStepTime(w trace.Workload, ctxLen int) (float64, error) {
+	if h.OffloadFraction < 0 || h.OffloadFraction > 1 {
+		return 0, fmt.Errorf("scale: offload fraction %g out of [0,1]", h.OffloadFraction)
+	}
+	st, err := trace.DecodeStep(w, ctxLen)
+	if err != nil {
+		return 0, err
+	}
+	f := h.OffloadFraction
+	computeT := st.TotalFLOPs() / h.GPU.TensorFlops
+	memT := st.TotalBytes() * (1 - f) / h.GPU.HBMBandwidth
+	// Offloaded weights stream over PCIe each step; the bounce buffer
+	// throttles them on a confidential GPU.
+	streamT := trace.WeightFootprint(w) * f / (h.GPU.PCIeBandwidth * h.Platform.PCIeBWFactor)
+	launch := float64(w.Model.Layers*h.GPU.KernelsPerBlock+4) * (h.GPU.KernelLaunchSec + h.Platform.KernelLaunchExtraSec)
+	roof := computeT
+	if memT > roof {
+		roof = memT
+	}
+	if streamT > roof {
+		roof = streamT // transfers overlap compute at best; the slowest wins
+	}
+	return roof + launch + hw.GPUStepOverheadSec + h.Platform.StepExtraSec, nil
+}
+
+// DecodeThroughput returns steady-state tokens/s of the hybrid deployment.
+func (h HybridOffload) DecodeThroughput(w trace.Workload) (float64, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	var total float64
+	for i := 0; i < w.OutputLen; i++ {
+		t, err := h.DecodeStepTime(w, w.InputLen+i)
+		if err != nil {
+			return 0, err
+		}
+		total += t
+	}
+	return float64(w.Batch*w.OutputLen) / total, nil
+}

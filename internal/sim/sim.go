@@ -1,0 +1,126 @@
+// Package sim provides the discrete-event simulation core shared by the
+// performance engine and the RAG pipeline: a virtual clock with an event
+// queue, deterministic RNG streams, and the noise/outlier models that give
+// TEE runs their characteristic variability (the paper's memory-encryption
+// jitter and Z>3 outliers).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Time is simulated time in seconds.
+type Time float64
+
+// Event is a scheduled callback.
+type Event struct {
+	At  Time
+	Fn  func(*Engine)
+	seq int64 // tie-breaker for deterministic ordering
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	nextID int64
+	// Steps counts processed events, a cheap progress/liveness metric.
+	Steps int64
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule queues fn to run after delay. Negative delays are clamped to 0.
+func (e *Engine) Schedule(delay Time, fn func(*Engine)) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.nextID++
+	heap.Push(&e.queue, &Event{At: e.now + delay, Fn: fn, seq: e.nextID})
+}
+
+// Run processes events until the queue is empty or the step limit is hit.
+func (e *Engine) Run(maxSteps int64) error {
+	for e.queue.Len() > 0 {
+		if maxSteps >= 0 && e.Steps >= maxSteps {
+			return fmt.Errorf("sim: step limit %d reached at t=%g", maxSteps, float64(e.now))
+		}
+		ev := heap.Pop(&e.queue).(*Event)
+		e.now = ev.At
+		e.Steps++
+		ev.Fn(e)
+	}
+	return nil
+}
+
+// Noise generates the latency jitter observed on real systems. TEE runs get
+// extra multiplicative jitter plus rare heavy-tail outliers caused by
+// memory-encryption engine contention, as the paper reports (§III-D:
+// ≈0.64% of samples beyond Z>3 under SGX/TDX).
+type Noise struct {
+	rng *rand.Rand
+	// Base is the relative stddev of baseline jitter (e.g. 0.01 = 1%).
+	Base float64
+	// TEEJitter is additional relative stddev under a TEE.
+	TEEJitter float64
+	// OutlierProb is the probability of a heavy-tail outlier sample.
+	OutlierProb float64
+	// OutlierScale multiplies the sample when an outlier fires.
+	OutlierScale float64
+}
+
+// NewNoise returns a Noise source seeded deterministically.
+func NewNoise(seed int64, base, teeJitter, outlierProb, outlierScale float64) *Noise {
+	return &Noise{
+		rng:          rand.New(rand.NewSource(seed)),
+		Base:         base,
+		TEEJitter:    teeJitter,
+		OutlierProb:  outlierProb,
+		OutlierScale: outlierScale,
+	}
+}
+
+// Sample perturbs the value v. When tee is true the TEE jitter and outlier
+// tail are applied in addition to baseline jitter.
+func (n *Noise) Sample(v float64, tee bool) float64 {
+	sigma := n.Base
+	if tee {
+		sigma = math.Sqrt(n.Base*n.Base + n.TEEJitter*n.TEEJitter)
+	}
+	// Lognormal multiplicative jitter keeps samples positive.
+	f := math.Exp(n.rng.NormFloat64()*sigma - sigma*sigma/2)
+	out := v * f
+	if tee && n.rng.Float64() < n.OutlierProb {
+		out *= n.OutlierScale * (1 + n.rng.Float64())
+	}
+	return out
+}
+
+// RNG exposes the underlying generator for callers needing raw randomness.
+func (n *Noise) RNG() *rand.Rand { return n.rng }

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"cllm/internal/stats"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3, func(*Engine) { order = append(order, 3) })
+	e.Schedule(1, func(*Engine) { order = append(order, 1) })
+	e.Schedule(2, func(*Engine) { order = append(order, 2) })
+	if err := e.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now = %g, want 3", float64(e.Now()))
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(1, func(*Engine) { order = append(order, i) })
+	}
+	if err := e.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineChainedEvents(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func(*Engine)
+	tick = func(en *Engine) {
+		count++
+		if count < 10 {
+			en.Schedule(0.5, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	if err := e.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Errorf("count = %d, want 10", count)
+	}
+	if math.Abs(float64(e.Now())-4.5) > 1e-12 {
+		t.Errorf("Now = %g, want 4.5", float64(e.Now()))
+	}
+}
+
+func TestEngineStepLimit(t *testing.T) {
+	e := NewEngine()
+	var tick func(*Engine)
+	tick = func(en *Engine) { en.Schedule(1, tick) } // infinite chain
+	e.Schedule(0, tick)
+	if err := e.Run(100); err == nil {
+		t.Error("unbounded run with step limit succeeded")
+	}
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(5, func(en *Engine) {
+		en.Schedule(-3, func(*Engine) { ran = true })
+	})
+	if err := e.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	if !ran || e.Now() != 5 {
+		t.Errorf("negative delay handling broken: ran=%v now=%g", ran, float64(e.Now()))
+	}
+}
+
+func TestNoiseDeterminism(t *testing.T) {
+	a := NewNoise(7, 0.01, 0.02, 0.005, 5)
+	b := NewNoise(7, 0.01, 0.02, 0.005, 5)
+	for i := 0; i < 100; i++ {
+		if a.Sample(1, true) != b.Sample(1, true) {
+			t.Fatal("noise not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestNoiseUnbiasedAndPositive(t *testing.T) {
+	n := NewNoise(3, 0.02, 0, 0, 0)
+	var xs []float64
+	for i := 0; i < 20000; i++ {
+		v := n.Sample(10, false)
+		if v <= 0 {
+			t.Fatal("noise produced non-positive sample")
+		}
+		xs = append(xs, v)
+	}
+	m := stats.Mean(xs)
+	if math.Abs(m-10)/10 > 0.01 {
+		t.Errorf("noise mean = %g, want ~10", m)
+	}
+}
+
+func TestNoiseTEEOutlierTail(t *testing.T) {
+	n := NewNoise(11, 0.005, 0.01, 0.0064, 4)
+	var teeSamples []float64
+	for i := 0; i < 50000; i++ {
+		teeSamples = append(teeSamples, n.Sample(1, true))
+	}
+	_, removed := stats.FilterZScore(teeSamples, 3)
+	frac := float64(removed) / float64(len(teeSamples))
+	// Paper reports ≈0.64% of samples at Z>3; accept a generous band.
+	if frac < 0.001 || frac > 0.03 {
+		t.Errorf("outlier fraction = %.4f, want ~0.0064", frac)
+	}
+	// Baseline (non-TEE) samples should have (almost) no such tail.
+	n2 := NewNoise(12, 0.005, 0.01, 0.0064, 4)
+	var base []float64
+	for i := 0; i < 50000; i++ {
+		base = append(base, n2.Sample(1, false))
+	}
+	_, removedBase := stats.FilterZScore(base, 3)
+	if removedBase > removed {
+		t.Errorf("baseline has more outliers (%d) than TEE (%d)", removedBase, removed)
+	}
+}

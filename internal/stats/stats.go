@@ -1,0 +1,167 @@
+// Package stats provides the summary statistics used throughout the
+// benchmark harness: mean/stddev/percentiles, the Z-score outlier filter the
+// paper applies to per-token latency samples (§III-D, Z > 3), violin-style
+// five-number summaries, and simple linear fits for trend checks.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0..100) using linear
+// interpolation between closest ranks.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// FilterZScore removes samples with |x-mean|/stddev > z, replicating the
+// paper's outlier exclusion (Z-score > 3, ≈0.64% of samples under TEEs).
+// It returns the kept samples and the number removed.
+func FilterZScore(xs []float64, z float64) (kept []float64, removed int) {
+	if len(xs) < 3 {
+		return append([]float64(nil), xs...), 0
+	}
+	m, sd := Mean(xs), StdDev(xs)
+	if sd == 0 {
+		return append([]float64(nil), xs...), 0
+	}
+	kept = make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if math.Abs(x-m)/sd > z {
+			removed++
+			continue
+		}
+		kept = append(kept, x)
+	}
+	return kept, removed
+}
+
+// Summary is a violin-plot style five-number summary plus moments.
+type Summary struct {
+	N                  int
+	Mean, Std          float64
+	Min, P25, P50, P75 float64
+	Max                float64
+}
+
+// Summarize computes a Summary of the samples.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Summary{
+		N:    len(xs),
+		Mean: Mean(xs),
+		Std:  StdDev(xs),
+		Min:  sorted[0],
+		P25:  Percentile(xs, 25),
+		P50:  Percentile(xs, 50),
+		P75:  Percentile(xs, 75),
+		Max:  sorted[len(sorted)-1],
+	}
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g±%.2g [%.4g %.4g %.4g %.4g %.4g]",
+		s.N, s.Mean, s.Std, s.Min, s.P25, s.P50, s.P75, s.Max)
+}
+
+// OverheadPct returns (x-base)/base in percent; the sign convention matches
+// the paper (positive = slower / lower throughput than baseline).
+func OverheadPct(base, x float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (x - base) / base * 100
+}
+
+// ThroughputOverheadPct returns the throughput *reduction* in percent:
+// positive when x is slower (fewer tokens/s) than base.
+func ThroughputOverheadPct(base, x float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - x) / base * 100
+}
+
+// LinearFit returns slope and intercept of the least-squares line y = a*x+b.
+func LinearFit(xs, ys []float64) (slope, intercept float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, fmt.Errorf("stats: LinearFit needs >=2 paired points, got %d/%d", len(xs), len(ys))
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var num, den float64
+	for i := range xs {
+		num += (xs[i] - mx) * (ys[i] - my)
+		den += (xs[i] - mx) * (xs[i] - mx)
+	}
+	if den == 0 {
+		return 0, 0, fmt.Errorf("stats: LinearFit with constant x")
+	}
+	slope = num / den
+	return slope, my - slope*mx, nil
+}
+
+// GeoMean returns the geometric mean of positive samples.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}

@@ -1,0 +1,118 @@
+package tee
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Attestation: before provisioning model weights or prompts into an
+// enclave, the user verifies a hardware-signed quote binding the enclave
+// measurement (MRENCLAVE-like), the platform's security version, and a
+// user-supplied nonce. This file implements the software equivalent with an
+// HMAC standing in for the platform's EPID/ECDSA signing key, preserving
+// the protocol structure: measure → quote → verify → provision.
+
+// Measurement is the enclave/TD identity hash.
+type Measurement [32]byte
+
+// Measure hashes the code and configuration loaded into the TEE.
+func Measure(code, config []byte) Measurement {
+	h := sha256.New()
+	h.Write([]byte("tee-measurement:"))
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(code)))
+	h.Write(lenBuf[:])
+	h.Write(code)
+	h.Write(config)
+	var m Measurement
+	copy(m[:], h.Sum(nil))
+	return m
+}
+
+// Quote is the signed attestation evidence.
+type Quote struct {
+	Measurement Measurement
+	// SVN is the platform security version number.
+	SVN uint16
+	// Nonce echoes the verifier's challenge (freshness).
+	Nonce [16]byte
+	// Debug marks debug enclaves, which verifiers must reject in production.
+	Debug bool
+	// Timestamp of quote generation.
+	Timestamp time.Time
+	// Signature over all the above, by the platform key.
+	Signature [32]byte
+}
+
+// PlatformKey is the hardware signing secret (fused into real silicon).
+type PlatformKey [32]byte
+
+// GenerateQuote signs the evidence with the platform key.
+func GenerateQuote(key PlatformKey, m Measurement, svn uint16, nonce [16]byte, debug bool, now time.Time) Quote {
+	q := Quote{Measurement: m, SVN: svn, Nonce: nonce, Debug: debug, Timestamp: now}
+	q.Signature = signQuote(key, q)
+	return q
+}
+
+func signQuote(key PlatformKey, q Quote) [32]byte {
+	h := hmac.New(sha256.New, key[:])
+	h.Write(q.Measurement[:])
+	var svn [2]byte
+	binary.BigEndian.PutUint16(svn[:], q.SVN)
+	h.Write(svn[:])
+	h.Write(q.Nonce[:])
+	if q.Debug {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	var ts [8]byte
+	binary.BigEndian.PutUint64(ts[:], uint64(q.Timestamp.UnixNano()))
+	h.Write(ts[:])
+	var sig [32]byte
+	copy(sig[:], h.Sum(nil))
+	return sig
+}
+
+// VerifyPolicy is what the relying party requires of a quote.
+type VerifyPolicy struct {
+	// Expected enclave measurement (the build the user audited).
+	Expected Measurement
+	// MinSVN rejects platforms with stale microcode.
+	MinSVN uint16
+	// Nonce must match the challenge issued for this session.
+	Nonce [16]byte
+	// MaxAge bounds quote staleness.
+	MaxAge time.Duration
+	// Now is the verification time.
+	Now time.Time
+}
+
+// VerifyQuote checks a quote against the policy and the platform key
+// (obtained via the vendor's provisioning certification service).
+func VerifyQuote(key PlatformKey, q Quote, pol VerifyPolicy) error {
+	want := signQuote(key, q)
+	if !hmac.Equal(want[:], q.Signature[:]) {
+		return fmt.Errorf("tee: quote signature invalid")
+	}
+	if !bytes.Equal(q.Measurement[:], pol.Expected[:]) {
+		return fmt.Errorf("tee: measurement mismatch: enclave is not the audited build")
+	}
+	if q.SVN < pol.MinSVN {
+		return fmt.Errorf("tee: platform SVN %d below required %d", q.SVN, pol.MinSVN)
+	}
+	if q.Nonce != pol.Nonce {
+		return fmt.Errorf("tee: nonce mismatch (replayed quote?)")
+	}
+	if q.Debug {
+		return fmt.Errorf("tee: debug enclave rejected in production")
+	}
+	if pol.MaxAge > 0 && pol.Now.Sub(q.Timestamp) > pol.MaxAge {
+		return fmt.Errorf("tee: quote older than %v", pol.MaxAge)
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package tee
+
+import (
+	"cllm/internal/hw"
+	"cllm/internal/mem"
+)
+
+// Extension platforms: TEEs the paper discusses but could not measure.
+// SEV-SNP is cited as having "similar security mechanisms to Intel's TDX,
+// resulting in close benchmark overheads" [Misono et al.]; B100 is NVIDIA's
+// successor that encrypts HBM and protects NVLink, which the paper expects
+// to add a non-negligible overhead on top of the H100's results (§V-A,
+// §V-D.3). Both are provided as *projections* built from the same
+// mechanisms, clearly named as such.
+
+// SEVSNP returns an AMD SEV-SNP confidential VM. Mechanism differences from
+// TDX: the RMP (reverse map table) check on nested walks is slightly
+// cheaper than TDX's secure-EPT integrity verification, SME's memory
+// encryption is marginally costlier per line, and the guest honours NUMA
+// bindings better than the TDX KVM driver of the paper's snapshot.
+func SEVSNP() Platform {
+	return Platform{
+		Name:         "SEV-SNP",
+		Class:        ClassVM,
+		Protected:    true,
+		ComputeTax:   hw.VMComputeTax,
+		MemBWFactor:  hw.SEVMemEncryptBWFactor,
+		PageWalkAmp:  hw.SEVPageWalkAmplification,
+		Pages:        mem.PolicyTransparentHuge, // SEV also lacks 1G guest pages
+		NUMA:         mem.NUMABound,
+		UPIEncrypted: true, // xGMI link encryption
+		PerOpCostSec: 2.0e-6,
+		PCIeBWFactor: 1,
+	}
+}
+
+// B100CC returns the projected Blackwell confidential GPU: HBM encryption
+// and NVLink protection close the H100's security gaps at a memory-path
+// cost the paper anticipates from its CPU findings ("we identified memory
+// encryption as a significant cost in CPUs").
+func B100CC() Platform {
+	return Platform{
+		Name:                 "cB100 (projected)",
+		Class:                ClassGPU,
+		Protected:            true,
+		MemBWFactor:          hw.B100HBMEncryptBWFactor, // HBM encryption engine
+		PageWalkAmp:          1,
+		Pages:                mem.PolicyTransparentHuge,
+		NUMA:                 mem.NUMABound,
+		KernelLaunchExtraSec: hw.CGPULaunchExtraSec, // command buffers still protected
+		StepExtraSec:         hw.CGPUStepExtraSec,
+		PCIeBWFactor:         hw.B100PCIeBWFactor, // TDISP/IDE removes the bounce buffer
+		HBMEncrypted:         true,
+		NVLinkProtected:      true,
+	}
+}
+
+// B100 returns the unprotected Blackwell baseline used to compute the
+// projected CC overhead (same silicon, CC off).
+func B100() Platform {
+	p := GPU()
+	p.Name = "B100"
+	return p
+}

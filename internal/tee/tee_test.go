@@ -1,0 +1,217 @@
+package tee
+
+import (
+	"testing"
+	"time"
+
+	"cllm/internal/gramine"
+	"cllm/internal/mem"
+)
+
+func TestPlatformBaselines(t *testing.T) {
+	bm := Baremetal()
+	if bm.Protected || bm.ComputeTax != 0 || bm.MemBWFactor != 1 {
+		t.Errorf("baremetal not clean: %+v", bm)
+	}
+	gpu := GPU()
+	if gpu.Protected || gpu.KernelLaunchExtraSec != 0 {
+		t.Errorf("GPU baseline not clean: %+v", gpu)
+	}
+}
+
+func TestVMVariants(t *testing.T) {
+	fh := VM(VMFullHuge)
+	th := VM(VMTransparentHuge)
+	nb := VM(VMNoBinding)
+	if fh.Pages.Effective != mem.Page1G {
+		t.Error("VM FH not on 1G pages")
+	}
+	if th.Pages.Effective != mem.Page2M {
+		t.Error("VM TH not on 2M pages")
+	}
+	if nb.NUMA != mem.NUMAUnbound {
+		t.Error("VM NB has bindings")
+	}
+	for _, p := range []Platform{fh, th, nb} {
+		if p.Protected {
+			t.Errorf("%s is marked protected", p.Name)
+		}
+		if p.ComputeTax <= 0 {
+			t.Errorf("%s has no virtualization tax", p.Name)
+		}
+	}
+}
+
+func TestTDXMechanisms(t *testing.T) {
+	tdx := TDX()
+	if !tdx.Protected || tdx.Class != ClassVM {
+		t.Error("TDX not a protected VM TEE")
+	}
+	// Insight 7: TDX requests 1G but walks 2M.
+	if tdx.Pages.Requested != mem.Page1G || tdx.Pages.Effective != mem.Page2M {
+		t.Errorf("TDX pages = %+v", tdx.Pages)
+	}
+	// Insight 6: broken bindings.
+	if tdx.NUMA != mem.NUMABrokenTDX {
+		t.Error("TDX NUMA not broken-binding")
+	}
+	if tdx.MemBWFactor >= 1 {
+		t.Error("TDX has no memory-encryption cost")
+	}
+	if !tdx.UPIEncrypted {
+		t.Error("TDX UPI not encrypted")
+	}
+	if tdx.PageWalkAmp <= VM(VMFullHuge).PageWalkAmp {
+		t.Error("TDX secure-EPT walk not costlier than plain EPT")
+	}
+}
+
+func TestSGXFromManifest(t *testing.T) {
+	m := gramine.DefaultManifest("/models/w.bin", 64<<30, 32)
+	sgx, err := SGX(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sgx.Protected || sgx.Class != ClassProcess {
+		t.Error("SGX not a protected process TEE")
+	}
+	// SGX runs on bare metal: no virtualization tax, native walks.
+	if sgx.ComputeTax != 0 || sgx.PageWalkAmp != 1 {
+		t.Errorf("SGX pays virtualization costs: %+v", sgx)
+	}
+	if sgx.ExitsPerToken <= 0 || sgx.ExitCostSec <= 0 {
+		t.Error("SGX has no enclave-exit cost")
+	}
+	if sgx.EPC.Size != 64<<30 {
+		t.Errorf("EPC size = %d", sgx.EPC.Size)
+	}
+	if sgx.NUMA != mem.NUMASingleNodeSGX {
+		t.Error("SGX NUMA not single-node")
+	}
+	if _, err := SGX(nil); err == nil {
+		t.Error("SGX(nil) succeeded")
+	}
+	bad := &gramine.Manifest{}
+	if _, err := SGX(bad); err == nil {
+		t.Error("SGX with invalid manifest succeeded")
+	}
+}
+
+func TestCGPUMechanisms(t *testing.T) {
+	c := CGPU()
+	if !c.Protected || c.Class != ClassGPU {
+		t.Error("cGPU not protected GPU class")
+	}
+	if c.KernelLaunchExtraSec <= 0 {
+		t.Error("cGPU has no launch cost")
+	}
+	if c.PCIeBWFactor >= 1 {
+		t.Error("cGPU PCIe not degraded")
+	}
+	// The paper's security caveats: HBM unencrypted, NVLink unprotected.
+	if c.HBMEncrypted || c.NVLinkProtected {
+		t.Error("cGPU claims protections H100 does not have")
+	}
+	// No memory-encryption cost on the HBM path (Fig 11's low noise).
+	if c.MemBWFactor != 1 {
+		t.Error("cGPU HBM bandwidth degraded but H100 does not encrypt HBM")
+	}
+}
+
+func TestWithSNC(t *testing.T) {
+	tdx := TDX().WithSNC()
+	if tdx.NUMA != mem.NUMASubNUMAMisplaced {
+		t.Error("SNC did not misplace TDX memory")
+	}
+	// SNC does not affect unprotected platforms' placement in this model.
+	bm := Baremetal().WithSNC()
+	if bm.NUMA != mem.NUMABound {
+		t.Error("SNC changed bare metal placement")
+	}
+}
+
+func TestUPIFactor(t *testing.T) {
+	if TDX().UPIFactor() >= 1 {
+		t.Error("encrypted UPI at full bandwidth")
+	}
+	if Baremetal().UPIFactor() != 1 {
+		t.Error("baremetal UPI degraded")
+	}
+}
+
+func TestAttestationRoundTrip(t *testing.T) {
+	var key PlatformKey
+	copy(key[:], "platform-fuse-key-0123456789abcd")
+	m := Measure([]byte("enclave code"), []byte("manifest"))
+	var nonce [16]byte
+	copy(nonce[:], "fresh-nonce-1234")
+	now := time.Unix(1700000000, 0)
+	q := GenerateQuote(key, m, 3, nonce, false, now)
+	pol := VerifyPolicy{Expected: m, MinSVN: 2, Nonce: nonce, MaxAge: time.Hour, Now: now.Add(time.Minute)}
+	if err := VerifyQuote(key, q, pol); err != nil {
+		t.Fatalf("valid quote rejected: %v", err)
+	}
+}
+
+func TestAttestationRejections(t *testing.T) {
+	var key PlatformKey
+	copy(key[:], "platform-fuse-key-0123456789abcd")
+	m := Measure([]byte("code"), []byte("cfg"))
+	var nonce [16]byte
+	copy(nonce[:], "nonce-aaaa-bbbb-")
+	now := time.Unix(1700000000, 0)
+	good := GenerateQuote(key, m, 3, nonce, false, now)
+	basePol := VerifyPolicy{Expected: m, MinSVN: 2, Nonce: nonce, MaxAge: time.Hour, Now: now}
+
+	// Tampered signature.
+	bad := good
+	bad.Signature[0] ^= 1
+	if err := VerifyQuote(key, bad, basePol); err == nil {
+		t.Error("tampered signature accepted")
+	}
+	// Wrong measurement (different code was loaded).
+	otherM := Measure([]byte("evil code"), []byte("cfg"))
+	evil := GenerateQuote(key, otherM, 3, nonce, false, now)
+	if err := VerifyQuote(key, evil, basePol); err == nil {
+		t.Error("wrong measurement accepted")
+	}
+	// Stale SVN (unpatched platform).
+	stale := GenerateQuote(key, m, 1, nonce, false, now)
+	if err := VerifyQuote(key, stale, basePol); err == nil {
+		t.Error("stale SVN accepted")
+	}
+	// Replayed nonce.
+	var otherNonce [16]byte
+	copy(otherNonce[:], "different-nonce!")
+	replay := GenerateQuote(key, m, 3, otherNonce, false, now)
+	if err := VerifyQuote(key, replay, basePol); err == nil {
+		t.Error("replayed quote accepted")
+	}
+	// Debug enclave.
+	dbg := GenerateQuote(key, m, 3, nonce, true, now)
+	if err := VerifyQuote(key, dbg, basePol); err == nil {
+		t.Error("debug enclave accepted")
+	}
+	// Expired quote.
+	old := GenerateQuote(key, m, 3, nonce, false, now.Add(-2*time.Hour))
+	if err := VerifyQuote(key, old, basePol); err == nil {
+		t.Error("expired quote accepted")
+	}
+	// Wrong platform key (quote from an emulator).
+	var fake PlatformKey
+	copy(fake[:], "not-the-real-platform-key-000000")
+	forged := GenerateQuote(fake, m, 3, nonce, false, now)
+	if err := VerifyQuote(key, forged, basePol); err == nil {
+		t.Error("forged quote accepted")
+	}
+}
+
+func TestMeasurementLengthDomainSeparation(t *testing.T) {
+	// Moving a byte across the code/config boundary must change the hash
+	// (length is bound into the measurement).
+	a := Measure([]byte("ab"), []byte("c"))
+	b := Measure([]byte("a"), []byte("bc"))
+	if a == b {
+		t.Error("measurement lacks domain separation")
+	}
+}

@@ -1,0 +1,118 @@
+package cllm
+
+import (
+	"fmt"
+
+	"cllm/internal/rag"
+)
+
+// RAG is a retrieval-augmented-generation stack (document store + BM25 +
+// cross-encoder reranker + dense retriever) whose query latency is modeled
+// on the session's platform, reproducing the paper's §VI deployment of a
+// full Elasticsearch pipeline inside TDX.
+type RAG struct {
+	session *Session
+	store   *rag.Store
+	pipe    *rag.Pipeline
+	corpus  *rag.Corpus
+}
+
+// RAGDocument is one item to index.
+type RAGDocument struct {
+	ID    string
+	Title string
+	Body  string
+}
+
+// RAGResult is one ranked hit.
+type RAGResult struct {
+	ID    string
+	Score float64
+}
+
+// NewRAG indexes the documents into a fresh pipeline on this session.
+// Passing nil documents builds the synthetic BEIR-like benchmark corpus.
+func (s *Session) NewRAG(docs []RAGDocument) (*RAG, error) {
+	if s.isGPU {
+		return nil, fmt.Errorf("cllm: the RAG pipeline runs on CPU platforms, as in the paper")
+	}
+	r := &RAG{session: s}
+	if docs == nil {
+		corpus, err := rag.GenerateCorpus(50, 3, s.cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		pipe, err := rag.NewPipeline(corpus, s.cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		r.corpus, r.pipe, r.store = corpus, pipe, pipe.Store
+		return r, nil
+	}
+	corpus := &rag.Corpus{}
+	for _, d := range docs {
+		corpus.Docs = append(corpus.Docs, rag.Document{ID: d.ID, Title: d.Title, Body: d.Body})
+	}
+	pipe, err := rag.NewPipeline(corpus, s.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r.corpus, r.pipe, r.store = corpus, pipe, pipe.Store
+	return r, nil
+}
+
+// ragMethod parses a method name.
+func ragMethod(m string) (rag.Method, error) {
+	switch m {
+	case "bm25", "BM25", "":
+		return rag.MethodBM25, nil
+	case "reranked", "bm25-reranked", "BM25 reranked":
+		return rag.MethodBM25Reranked, nil
+	case "sbert", "dense":
+		return rag.MethodSBERT, nil
+	}
+	return 0, fmt.Errorf("cllm: unknown RAG method %q (want bm25|reranked|sbert)", m)
+}
+
+// Query runs one retrieval with the chosen method ("bm25", "reranked" or
+// "sbert") and returns the top-k hits plus the modeled per-query latency on
+// this session's platform.
+func (r *RAG) Query(method, query string, k int) ([]RAGResult, float64, error) {
+	m, err := ragMethod(method)
+	if err != nil {
+		return nil, 0, err
+	}
+	hits, qstats, err := r.pipe.Run(m, query, k)
+	if err != nil {
+		return nil, 0, err
+	}
+	tm := rag.Timing{CPU: r.session.cpu, Platform: r.session.platform, Cores: 32, Seed: r.session.cfg.Seed}
+	lat, err := tm.QueryTime(m, qstats)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]RAGResult, len(hits))
+	for i, h := range hits {
+		out[i] = RAGResult{ID: h.ID, Score: h.Score}
+	}
+	return out, lat, nil
+}
+
+// Benchmark evaluates the built-in benchmark corpus with the method,
+// returning mean nDCG@10 and the mean modeled per-query latency — the
+// quantities behind Fig 14.
+func (r *RAG) Benchmark(method string) (ndcg, meanLatencySec float64, err error) {
+	if r.corpus == nil || len(r.corpus.Queries) == 0 {
+		return 0, 0, fmt.Errorf("cllm: this RAG instance has no benchmark queries (index custom docs and use Query)")
+	}
+	m, err := ragMethod(method)
+	if err != nil {
+		return 0, 0, err
+	}
+	tm := rag.Timing{CPU: r.session.cpu, Platform: r.session.platform, Cores: 32, Seed: r.session.cfg.Seed}
+	meanLatencySec, ndcg, err = tm.MeanQueryTime(r.pipe, r.corpus, m)
+	return ndcg, meanLatencySec, err
+}
+
+// Len returns the number of indexed documents.
+func (r *RAG) Len() int { return r.store.Len() }
