@@ -51,6 +51,29 @@ func BenchmarkScaleOut(b *testing.B)         { benchExperiment(b, "scaleout") }
 func BenchmarkHybridOffload(b *testing.B)    { benchExperiment(b, "hybrid") }
 func BenchmarkSapphireRapids(b *testing.B)   { benchExperiment(b, "spr") }
 func BenchmarkTDXAblation(b *testing.B)      { benchExperiment(b, "ablation") }
+func BenchmarkServingCurves(b *testing.B)    { benchExperiment(b, "serving") }
+
+// BenchmarkServeScheduler measures the serving simulator itself: simulated
+// requests completed per wall-clock second of scheduler execution.
+func BenchmarkServeScheduler(b *testing.B) {
+	s, err := Open(Config{Platform: "tdx", Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const requests = 32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := s.Serve(ServeConfig{RatePerSec: 8, Requests: requests, OutputLen: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Completed+rep.Dropped+rep.Unfinished != requests {
+			b.Fatalf("lost requests: %+v", rep)
+		}
+	}
+	b.ReportMetric(float64(requests)*float64(b.N)/b.Elapsed().Seconds(), "simreq/s")
+}
 
 // BenchmarkMeasureTDX exercises the core measurement path and reports the
 // modeled TDX overhead as a custom metric.
@@ -159,7 +182,7 @@ func TestBenchmarkCoverage(t *testing.T) {
 		"fig12": true, "fig13": true, "fig14": true, "table1": true,
 		"othermodels": true, "snc": true,
 		"sev": true, "b100": true, "scaleout": true, "hybrid": true,
-		"spr": true, "ablation": true,
+		"spr": true, "ablation": true, "serving": true,
 	}
 	for _, e := range Experiments() {
 		if !covered[e.ID] {

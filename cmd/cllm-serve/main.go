@@ -1,0 +1,93 @@
+// cllm-serve simulates production serving on a confidential platform:
+// Poisson arrivals into a continuous-batching scheduler with a paged
+// KV-cache, reported as throughput–latency curves with SLO-aware cost.
+//
+// Usage:
+//
+//	cllm-serve -platform tdx -rate 8
+//	cllm-serve -platform baremetal,tdx,sgx -rate 8 -model llama2-7b
+//	cllm-serve -platform cgpu -rate 24 -slo-ttft 2 -slo-tpot 0.2
+//
+// For each platform the offered rate is swept around -rate, tracing how
+// tail latency and cost-per-million-tokens move as load approaches and
+// passes saturation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cllm"
+	"cllm/internal/harness"
+)
+
+func main() {
+	platforms := flag.String("platform", "baremetal,tdx,sgx", "comma-separated platform list (baremetal|vm|tdx|sgx|gpu|cgpu|...)")
+	system := flag.String("system", "EMR1", "CPU testbed: EMR1 or EMR2")
+	modelName := flag.String("model", "llama2-7b", "model name (see cllm-infer -models)")
+	dt := flag.String("dtype", "bf16", "datatype: bf16|int8|f32")
+	rate := flag.Float64("rate", 8, "base Poisson arrival rate (requests/s)")
+	requests := flag.Int("requests", 48, "arrivals per run")
+	inLen := flag.Int("in", 128, "mean prompt tokens")
+	outLen := flag.Int("out", 32, "mean generated tokens")
+	batch := flag.Int("batch", 32, "max concurrent sequences")
+	sloTTFT := flag.Float64("slo-ttft", 5, "TTFT SLO (seconds)")
+	sloTPOT := flag.Float64("slo-tpot", 0.5, "TPOT SLO (seconds/token)")
+	sockets := flag.Int("sockets", 1, "CPU sockets")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	flag.Parse()
+
+	mults := []float64{0.25, 0.5, 1, 1.5, 2}
+	table := &harness.Result{
+		ID: "serve",
+		Title: fmt.Sprintf("%s (%s), %d requests per point, in/out %d/%d tokens, SLO TTFT %.2gs TPOT %.2gs",
+			*modelName, *dt, *requests, *inLen, *outLen, *sloTTFT, *sloTPOT),
+		Header: []string{"platform", "rate(req/s)", "tput(tok/s)", "goodput", "SLO%", "TTFT p50(s)", "TTFT p99(s)", "TPOT(s)", "p99 lat(s)", "replicas@SLO", "$/Mtok@SLO"},
+	}
+	for _, plat := range strings.Split(*platforms, ",") {
+		plat = strings.TrimSpace(plat)
+		if plat == "" {
+			continue
+		}
+		sess, err := cllm.Open(cllm.Config{Platform: plat, System: *system, Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cllm-serve: %v\n", err)
+			os.Exit(1)
+		}
+		for _, m := range mults {
+			rep, err := sess.Serve(cllm.ServeConfig{
+				Model: *modelName, DType: *dt,
+				InputLen: *inLen, OutputLen: *outLen,
+				RatePerSec: *rate * m, Requests: *requests,
+				MaxBatch: *batch, Sockets: *sockets,
+				TTFTSLOSec: *sloTTFT, TPOTSLOSec: *sloTPOT,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cllm-serve: %s at rate %.2f: %v\n", plat, *rate*m, err)
+				os.Exit(1)
+			}
+			replicas, cost := "-", "-"
+			if rep.SLOFeasible {
+				replicas = fmt.Sprintf("%d", rep.ReplicasAtSLO)
+				cost = fmt.Sprintf("%.2f", rep.USDPerMTokAtSLO)
+			}
+			table.Rows = append(table.Rows, []string{
+				rep.Platform,
+				fmt.Sprintf("%.2f", rep.OfferedRate),
+				fmt.Sprintf("%.1f", rep.TokensPerSec),
+				fmt.Sprintf("%.1f", rep.GoodputTokensPerSec),
+				fmt.Sprintf("%.0f%%", rep.SLOAttainment*100),
+				fmt.Sprintf("%.3f", rep.TTFTp50),
+				fmt.Sprintf("%.3f", rep.TTFTp99),
+				fmt.Sprintf("%.3f", rep.TPOTMean),
+				fmt.Sprintf("%.2f", rep.LatencyP99),
+				replicas,
+				cost,
+			})
+		}
+	}
+
+	fmt.Print(table.Render())
+}

@@ -1,0 +1,3 @@
+module cllm
+
+go 1.22

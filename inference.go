@@ -3,6 +3,7 @@ package cllm
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"strings"
 
 	"cllm/internal/gramine"
@@ -77,12 +78,14 @@ func exerciseSealedWeights(m *gramine.Manifest, cfg model.Config) error {
 	return nil
 }
 
-// ModelNames lists the models available to LoadModel and Measure.
+// ModelNames lists the models available to LoadModel and Measure, sorted
+// for stable CLI output.
 func ModelNames() []string {
 	names := make([]string, 0)
 	for n := range model.Zoo() {
 		names = append(names, n)
 	}
+	sort.Strings(names)
 	return names
 }
 

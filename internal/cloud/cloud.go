@@ -85,6 +85,35 @@ func (p PriceBook) CGPUCostPerMTokens(tokensPerSec float64) (float64, error) {
 	return CostPerMTokens(p.CGPUHour, tokensPerSec)
 }
 
+// ReplicasForRate returns how many identical replicas are needed so that
+// replicas × perReplicaRate ≥ targetRate. Rates are in requests (or tokens)
+// per second; the unit only has to match between the two arguments. A
+// non-positive perReplicaRate means a single replica cannot serve any load
+// within SLO, so no finite fleet can either.
+func ReplicasForRate(targetRate, perReplicaRate float64) (int, error) {
+	if targetRate <= 0 {
+		return 0, fmt.Errorf("cloud: non-positive target rate %g", targetRate)
+	}
+	if perReplicaRate <= 0 {
+		return 0, fmt.Errorf("cloud: replica serves no load within SLO (rate %g)", perReplicaRate)
+	}
+	return int(math.Ceil(targetRate / perReplicaRate)), nil
+}
+
+// ServingCost prices an SLO-constrained deployment: a fleet of `replicas`
+// identical instances at `hourlyPerReplica` serving an offered load of
+// `offeredTokensPerSec` aggregate output tokens per second. The result is
+// dollars per million served tokens. The fleet is sized for SLO compliance
+// (see ReplicasForRate), so platforms that need more replicas to hit the
+// same SLO pay for the whole fleet while serving the same load — this is
+// where the TEE "cost of protection at SLO" becomes visible.
+func ServingCost(hourlyPerReplica float64, replicas int, offeredTokensPerSec float64) (float64, error) {
+	if replicas <= 0 {
+		return 0, fmt.Errorf("cloud: non-positive replica count %d", replicas)
+	}
+	return CostPerMTokens(hourlyPerReplica*float64(replicas), offeredTokensPerSec)
+}
+
 // CostPoint is one (vCPUs, throughput, cost) sample of a scaling sweep.
 type CostPoint struct {
 	VCPUs        int

@@ -178,3 +178,38 @@ func TestFig13InputSizeCostCollapse(t *testing.T) {
 		t.Errorf("advantage collapsed only %.1f points from in128 to in2048, want ≥40", a128-a2048)
 	}
 }
+
+func TestReplicasForRate(t *testing.T) {
+	n, err := ReplicasForRate(20, 6)
+	if err != nil || n != 4 {
+		t.Fatalf("ReplicasForRate(20, 6) = %d, %v; want 4", n, err)
+	}
+	n, err = ReplicasForRate(6, 6)
+	if err != nil || n != 1 {
+		t.Fatalf("exact fit = %d, %v; want 1", n, err)
+	}
+	if _, err := ReplicasForRate(10, 0); err == nil {
+		t.Error("zero per-replica rate accepted")
+	}
+	if _, err := ReplicasForRate(0, 5); err == nil {
+		t.Error("zero target rate accepted")
+	}
+}
+
+func TestServingCost(t *testing.T) {
+	// 3 replicas at $2/h serving 100 tok/s: $6/h over 0.36 Mtok/h.
+	usd, err := ServingCost(2, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 6.0 / (100 * 3600 / 1e6)
+	if diff := usd - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("ServingCost = %g, want %g", usd, want)
+	}
+	if _, err := ServingCost(2, 0, 100); err == nil {
+		t.Error("zero replicas accepted")
+	}
+	if _, err := ServingCost(2, 1, 0); err == nil {
+		t.Error("zero throughput accepted")
+	}
+}

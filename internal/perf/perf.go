@@ -241,6 +241,28 @@ func cpuStepTime(cfg CPURun, st trace.StepTrace) float64 {
 	return total
 }
 
+// CPUStepTime exposes the per-step cost model: the modeled wall-clock
+// duration of one step trace under the configuration, with defaults
+// normalized. The serving scheduler composes steps dynamically (mixed
+// prefill/decode batches whose shape changes every iteration) instead of
+// running fixed generations, so it needs the step cost without the
+// surrounding generation loop. The noise model is deliberately excluded —
+// callers own jitter so one sample covers one scheduler iteration.
+func CPUStepTime(cfg CPURun, st trace.StepTrace) (float64, error) {
+	if err := cfg.normalize(); err != nil {
+		return 0, err
+	}
+	return cpuStepTime(cfg, st), nil
+}
+
+// GPUStepTime is CPUStepTime's GPU counterpart.
+func GPUStepTime(cfg GPURun, st trace.StepTrace) (float64, error) {
+	if err := cfg.Workload.Validate(); err != nil {
+		return 0, err
+	}
+	return gpuStepTime(cfg, st), nil
+}
+
 // OpCost is an operator-kind duration aggregate (Fig 7).
 type OpCost struct {
 	Kind    trace.OpKind

@@ -1,0 +1,90 @@
+package serve
+
+import "fmt"
+
+// BlockManager is the paged KV-cache allocator: the platform's usable
+// memory (HBM minus weights on GPUs, enclave size minus weights under SGX,
+// installed DRAM otherwise) is carved into fixed-size blocks of
+// blockTokens tokens each, and requests hold exactly enough blocks to
+// cover their context. Paging the cache is what lets the scheduler admit
+// requests until memory — not batch shape — is the binding constraint,
+// and what makes preemption a cheap release-and-requeue.
+type BlockManager struct {
+	blockTokens   int
+	bytesPerToken int64
+	total         int
+	free          int
+	held          map[int]int // request ID → blocks held
+	peakInUse     int
+}
+
+// NewBlockManager sizes the pool from a byte budget. It fails when the
+// budget does not admit even one block — the platform cannot serve the
+// model at all (e.g. weights alone overflow the enclave).
+func NewBlockManager(budgetBytes int64, blockTokens int, bytesPerToken int64) (*BlockManager, error) {
+	if blockTokens <= 0 || bytesPerToken <= 0 {
+		return nil, fmt.Errorf("serve: block of %d tokens × %d bytes/token is not allocatable", blockTokens, bytesPerToken)
+	}
+	blockBytes := int64(blockTokens) * bytesPerToken
+	total := int(budgetBytes / blockBytes)
+	if total <= 0 {
+		return nil, fmt.Errorf("serve: KV budget %d bytes below one %d-byte block", budgetBytes, blockBytes)
+	}
+	return &BlockManager{
+		blockTokens:   blockTokens,
+		bytesPerToken: bytesPerToken,
+		total:         total,
+		free:          total,
+		held:          make(map[int]int),
+	}, nil
+}
+
+// TotalBlocks returns the pool size.
+func (m *BlockManager) TotalBlocks() int { return m.total }
+
+// FreeBlocks returns the currently unallocated block count.
+func (m *BlockManager) FreeBlocks() int { return m.free }
+
+// InUse returns the allocated block count.
+func (m *BlockManager) InUse() int { return m.total - m.free }
+
+// PeakInUse returns the allocation high-water mark.
+func (m *BlockManager) PeakInUse() int { return m.peakInUse }
+
+// BlocksFor returns the blocks needed to hold `tokens` cache entries.
+func (m *BlockManager) BlocksFor(tokens int) int {
+	if tokens <= 0 {
+		return 0
+	}
+	return (tokens + m.blockTokens - 1) / m.blockTokens
+}
+
+// Grow ensures the request holds enough blocks for `tokens` cache entries,
+// allocating the shortfall. It reports whether the pool could satisfy the
+// request; on false the holding is unchanged (all-or-nothing).
+func (m *BlockManager) Grow(reqID, tokens int) bool {
+	need := m.BlocksFor(tokens) - m.held[reqID]
+	if need <= 0 {
+		return true
+	}
+	if need > m.free {
+		return false
+	}
+	m.free -= need
+	m.held[reqID] += need
+	if used := m.InUse(); used > m.peakInUse {
+		m.peakInUse = used
+	}
+	return true
+}
+
+// Release frees every block the request holds and returns the count.
+func (m *BlockManager) Release(reqID int) int {
+	n := m.held[reqID]
+	delete(m.held, reqID)
+	m.free += n
+	return n
+}
+
+// Holders returns how many requests currently hold blocks.
+func (m *BlockManager) Holders() int { return len(m.held) }

@@ -1,0 +1,72 @@
+package serve
+
+import "testing"
+
+func TestBlockManagerAccounting(t *testing.T) {
+	// 10 blocks of 16 tokens × 4 bytes/token = 64 bytes/block.
+	m, err := NewBlockManager(640, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalBlocks() != 10 || m.FreeBlocks() != 10 {
+		t.Fatalf("pool %d/%d, want 10/10", m.FreeBlocks(), m.TotalBlocks())
+	}
+	if got := m.BlocksFor(1); got != 1 {
+		t.Errorf("BlocksFor(1) = %d", got)
+	}
+	if got := m.BlocksFor(16); got != 1 {
+		t.Errorf("BlocksFor(16) = %d", got)
+	}
+	if got := m.BlocksFor(17); got != 2 {
+		t.Errorf("BlocksFor(17) = %d", got)
+	}
+	if got := m.BlocksFor(0); got != 0 {
+		t.Errorf("BlocksFor(0) = %d", got)
+	}
+
+	if !m.Grow(1, 40) { // 3 blocks
+		t.Fatal("Grow(1, 40) failed with an empty pool")
+	}
+	if m.InUse() != 3 || m.FreeBlocks() != 7 {
+		t.Fatalf("after grow: in-use %d free %d", m.InUse(), m.FreeBlocks())
+	}
+	if !m.Grow(1, 49) { // 4th block needed past 48 tokens
+		t.Fatal("incremental grow failed")
+	}
+	if m.InUse() != 4 {
+		t.Fatalf("in-use %d after incremental grow, want 4", m.InUse())
+	}
+	if !m.Grow(1, 30) { // shrink request is a no-op, not a free
+		t.Fatal("no-op grow failed")
+	}
+	if m.InUse() != 4 {
+		t.Fatalf("no-op grow changed allocation to %d", m.InUse())
+	}
+
+	// All-or-nothing: 7 free, ask for 8 more.
+	if m.Grow(2, 8*16) {
+		t.Fatal("oversized grow succeeded")
+	}
+	if m.InUse() != 4 || m.Holders() != 1 {
+		t.Fatalf("failed grow changed state: in-use %d holders %d", m.InUse(), m.Holders())
+	}
+
+	if n := m.Release(1); n != 4 {
+		t.Fatalf("released %d blocks, want 4", n)
+	}
+	if m.InUse() != 0 || m.FreeBlocks() != 10 {
+		t.Fatalf("after release: in-use %d free %d", m.InUse(), m.FreeBlocks())
+	}
+	if m.PeakInUse() != 4 {
+		t.Fatalf("peak %d, want 4", m.PeakInUse())
+	}
+}
+
+func TestBlockManagerRejectsHopelessBudget(t *testing.T) {
+	if _, err := NewBlockManager(63, 16, 4); err == nil {
+		t.Fatal("sub-block budget accepted")
+	}
+	if _, err := NewBlockManager(1<<20, 0, 4); err == nil {
+		t.Fatal("zero block size accepted")
+	}
+}

@@ -1,0 +1,467 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"cllm/internal/hw"
+	"cllm/internal/perf"
+	"cllm/internal/sim"
+	"cllm/internal/trace"
+)
+
+// phase is a request's lifecycle state.
+type phase int
+
+const (
+	phaseWaiting phase = iota
+	phaseRunning
+	phaseFinished
+	phaseDropped
+)
+
+// reqState tracks one request through the scheduler.
+type reqState struct {
+	req      Request
+	phase    phase
+	admitSeq int // order of first admission (FIFO audit)
+	// generated counts produced output tokens; survives preemption (the
+	// delivered tokens are not un-delivered, the cache is recomputed).
+	generated    int
+	preemptions  int
+	admittedAt   float64 // first admission time
+	firstTokenAt float64
+	finishedAt   float64
+}
+
+// ctxTokens is the KV-cache footprint the request needs right now.
+func (r *reqState) ctxTokens() int { return r.req.InputLen + r.generated }
+
+// scheduler runs the continuous-batching loop on the event engine: one
+// iteration event per engine step, shaped like Orca/vLLM iteration-level
+// scheduling — running sequences decode one token, freed capacity admits
+// queued prompts, and KV exhaustion preempts the youngest sequence.
+type scheduler struct {
+	cfg   Config
+	be    Backend
+	eng   *sim.Engine
+	noise *sim.Noise
+	kv    *BlockManager
+
+	queue     []*reqState // FIFO; preempted requests rejoin at the front
+	running   []*reqState // admission order (index 0 = oldest)
+	iterating bool
+
+	admitCount  int
+	admitOrder  []int // request IDs in admission order (test audit)
+	preemptions int
+	completed   []*reqState
+	dropped     []*reqState
+	// err records a costing failure (a backend misconfiguration); it halts
+	// the loop and fails the run instead of reporting zeros as data.
+	err error
+}
+
+// Run executes one serving simulation.
+func Run(be Backend, cfg Config) (*Report, error) {
+	rep, _, err := RunAudited(be, cfg)
+	return rep, err
+}
+
+// arrivals returns the offered load: the explicit trace when given,
+// otherwise Poisson arrivals with jittered lengths. Synthetic generation
+// draws from the same seeded RNG the noise model uses, so a seed fixes the
+// whole run.
+func (s *scheduler) arrivals() ([]Request, error) {
+	if len(s.cfg.Trace) > 0 {
+		seen := make(map[int]bool, len(s.cfg.Trace))
+		for _, r := range s.cfg.Trace {
+			if r.InputLen <= 0 || r.OutputLen <= 0 || r.ArrivalSec < 0 {
+				return nil, fmt.Errorf("serve: invalid trace request %+v", r)
+			}
+			if sum := r.InputLen + r.OutputLen; sum > s.cfg.Workload.Model.ContextLen {
+				return nil, fmt.Errorf("serve: request %d length %d exceeds %s context %d",
+					r.ID, sum, s.cfg.Workload.Model.Name, s.cfg.Workload.Model.ContextLen)
+			}
+			if seen[r.ID] {
+				return nil, fmt.Errorf("serve: duplicate request ID %d in trace", r.ID)
+			}
+			seen[r.ID] = true
+		}
+		return append([]Request(nil), s.cfg.Trace...), nil
+	}
+	rng := s.noise.RNG()
+	jitter := func(mean int) int {
+		if s.cfg.LengthJitter <= 0 {
+			return mean
+		}
+		f := 1 + s.cfg.LengthJitter*(2*rng.Float64()-1)
+		n := int(math.Round(float64(mean) * f))
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	out := make([]Request, s.cfg.Requests)
+	t := 0.0
+	for i := range out {
+		t += rng.ExpFloat64() / s.cfg.Rate
+		inLen := jitter(s.cfg.Workload.InputLen)
+		outLen := jitter(s.cfg.Workload.OutputLen)
+		if outLen < 2 {
+			outLen = 2 // keep TPOT defined
+		}
+		// Upward jitter on means near the context limit must not overflow it:
+		// shorten the prompt first, then the generation.
+		ctx := s.cfg.Workload.Model.ContextLen
+		if over := inLen + outLen - ctx; over > 0 {
+			inLen -= over
+			if inLen < 1 {
+				inLen = 1
+			}
+			if inLen+outLen > ctx {
+				outLen = ctx - inLen
+			}
+		}
+		out[i] = Request{ID: i, ArrivalSec: t, InputLen: inLen, OutputLen: outLen}
+	}
+	return out, nil
+}
+
+// kick starts the iteration loop if it is idle.
+func (s *scheduler) kick() {
+	if s.iterating {
+		return
+	}
+	if len(s.running) == 0 && len(s.queue) == 0 {
+		return
+	}
+	s.iterating = true
+	s.iterate()
+}
+
+// iterate performs one scheduling round at the current simulated time and
+// schedules its completion.
+func (s *scheduler) iterate() {
+	now := float64(s.eng.Now())
+
+	// 1. Capacity pass: every running sequence must be able to append one
+	// token. When the pool is exhausted, preempt the youngest running
+	// sequence (vLLM's recompute policy): release its blocks and requeue it
+	// at the front, where it will re-prefill its full context later.
+	decoding := make([]*reqState, 0, len(s.running))
+	for i := 0; i < len(s.running); {
+		r := s.running[i]
+		if s.kv.Grow(r.req.ID, r.ctxTokens()+1) {
+			decoding = append(decoding, r)
+			i++
+			continue
+		}
+		victim := s.running[len(s.running)-1]
+		s.preempt(victim)
+		if victim == r {
+			break // r was the youngest; the loop is past every survivor
+		}
+		decoding = decoding[:0]
+		i = 0 // pool changed; re-run the pass from the oldest sequence
+	}
+
+	// 2. Admission pass (FIFO): fill remaining batch slots while the pool
+	// can hold each prompt plus its first generated token. A request that
+	// cannot fit even an empty pool is dropped — no amount of waiting
+	// makes the enclave bigger.
+	var admitted []*reqState
+	for len(s.queue) > 0 && len(s.running)+len(admitted) < s.cfg.MaxBatch {
+		head := s.queue[0]
+		need := s.kv.BlocksFor(head.ctxTokens() + 1)
+		if need > s.kv.TotalBlocks() {
+			s.queue = s.queue[1:]
+			head.phase = phaseDropped
+			s.dropped = append(s.dropped, head)
+			continue
+		}
+		if !s.kv.Grow(head.req.ID, head.ctxTokens()+1) {
+			break
+		}
+		s.queue = s.queue[1:]
+		if head.phase == phaseWaiting && head.preemptions == 0 {
+			head.admittedAt = now
+			head.admitSeq = s.admitCount
+			s.admitCount++
+			s.admitOrder = append(s.admitOrder, head.req.ID)
+		}
+		head.phase = phaseRunning
+		admitted = append(admitted, head)
+	}
+
+	if len(decoding) == 0 && len(admitted) == 0 {
+		// Nothing can make progress now; the next arrival (or nothing)
+		// restarts the loop. With an empty running set the pool is free, so
+		// a non-fitting queue head was dropped above — no livelock.
+		s.iterating = false
+		return
+	}
+
+	dur, err := s.iterationTime(decoding, admitted)
+	if err != nil {
+		// A costing failure is a configuration bug (e.g. more sockets than
+		// the CPU has); halt the loop and fail the whole run.
+		s.err = err
+		s.iterating = false
+		return
+	}
+	dur = s.noise.Sample(dur, s.be.protected())
+	s.eng.Schedule(sim.Time(dur), func(*sim.Engine) {
+		s.finishIteration(decoding, admitted)
+	})
+}
+
+// preempt releases a running sequence's cache and requeues it at the front.
+func (s *scheduler) preempt(r *reqState) {
+	for i, cand := range s.running {
+		if cand == r {
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			break
+		}
+	}
+	s.kv.Release(r.req.ID)
+	r.phase = phaseWaiting
+	r.preemptions++
+	s.preemptions++
+	s.queue = append([]*reqState{r}, s.queue...)
+}
+
+// iterationTime costs one scheduling round with the mechanistic roofline:
+// a batched prefill over the admitted prompts (re-prefills included) plus
+// one decode step over the running batch. KV traffic is linear in total
+// context, so costing the decode at the mean context length is exact for
+// the memory-bound path.
+func (s *scheduler) iterationTime(decoding, admitted []*reqState) (float64, error) {
+	var total float64
+	if len(admitted) > 0 {
+		prefillTokens := 0
+		for _, r := range admitted {
+			prefillTokens += r.ctxTokens()
+		}
+		meanLen := (prefillTokens + len(admitted) - 1) / len(admitted)
+		t, err := s.stepTime(len(admitted), meanLen, trace.Prefill)
+		if err != nil {
+			return 0, err
+		}
+		total += t
+	}
+	if len(decoding) > 0 {
+		ctx := 0
+		for _, r := range decoding {
+			ctx += r.ctxTokens()
+		}
+		meanCtx := (ctx + len(decoding) - 1) / len(decoding)
+		t, err := s.stepTime(len(decoding), meanCtx, trace.Decode)
+		if err != nil {
+			return 0, err
+		}
+		total += t
+	}
+	return total, nil
+}
+
+// stepTime builds a synthetic single-step workload of the batch shape and
+// costs it on the backend.
+func (s *scheduler) stepTime(batch, ctxLen int, ph trace.Phase) (float64, error) {
+	if ctxLen < 1 {
+		ctxLen = 1
+	}
+	if max := s.cfg.Workload.Model.ContextLen - 1; ctxLen > max {
+		ctxLen = max
+	}
+	wl := trace.Workload{
+		Model: s.cfg.Workload.Model, Kind: s.cfg.Workload.Kind,
+		Batch: batch, Beam: 1, InputLen: ctxLen, OutputLen: 1,
+	}
+	var st trace.StepTrace
+	var err error
+	if ph == trace.Prefill {
+		st, err = trace.PrefillStep(wl)
+	} else {
+		st, err = trace.DecodeStep(wl, ctxLen)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if s.be.IsGPU {
+		cfg := s.be.GPU
+		cfg.Workload = wl
+		return perf.GPUStepTime(cfg, st)
+	}
+	cfg := s.be.CPU
+	cfg.Workload = wl
+	return perf.CPUStepTime(cfg, st)
+}
+
+// finishIteration commits the round's token production at its end time.
+func (s *scheduler) finishIteration(decoding, admitted []*reqState) {
+	now := float64(s.eng.Now())
+	produce := func(r *reqState) {
+		r.generated++
+		if r.firstTokenAt == 0 {
+			r.firstTokenAt = now
+		}
+		if r.generated >= r.req.OutputLen {
+			s.kv.Release(r.req.ID)
+			r.phase = phaseFinished
+			r.finishedAt = now
+			s.completed = append(s.completed, r)
+			for i, cand := range s.running {
+				if cand == r {
+					s.running = append(s.running[:i], s.running[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	// Prefill produces each admitted request's next token (the first, or —
+	// after preemption — the one the recomputed cache enables).
+	for _, r := range admitted {
+		s.running = append(s.running, r)
+		produce(r)
+	}
+	for _, r := range decoding {
+		if r.phase == phaseRunning { // not preempted since (cannot happen mid-round, but be safe)
+			produce(r)
+		}
+	}
+	s.iterating = false
+	s.kick()
+}
+
+// report assembles the run outcome.
+func (s *scheduler) report(states []*reqState) *Report {
+	rep := &Report{
+		Platform:           s.be.platformName(),
+		OfferedRate:        s.cfg.Rate,
+		Preemptions:        s.preemptions,
+		KVBlocksTotal:      s.kv.TotalBlocks(),
+		PeakKVBlocksInUse:  s.kv.PeakInUse(),
+		KVBlocksInUseAtEnd: s.kv.InUse(),
+	}
+	if len(s.cfg.Trace) > 0 {
+		span := 0.0
+		for _, r := range s.cfg.Trace {
+			if r.ArrivalSec > span {
+				span = r.ArrivalSec
+			}
+		}
+		if span > 0 {
+			rep.OfferedRate = float64(len(s.cfg.Trace)) / span
+		}
+	}
+	makespan := float64(s.eng.Now())
+	rep.MakespanSec = makespan
+
+	var ttfts, tpots, lats []float64
+	goodTokens, goodReqs := 0, 0
+	for _, st := range states {
+		rep.TotalTokens += st.generated
+		switch st.phase {
+		case phaseDropped:
+			rep.Dropped++
+			continue
+		case phaseFinished:
+			rep.Completed++
+		default:
+			rep.Unfinished++
+			continue
+		}
+		m := RequestMetrics{
+			ID:           st.req.ID,
+			TTFT:         st.firstTokenAt - st.req.ArrivalSec,
+			Latency:      st.finishedAt - st.req.ArrivalSec,
+			QueueDelay:   st.admittedAt - st.req.ArrivalSec,
+			OutputTokens: st.generated,
+			Preemptions:  st.preemptions,
+		}
+		// Single-token requests have no decode phase: TPOT is undefined for
+		// them, so they neither join the TPOT quantiles nor can fail its SLO.
+		tpotOK := true
+		if st.generated > 1 {
+			m.TPOT = (st.finishedAt - st.firstTokenAt) / float64(st.generated-1)
+			tpotOK = m.TPOT <= s.cfg.TPOTSLOSec
+			tpots = append(tpots, m.TPOT)
+		}
+		m.SLOMet = m.TTFT <= s.cfg.TTFTSLOSec && tpotOK
+		rep.Requests = append(rep.Requests, m)
+		ttfts = append(ttfts, m.TTFT)
+		lats = append(lats, m.Latency)
+		if m.SLOMet {
+			goodReqs++
+			goodTokens += m.OutputTokens
+		}
+	}
+	if makespan > 0 {
+		rep.TokensPerSec = float64(rep.TotalTokens) / makespan
+		rep.GoodputTokensPerSec = float64(goodTokens) / makespan
+		rep.GoodRequestsPerSec = float64(goodReqs) / makespan
+	}
+	rep.TTFT = quantiles(ttfts)
+	rep.TPOT = quantiles(tpots)
+	rep.Latency = quantiles(lats)
+	return rep
+}
+
+// AdmitOrder is the sequence of request IDs in first-admission order.
+type AdmitOrder []int
+
+// RunAudited is Run plus the FIFO admission audit trail: the order in
+// which requests were first admitted, for scheduling-invariant tests.
+func RunAudited(be Backend, cfg Config) (*Report, AdmitOrder, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, nil, err
+	}
+	if !be.IsGPU && be.CPU.Sockets <= 0 {
+		be.CPU.Sockets = 1
+	}
+	kvBudget, err := be.KVBudgetBytes(cfg.Workload)
+	if err != nil {
+		return nil, nil, err
+	}
+	bytesPerToken := cfg.Workload.Model.KVCacheBytesPerToken(cfg.Workload.Kind.Size())
+	kv, err := NewBlockManager(kvBudget, cfg.BlockTokens, bytesPerToken)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Noise parameters mirror the single-request paths: GPUs jitter less
+	// and show no memory-encryption outlier tail (H100 leaves HBM clear).
+	var noise *sim.Noise
+	if be.IsGPU {
+		noise = sim.NewNoise(cfg.Seed, hw.NoiseBase/2, hw.MemEncryptJitter/4, 0, 1)
+	} else {
+		noise = sim.NewNoise(cfg.Seed, hw.NoiseBase, hw.MemEncryptJitter, hw.OutlierProb, hw.OutlierScale)
+	}
+	s := &scheduler{cfg: cfg, be: be, eng: sim.NewEngine(), noise: noise, kv: kv}
+	arrivals, err := s.arrivals()
+	if err != nil {
+		return nil, nil, err
+	}
+	states := make([]*reqState, len(arrivals))
+	lastArrival := 0.0
+	for i, req := range arrivals {
+		req := req
+		st := &reqState{req: req}
+		states[i] = st
+		if req.ArrivalSec > lastArrival {
+			lastArrival = req.ArrivalSec
+		}
+		s.eng.Schedule(sim.Time(req.ArrivalSec), func(*sim.Engine) {
+			s.queue = append(s.queue, st)
+			s.kick()
+		})
+	}
+	horizon := sim.Time(lastArrival + cfg.HorizonSec)
+	if _, err := s.eng.RunUntil(horizon, cfg.MaxSteps); err != nil {
+		return nil, nil, err
+	}
+	if s.err != nil {
+		return nil, nil, s.err
+	}
+	return s.report(states), AdmitOrder(s.admitOrder), nil
+}

@@ -1,0 +1,285 @@
+// Package serve is the multi-request serving layer of the reproduction: an
+// open-loop, trace- or Poisson-driven continuous-batching scheduler running
+// on the discrete-event engine (internal/sim), with a paged KV-cache
+// allocator sized against the platform's usable memory and per-iteration
+// step durations from the mechanistic roofline (internal/perf). TEE
+// mechanisms flow through unchanged — TDX memory encryption, SGX enclave
+// limits and cGPU bounce buffers all reshape the throughput–latency curve —
+// and the report prices SLO-compliant serving via internal/cloud. The paper
+// measures one request at a time; this package answers its headline
+// question ("what does protection cost per token?") under production load,
+// where batching amortizes protection overheads differently.
+package serve
+
+import (
+	"fmt"
+
+	"cllm/internal/cloud"
+	"cllm/internal/perf"
+	"cllm/internal/stats"
+	"cllm/internal/trace"
+)
+
+// Request is one arrival in the offered load.
+type Request struct {
+	// ID must be unique across the trace.
+	ID int
+	// ArrivalSec is the arrival time on the simulated clock.
+	ArrivalSec float64
+	// InputLen is the prompt length in tokens.
+	InputLen int
+	// OutputLen is the number of tokens the request generates.
+	OutputLen int
+}
+
+// Backend selects the hardware/TEE combination the server runs on. Exactly
+// one of CPU or GPU is used; the embedded Workload fields other than
+// Model/Kind are ignored (the scheduler shapes batches itself).
+type Backend struct {
+	IsGPU bool
+	CPU   perf.CPURun
+	GPU   perf.GPURun
+}
+
+// platformName returns the TEE platform label of the backend.
+func (b Backend) platformName() string {
+	if b.IsGPU {
+		return b.GPU.Platform.Name
+	}
+	return b.CPU.Platform.Name
+}
+
+// protected reports whether the backend runs under TEE guarantees.
+func (b Backend) protected() bool {
+	if b.IsGPU {
+		return b.GPU.Platform.Protected
+	}
+	return b.CPU.Platform.Protected
+}
+
+// KVBudgetBytes returns the bytes available to the paged KV cache: the
+// platform's usable memory minus resident weights. SGX is capped by the
+// enclave size (spilling the cache past the EPC would thrash, so the
+// scheduler treats the enclave as the hard ceiling); GPUs by HBM; other
+// CPU platforms by installed DRAM on the sockets in use.
+func (b Backend) KVBudgetBytes(w trace.Workload) (int64, error) {
+	weights := int64(trace.WeightFootprint(w))
+	var usable int64
+	if b.IsGPU {
+		usable = b.GPU.GPU.HBMBytes
+	} else {
+		sockets := b.CPU.Sockets
+		if sockets <= 0 {
+			sockets = 1
+		}
+		usable = b.CPU.CPU.MemPerSocketBytes * int64(sockets)
+		if epc := b.CPU.Platform.EPC.Size; epc > 0 && epc < usable {
+			usable = epc
+		}
+	}
+	budget := usable - weights
+	if budget <= 0 {
+		return 0, fmt.Errorf("serve: %s cannot hold %d weight bytes (usable %d)", b.platformName(), weights, usable)
+	}
+	return budget, nil
+}
+
+// Config tunes one serving run.
+type Config struct {
+	// Workload supplies the model and datatype; InputLen/OutputLen are the
+	// mean prompt and generation lengths of synthetic arrivals.
+	Workload trace.Workload
+	// Rate is the Poisson arrival rate in requests/s (open loop).
+	Rate float64
+	// Requests is the number of synthetic arrivals to generate.
+	Requests int
+	// Trace supplies explicit arrivals instead of Poisson synthesis.
+	Trace []Request
+	// Seed drives arrivals, length jitter and the step-noise model.
+	Seed int64
+	// MaxBatch caps concurrently running sequences (default 32).
+	MaxBatch int
+	// BlockTokens is the paged-KV block size in tokens (default 16).
+	BlockTokens int
+	// LengthJitter varies synthetic lengths uniformly within ±fraction of
+	// the mean (default 0.25; negative disables, 0 means default).
+	LengthJitter float64
+	// TTFTSLOSec and TPOTSLOSec are the SLO targets (defaults 5s / 0.5s).
+	TTFTSLOSec float64
+	TPOTSLOSec float64
+	// HorizonSec bounds simulated time after the last arrival (default
+	// 3600s): requests still unfinished then count as SLO misses.
+	HorizonSec float64
+	// MaxSteps bounds engine events as a runaway guard (default 4e6).
+	MaxSteps int64
+}
+
+func (c *Config) normalize() error {
+	if c.Workload.Model.Validate() != nil {
+		return fmt.Errorf("serve: config needs a valid model")
+	}
+	if len(c.Trace) == 0 {
+		if c.Rate <= 0 {
+			return fmt.Errorf("serve: arrival rate %g must be positive", c.Rate)
+		}
+		if c.Requests <= 0 {
+			c.Requests = 64
+		}
+		if c.Workload.InputLen <= 0 {
+			c.Workload.InputLen = 128
+		}
+		if c.Workload.OutputLen <= 0 {
+			c.Workload.OutputLen = 32
+		}
+		if sum := c.Workload.InputLen + c.Workload.OutputLen; sum > c.Workload.Model.ContextLen {
+			return fmt.Errorf("serve: mean request length %d exceeds %s context %d",
+				sum, c.Workload.Model.Name, c.Workload.Model.ContextLen)
+		}
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.BlockTokens <= 0 {
+		c.BlockTokens = 16
+	}
+	switch {
+	case c.LengthJitter == 0:
+		c.LengthJitter = 0.25
+	case c.LengthJitter < 0:
+		c.LengthJitter = 0
+	}
+	if c.TTFTSLOSec <= 0 {
+		c.TTFTSLOSec = 5
+	}
+	if c.TPOTSLOSec <= 0 {
+		c.TPOTSLOSec = 0.5
+	}
+	if c.HorizonSec <= 0 {
+		c.HorizonSec = 3600
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 4_000_000
+	}
+	return nil
+}
+
+// Quantiles summarizes one latency metric across completed requests.
+type Quantiles struct {
+	Mean, P50, P95, P99 float64
+}
+
+// RequestMetrics is the per-request outcome.
+type RequestMetrics struct {
+	ID int
+	// TTFT is time from arrival to first generated token (prefill done).
+	TTFT float64
+	// TPOT is the mean time per output token after the first.
+	TPOT float64
+	// Latency is arrival-to-completion.
+	Latency float64
+	// QueueDelay is arrival-to-admission (first admission).
+	QueueDelay   float64
+	OutputTokens int
+	Preemptions  int
+	SLOMet       bool
+}
+
+// Report is the outcome of one serving run.
+type Report struct {
+	Platform    string
+	OfferedRate float64
+	// Completed / Dropped / Unfinished partition the offered requests.
+	// Dropped requests could never fit the KV pool; Unfinished ones were
+	// still queued or running at the horizon.
+	Completed, Dropped, Unfinished int
+	Preemptions                    int
+	MakespanSec                    float64
+	TotalTokens                    int
+	// TokensPerSec is aggregate generation throughput over the makespan.
+	TokensPerSec float64
+	// GoodputTokensPerSec counts only tokens of SLO-compliant requests —
+	// the paper's cost question, asked properly: protection you pay for is
+	// only worth the tokens that arrive on time.
+	GoodputTokensPerSec float64
+	// GoodRequestsPerSec is the SLO-compliant request completion rate.
+	GoodRequestsPerSec float64
+	TTFT               Quantiles
+	TPOT               Quantiles
+	Latency            Quantiles
+	KVBlocksTotal      int
+	PeakKVBlocksInUse  int
+	// KVBlocksInUseAtEnd must be zero whenever Unfinished is zero — any
+	// other value is a scheduler leak (tests assert this invariant).
+	KVBlocksInUseAtEnd int
+	Requests           []RequestMetrics
+}
+
+// SLOAttainment returns the fraction of offered requests that completed
+// within SLO.
+func (r *Report) SLOAttainment() float64 {
+	offered := r.Completed + r.Dropped + r.Unfinished
+	if offered == 0 {
+		return 0
+	}
+	good := 0
+	for _, m := range r.Requests {
+		if m.SLOMet {
+			good++
+		}
+	}
+	return float64(good) / float64(offered)
+}
+
+// CostAtSLO prices SLO-compliant serving of the offered load.
+type CostAtSLO struct {
+	// Replicas is the fleet size needed so the offered request rate fits
+	// within the per-replica SLO-compliant completion rate.
+	Replicas int
+	// FleetHourlyUSD is the rental price of the whole fleet.
+	FleetHourlyUSD float64
+	// USDPerMTok is dollars per million served output tokens with the
+	// SLO-sized fleet.
+	USDPerMTok float64
+}
+
+// CostAtSLO sizes a replica fleet for the offered load at this report's
+// measured per-replica SLO-compliant rate, and prices it per million served
+// tokens. hourlyPerReplica is the rental price of one instance.
+func (r *Report) CostAtSLO(hourlyPerReplica float64) (*CostAtSLO, error) {
+	replicas, err := cloud.ReplicasForRate(r.OfferedRate, r.GoodRequestsPerSec)
+	if err != nil {
+		return nil, err
+	}
+	meanOut := 0.0
+	if r.Completed > 0 {
+		n := 0
+		for _, m := range r.Requests {
+			meanOut += float64(m.OutputTokens)
+			n++
+		}
+		meanOut /= float64(n)
+	}
+	offeredTokens := r.OfferedRate * meanOut
+	usd, err := cloud.ServingCost(hourlyPerReplica, replicas, offeredTokens)
+	if err != nil {
+		return nil, err
+	}
+	return &CostAtSLO{
+		Replicas:       replicas,
+		FleetHourlyUSD: hourlyPerReplica * float64(replicas),
+		USDPerMTok:     usd,
+	}, nil
+}
+
+// quantiles computes the summary of a sample set.
+func quantiles(xs []float64) Quantiles {
+	if len(xs) == 0 {
+		return Quantiles{}
+	}
+	return Quantiles{
+		Mean: stats.Mean(xs),
+		P50:  stats.Percentile(xs, 50),
+		P95:  stats.Percentile(xs, 95),
+		P99:  stats.Percentile(xs, 99),
+	}
+}

@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+
+	"cllm/internal/dtype"
+	"cllm/internal/hw"
+	"cllm/internal/mem"
+	"cllm/internal/model"
+	"cllm/internal/perf"
+	"cllm/internal/tee"
+	"cllm/internal/trace"
+)
+
+// tinyModel is a small but valid transformer so scheduler tests iterate
+// fast; TEE-facing tests use the real zoo models.
+func tinyModel() model.Config {
+	return model.Config{
+		Name: "tiny", HiddenDim: 256, Layers: 4, Heads: 8, KVHeads: 8,
+		FFDim: 512, VocabSize: 1024, ContextLen: 2048, NormEps: 1e-5, RopeTheta: 10000,
+	}
+}
+
+func cpuBackend(p tee.Platform) Backend {
+	return Backend{CPU: perf.CPURun{CPU: hw.EMR1(), Platform: p, Sockets: 1, AMX: true}}
+}
+
+func tinyConfig(rate float64, n int) Config {
+	return Config{
+		Workload: trace.Workload{Model: tinyModel(), Kind: dtype.BF16, InputLen: 64, OutputLen: 8},
+		Rate:     rate,
+		Requests: n,
+		Seed:     1,
+	}
+}
+
+func mustLookup(t *testing.T, name string) model.Config {
+	t.Helper()
+	cfg, err := model.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestServeCompletesAndConservesBlocks(t *testing.T) {
+	rep, err := Run(cpuBackend(tee.Baremetal()), tinyConfig(20, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 40 || rep.Dropped != 0 || rep.Unfinished != 0 {
+		t.Fatalf("completed/dropped/unfinished = %d/%d/%d, want 40/0/0",
+			rep.Completed, rep.Dropped, rep.Unfinished)
+	}
+	if rep.KVBlocksInUseAtEnd != 0 {
+		t.Fatalf("leaked %d KV blocks", rep.KVBlocksInUseAtEnd)
+	}
+	if rep.TokensPerSec <= 0 || rep.TotalTokens == 0 {
+		t.Fatalf("no throughput: %+v", rep)
+	}
+	if rep.TTFT.P50 <= 0 || rep.Latency.P99 < rep.Latency.P50 {
+		t.Fatalf("implausible latency quantiles: %+v %+v", rep.TTFT, rep.Latency)
+	}
+	if rep.PeakKVBlocksInUse <= 0 || rep.PeakKVBlocksInUse > rep.KVBlocksTotal {
+		t.Fatalf("peak blocks %d outside (0, %d]", rep.PeakKVBlocksInUse, rep.KVBlocksTotal)
+	}
+	for _, m := range rep.Requests {
+		if m.TTFT <= 0 || m.Latency < m.TTFT || m.OutputTokens < 2 {
+			t.Fatalf("implausible request metrics: %+v", m)
+		}
+	}
+}
+
+func TestServeDeterministicForEqualSeeds(t *testing.T) {
+	a, err := Run(cpuBackend(tee.TDX()), tinyConfig(30, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cpuBackend(tee.TDX()), tinyConfig(30, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical seeds diverged:\n%+v\n%+v", a, b)
+	}
+	cfg := tinyConfig(30, 30)
+	cfg.Seed = 2
+	c, err := Run(cpuBackend(tee.TDX()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestServeFIFOAdmissionUnderOverload(t *testing.T) {
+	// Arrivals land faster than the batch cap can drain; admission must
+	// still follow arrival order.
+	var tr []Request
+	for i := 0; i < 24; i++ {
+		tr = append(tr, Request{ID: i, ArrivalSec: float64(i) * 1e-4, InputLen: 64, OutputLen: 8})
+	}
+	cfg := Config{Workload: trace.Workload{Model: tinyModel(), Kind: dtype.BF16}, Trace: tr, MaxBatch: 4, Seed: 1}
+	rep, order, err := RunAudited(cpuBackend(tee.Baremetal()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 24 {
+		t.Fatalf("completed %d, want 24", rep.Completed)
+	}
+	if len(order) != 24 {
+		t.Fatalf("admitted %d requests, want 24", len(order))
+	}
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("admission order %v is not FIFO", order)
+		}
+	}
+}
+
+func TestServePreemptionRecoversWithoutLeaks(t *testing.T) {
+	// Cap usable memory via the EPC so the pool holds only a couple of
+	// requests' KV, forcing preemption under concurrency.
+	m := tinyModel()
+	wl := trace.Workload{Model: m, Kind: dtype.BF16, InputLen: 64, OutputLen: 32}
+	weights := int64(trace.WeightFootprint(wl))
+	perToken := m.KVCacheBytesPerToken(2)
+	p := tee.Baremetal()
+	p.Name = "tiny-enclave"
+	// Room for ~160 tokens of KV: two requests in flight, a third starves.
+	p.EPC = mem.EPC{Size: weights + 160*perToken, PageInCostFactor: 1}
+	cfg := Config{Workload: wl, Rate: 50, Requests: 12, Seed: 3, BlockTokens: 16, LengthJitter: -1}
+	rep, err := Run(cpuBackend(p), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Preemptions == 0 {
+		t.Fatalf("expected preemptions with %d-block pool, got none (peak %d)",
+			rep.KVBlocksTotal, rep.PeakKVBlocksInUse)
+	}
+	if rep.Completed != 12 || rep.Unfinished != 0 || rep.Dropped != 0 {
+		t.Fatalf("completed/dropped/unfinished = %d/%d/%d, want 12/0/0",
+			rep.Completed, rep.Dropped, rep.Unfinished)
+	}
+	if rep.KVBlocksInUseAtEnd != 0 {
+		t.Fatalf("leaked %d KV blocks across preemptions", rep.KVBlocksInUseAtEnd)
+	}
+}
+
+func TestServeDropsImpossibleRequest(t *testing.T) {
+	m := tinyModel()
+	wl := trace.Workload{Model: m, Kind: dtype.BF16}
+	weights := int64(trace.WeightFootprint(wl))
+	p := tee.Baremetal()
+	p.EPC = mem.EPC{Size: weights + 100*m.KVCacheBytesPerToken(2), PageInCostFactor: 1}
+	tr := []Request{
+		{ID: 0, ArrivalSec: 0, InputLen: 32, OutputLen: 4},
+		{ID: 1, ArrivalSec: 0.01, InputLen: 1024, OutputLen: 4}, // can never fit 100 tokens of KV
+		{ID: 2, ArrivalSec: 0.02, InputLen: 32, OutputLen: 4},
+	}
+	rep, err := Run(cpuBackend(p), Config{Workload: wl, Trace: tr, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped != 1 || rep.Completed != 2 {
+		t.Fatalf("dropped/completed = %d/%d, want 1/2", rep.Dropped, rep.Completed)
+	}
+	if rep.KVBlocksInUseAtEnd != 0 {
+		t.Fatalf("leaked %d blocks", rep.KVBlocksInUseAtEnd)
+	}
+}
+
+func TestServeTEESlowerThanBaremetal(t *testing.T) {
+	cfg := Config{
+		Workload: trace.Workload{Model: mustLookup(t, "llama2-7b"), Kind: dtype.BF16, InputLen: 128, OutputLen: 8},
+		Rate:     1, Requests: 12, Seed: 1, LengthJitter: -1,
+	}
+	base, err := Run(cpuBackend(tee.Baremetal()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tdx, err := Run(cpuBackend(tee.TDX()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tdx.TTFT.P99 <= base.TTFT.P99 {
+		t.Fatalf("TDX p99 TTFT %.4fs not above baremetal %.4fs", tdx.TTFT.P99, base.TTFT.P99)
+	}
+	if tdx.TPOT.Mean <= base.TPOT.Mean {
+		t.Fatalf("TDX mean TPOT %.4fs not above baremetal %.4fs", tdx.TPOT.Mean, base.TPOT.Mean)
+	}
+}
+
+func TestServeGPUBackend(t *testing.T) {
+	be := Backend{IsGPU: true, GPU: perf.GPURun{GPU: hw.H100NVL(), Platform: tee.CGPU()}}
+	cfg := Config{
+		Workload: trace.Workload{Model: mustLookup(t, "llama2-7b"), Kind: dtype.BF16, InputLen: 128, OutputLen: 8},
+		Rate:     20, Requests: 16, Seed: 1,
+	}
+	rep, err := Run(be, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 16 || rep.KVBlocksInUseAtEnd != 0 {
+		t.Fatalf("GPU run: %+v", rep)
+	}
+	if rep.Platform != "cGPU" {
+		t.Fatalf("platform %q", rep.Platform)
+	}
+}
+
+func TestServeGoodputSaturates(t *testing.T) {
+	// Past saturation, pushing more load must not create more SLO-compliant
+	// output: deep overload queues requests past the TTFT target, so their
+	// tokens stop counting.
+	goodput := func(rate float64) float64 {
+		cfg := Config{
+			Workload: trace.Workload{Model: mustLookup(t, "llama2-7b"), Kind: dtype.BF16, InputLen: 64, OutputLen: 8},
+			Rate:     rate, Requests: 48, Seed: 1, MaxBatch: 8,
+			TTFTSLOSec: 1.5, TPOTSLOSec: 0.5, LengthJitter: -1,
+		}
+		rep, err := Run(cpuBackend(tee.Baremetal()), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.GoodputTokensPerSec
+	}
+	moderate := goodput(8)
+	flooded := goodput(500)
+	if flooded > moderate*1.05 {
+		t.Fatalf("goodput rose past saturation: %.1f tok/s at rate 8 vs %.1f tok/s at rate 500", moderate, flooded)
+	}
+}
+
+func TestServeCostAtSLO(t *testing.T) {
+	rep, err := Run(cpuBackend(tee.TDX()), tinyConfig(20, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := rep.CostAtSLO(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Replicas < 1 || cost.USDPerMTok <= 0 {
+		t.Fatalf("implausible cost: %+v", cost)
+	}
+	if cost.FleetHourlyUSD != float64(cost.Replicas) {
+		t.Fatalf("fleet hourly %.2f for %d replicas at $1/h", cost.FleetHourlyUSD, cost.Replicas)
+	}
+}
+
+func TestServeConfigValidation(t *testing.T) {
+	be := cpuBackend(tee.Baremetal())
+	if _, err := Run(be, Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := Run(be, Config{Workload: trace.Workload{Model: tinyModel(), Kind: dtype.BF16}, Rate: -1}); err == nil {
+		t.Error("negative rate accepted")
+	}
+	dup := []Request{{ID: 1, ArrivalSec: 0, InputLen: 8, OutputLen: 2}, {ID: 1, ArrivalSec: 1, InputLen: 8, OutputLen: 2}}
+	if _, err := Run(be, Config{Workload: trace.Workload{Model: tinyModel(), Kind: dtype.BF16}, Trace: dup}); err == nil {
+		t.Error("duplicate trace IDs accepted")
+	}
+	// An invalid backend must fail the run, not report zeros as data.
+	bad := cpuBackend(tee.Baremetal())
+	bad.CPU.Sockets = 3 // EMR1 has 2
+	if _, err := Run(bad, tinyConfig(10, 4)); err == nil {
+		t.Error("impossible socket count accepted")
+	}
+	// A model too large for the platform memory must fail, not hang.
+	huge := trace.Workload{Model: mustLookup(t, "llama2-70b"), Kind: dtype.F32}
+	be70 := cpuBackend(tee.Baremetal())
+	be70.CPU.CPU.MemPerSocketBytes = 32 << 30
+	if _, err := Run(be70, Config{Workload: huge, Rate: 1}); err == nil {
+		t.Error("oversized weights accepted")
+	}
+}

@@ -67,17 +67,36 @@ func (e *Engine) Schedule(delay Time, fn func(*Engine)) {
 
 // Run processes events until the queue is empty or the step limit is hit.
 func (e *Engine) Run(maxSteps int64) error {
+	_, err := e.RunUntil(Time(math.Inf(1)), maxSteps)
+	return err
+}
+
+// RunUntil processes events whose time does not exceed horizon, subject to
+// the same step limit as Run. Events scheduled beyond the horizon stay
+// queued; the clock advances to the horizon if any work was pending past it.
+// It returns the number of events left unprocessed. Open-loop serving
+// simulations use this to bound runaway backlogs deterministically.
+func (e *Engine) RunUntil(horizon Time, maxSteps int64) (remaining int, err error) {
 	for e.queue.Len() > 0 {
+		if e.queue[0].At > horizon {
+			if horizon > e.now { // never rewind the clock
+				e.now = horizon
+			}
+			return e.queue.Len(), nil
+		}
 		if maxSteps >= 0 && e.Steps >= maxSteps {
-			return fmt.Errorf("sim: step limit %d reached at t=%g", maxSteps, float64(e.now))
+			return e.queue.Len(), fmt.Errorf("sim: step limit %d reached at t=%g", maxSteps, float64(e.now))
 		}
 		ev := heap.Pop(&e.queue).(*Event)
 		e.now = ev.At
 		e.Steps++
 		ev.Fn(e)
 	}
-	return nil
+	return 0, nil
 }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.queue.Len() }
 
 // Noise generates the latency jitter observed on real systems. TEE runs get
 // extra multiplicative jitter plus rare heavy-tail outliers caused by

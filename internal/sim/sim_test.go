@@ -139,3 +139,61 @@ func TestNoiseTEEOutlierTail(t *testing.T) {
 		t.Errorf("baseline has more outliers (%d) than TEE (%d)", removedBase, removed)
 	}
 }
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	for i := 1; i <= 5; i++ {
+		i := i
+		e.Schedule(Time(i), func(*Engine) { fired = append(fired, i) })
+	}
+	remaining, err := e.RunUntil(3, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remaining != 2 || e.Pending() != 2 {
+		t.Fatalf("remaining = %d (pending %d), want 2", remaining, e.Pending())
+	}
+	if len(fired) != 3 || fired[2] != 3 {
+		t.Fatalf("fired = %v, want [1 2 3]", fired)
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now = %g, want horizon 3", float64(e.Now()))
+	}
+	// The queued tail survives and runs on a later call.
+	remaining, err = e.RunUntil(10, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remaining != 0 || len(fired) != 5 {
+		t.Fatalf("after second pass: remaining %d, fired %v", remaining, fired)
+	}
+	if e.Now() != 5 {
+		t.Errorf("Now = %g, want last event time 5", float64(e.Now()))
+	}
+}
+
+func TestEngineRunUntilStepLimit(t *testing.T) {
+	e := NewEngine()
+	var reschedule func(*Engine)
+	reschedule = func(*Engine) { e.Schedule(1, reschedule) }
+	e.Schedule(1, reschedule)
+	if _, err := e.RunUntil(1e18, 100); err == nil {
+		t.Fatal("runaway event chain not stopped by step limit")
+	}
+}
+
+func TestEngineRunUntilNeverRewinds(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func(*Engine) {})
+	if err := e.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	e.Schedule(10, func(*Engine) {}) // fires at t=15
+	if _, err := e.RunUntil(2, -1); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 5 {
+		t.Errorf("clock rewound to %g; must stay at 5", float64(e.Now()))
+	}
+}

@@ -1,0 +1,160 @@
+package cllm
+
+import (
+	"fmt"
+
+	"cllm/internal/cloud"
+	"cllm/internal/model"
+	"cllm/internal/perf"
+	"cllm/internal/serve"
+	"cllm/internal/trace"
+)
+
+// ServeConfig describes an open-loop serving run: a Poisson stream of
+// requests against a continuous-batching server on the session's platform.
+type ServeConfig struct {
+	// Model is a zoo name (default "llama2-7b"); DType as in Workload.
+	Model string
+	DType string
+	// InputLen / OutputLen are mean request lengths (defaults 128 / 32);
+	// individual requests jitter ±25% around them.
+	InputLen, OutputLen int
+	// RatePerSec is the Poisson arrival rate (required).
+	RatePerSec float64
+	// Requests is the number of arrivals to simulate (default 64).
+	Requests int
+	// MaxBatch caps concurrent sequences (default 32).
+	MaxBatch int
+	// BlockTokens is the paged KV-cache block size (default 16 tokens).
+	BlockTokens int
+	// Sockets / Cores select the CPU deployment as in MeasureOptions.
+	Sockets, Cores int
+	// TTFTSLOSec / TPOTSLOSec are SLO targets (defaults 5s / 0.5s).
+	TTFTSLOSec, TPOTSLOSec float64
+}
+
+// ServeReport summarizes a serving run: load-level throughput and tail
+// latency, SLO attainment, and the cost of SLO-compliant serving.
+type ServeReport struct {
+	Platform    string
+	OfferedRate float64
+	// Completed/Dropped/Unfinished partition the offered requests.
+	Completed, Dropped, Unfinished int
+	Preemptions                    int
+	// TokensPerSec is aggregate generation throughput; goodput counts only
+	// tokens of requests that met the SLO.
+	TokensPerSec        float64
+	GoodputTokensPerSec float64
+	// SLOAttainment is the fraction of offered requests served within SLO.
+	SLOAttainment float64
+	// Tail latency (seconds).
+	TTFTp50, TTFTp95, TTFTp99 float64
+	TPOTMean                  float64
+	LatencyP50, LatencyP99    float64
+	// Paged KV-cache pressure.
+	KVBlocksTotal, PeakKVBlocksInUse int
+	// SLO-aware cost: the replica fleet sized so the offered request rate
+	// fits the measured per-replica SLO-compliant rate, priced per million
+	// served tokens. SLOFeasible is false when no finite fleet hits the SLO
+	// (a single replica serves no request within target).
+	SLOFeasible     bool
+	ReplicasAtSLO   int
+	FleetHourlyUSD  float64
+	USDPerMTokAtSLO float64
+}
+
+// Serve runs the continuous-batching serving simulator on the session's
+// platform and reports throughput, tail latency and SLO-aware cost. TEE
+// mechanisms (memory encryption, enclave paging, bounce buffers) flow into
+// every scheduler iteration through the same roofline the single-request
+// Measure path uses.
+func (s *Session) Serve(cfg ServeConfig) (*ServeReport, error) {
+	if cfg.RatePerSec <= 0 {
+		return nil, fmt.Errorf("cllm: serving needs a positive arrival rate, got %g", cfg.RatePerSec)
+	}
+	if cfg.Model == "" {
+		cfg.Model = "llama2-7b"
+	}
+	kind, err := parseDType(cfg.DType)
+	if err != nil {
+		return nil, err
+	}
+	mcfg, err := model.Lookup(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+
+	var be serve.Backend
+	if s.isGPU {
+		be = serve.Backend{IsGPU: true, GPU: perf.GPURun{GPU: s.gpu, Platform: s.platform, Seed: s.cfg.Seed}}
+	} else {
+		be = serve.Backend{CPU: perf.CPURun{
+			CPU: s.cpu, Platform: s.platform,
+			Sockets: cfg.Sockets, CoresPerSocket: cfg.Cores,
+			AMX: true, Seed: s.cfg.Seed,
+		}}
+	}
+
+	rep, err := serve.Run(be, serve.Config{
+		Workload:    trace.Workload{Model: mcfg, Kind: kind, InputLen: cfg.InputLen, OutputLen: cfg.OutputLen},
+		Rate:        cfg.RatePerSec,
+		Requests:    cfg.Requests,
+		Seed:        s.cfg.Seed,
+		MaxBatch:    cfg.MaxBatch,
+		BlockTokens: cfg.BlockTokens,
+		TTFTSLOSec:  cfg.TTFTSLOSec,
+		TPOTSLOSec:  cfg.TPOTSLOSec,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &ServeReport{
+		Platform:            rep.Platform,
+		OfferedRate:         rep.OfferedRate,
+		Completed:           rep.Completed,
+		Dropped:             rep.Dropped,
+		Unfinished:          rep.Unfinished,
+		Preemptions:         rep.Preemptions,
+		TokensPerSec:        rep.TokensPerSec,
+		GoodputTokensPerSec: rep.GoodputTokensPerSec,
+		SLOAttainment:       rep.SLOAttainment(),
+		TTFTp50:             rep.TTFT.P50,
+		TTFTp95:             rep.TTFT.P95,
+		TTFTp99:             rep.TTFT.P99,
+		TPOTMean:            rep.TPOT.Mean,
+		LatencyP50:          rep.Latency.P50,
+		LatencyP99:          rep.Latency.P99,
+		KVBlocksTotal:       rep.KVBlocksTotal,
+		PeakKVBlocksInUse:   rep.PeakKVBlocksInUse,
+	}
+
+	hourly, err := s.serveHourlyUSD(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cost, err := rep.CostAtSLO(hourly); err == nil {
+		out.SLOFeasible = true
+		out.ReplicasAtSLO = cost.Replicas
+		out.FleetHourlyUSD = cost.FleetHourlyUSD
+		out.USDPerMTokAtSLO = cost.USDPerMTok
+	}
+	return out, nil
+}
+
+// serveHourlyUSD prices one replica of the session's deployment.
+func (s *Session) serveHourlyUSD(cfg ServeConfig) (float64, error) {
+	prices := cloud.DefaultPrices()
+	if s.isGPU {
+		return prices.CGPUHour, nil
+	}
+	sockets := cfg.Sockets
+	if sockets <= 0 {
+		sockets = 1
+	}
+	cores := cfg.Cores
+	if cores <= 0 {
+		cores = s.cpu.CoresPerSocket
+	}
+	return prices.HourlyCost(cloud.CPUInstance{VCPUs: cores * sockets, MemGiB: 128})
+}
