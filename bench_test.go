@@ -52,6 +52,9 @@ func BenchmarkHybridOffload(b *testing.B)    { benchExperiment(b, "hybrid") }
 func BenchmarkSapphireRapids(b *testing.B)   { benchExperiment(b, "spr") }
 func BenchmarkTDXAblation(b *testing.B)      { benchExperiment(b, "ablation") }
 func BenchmarkServingCurves(b *testing.B)    { benchExperiment(b, "serving") }
+func BenchmarkChunkedPrefill(b *testing.B)   { benchExperiment(b, "chunked") }
+func BenchmarkPrefixCache(b *testing.B)      { benchExperiment(b, "prefix") }
+func BenchmarkFleetPolicies(b *testing.B)    { benchExperiment(b, "fleet") }
 
 // BenchmarkServeScheduler measures the serving simulator itself: simulated
 // requests completed per wall-clock second of scheduler execution.
@@ -183,6 +186,7 @@ func TestBenchmarkCoverage(t *testing.T) {
 		"othermodels": true, "snc": true,
 		"sev": true, "b100": true, "scaleout": true, "hybrid": true,
 		"spr": true, "ablation": true, "serving": true,
+		"chunked": true, "prefix": true, "fleet": true,
 	}
 	for _, e := range Experiments() {
 		if !covered[e.ID] {

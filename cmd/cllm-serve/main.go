@@ -1,16 +1,21 @@
 // cllm-serve simulates production serving on a confidential platform:
 // Poisson arrivals into a continuous-batching scheduler with a paged
-// KV-cache, reported as throughput–latency curves with SLO-aware cost.
+// KV-cache — optionally with chunked prefill, prefix-cache sharing and a
+// load-balanced multi-replica fleet — reported as throughput–latency
+// curves with SLO-aware cost.
 //
 // Usage:
 //
 //	cllm-serve -platform tdx -rate 8
 //	cllm-serve -platform baremetal,tdx,sgx -rate 8 -model llama2-7b
 //	cllm-serve -platform cgpu -rate 24 -slo-ttft 2 -slo-tpot 0.2
+//	cllm-serve -platform sgx -rate 2 -prefix-share -prefix-groups 4 -chunk-size 512
+//	cllm-serve -replicas 4 -lb-policy prefix-affinity -prefix-share -chunk-size 512 -format json
 //
 // For each platform the offered rate is swept around -rate, tracing how
 // tail latency and cost-per-million-tokens move as load approaches and
-// passes saturation.
+// passes saturation. -format csv|json emits the same rows machine-readably
+// for plotting (schema in docs/serving-model.md).
 package main
 
 import (
@@ -33,18 +38,33 @@ func main() {
 	inLen := flag.Int("in", 128, "mean prompt tokens")
 	outLen := flag.Int("out", 32, "mean generated tokens")
 	batch := flag.Int("batch", 32, "max concurrent sequences")
+	chunkSize := flag.Int("chunk-size", 0, "chunked-prefill budget in prompt tokens per iteration (0 = monolithic prefill)")
+	prefixShare := flag.Bool("prefix-share", false, "enable prefix-cache sharing of common prompt prefixes")
+	prefixGroups := flag.Int("prefix-groups", 0, "synthetic shared-prefix groups (0 = independent prompts; defaults to 4 with -prefix-share)")
+	prefixFrac := flag.Float64("prefix-frac", 0.5, "shared fraction of the mean prompt per prefix group")
+	replicas := flag.Int("replicas", 1, "simulated fleet size behind the load balancer")
+	lbPolicy := flag.String("lb-policy", "round-robin", "fleet dispatch policy: round-robin|least-loaded|prefix-affinity")
+	format := flag.String("format", "table", "output format: table|csv|json")
 	sloTTFT := flag.Float64("slo-ttft", 5, "TTFT SLO (seconds)")
 	sloTPOT := flag.Float64("slo-tpot", 0.5, "TPOT SLO (seconds/token)")
 	sockets := flag.Int("sockets", 1, "CPU sockets")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	flag.Parse()
 
+	if *format != "table" && *format != "csv" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "cllm-serve: unknown -format %q (table|csv|json)\n", *format)
+		os.Exit(1)
+	}
+	if *prefixShare && *prefixGroups <= 0 {
+		*prefixGroups = 4 // sharing without declared groups would never hit
+	}
+
 	mults := []float64{0.25, 0.5, 1, 1.5, 2}
 	table := &harness.Result{
 		ID: "serve",
-		Title: fmt.Sprintf("%s (%s), %d requests per point, in/out %d/%d tokens, SLO TTFT %.2gs TPOT %.2gs",
-			*modelName, *dt, *requests, *inLen, *outLen, *sloTTFT, *sloTPOT),
-		Header: []string{"platform", "rate(req/s)", "tput(tok/s)", "goodput", "SLO%", "TTFT p50(s)", "TTFT p99(s)", "TPOT(s)", "p99 lat(s)", "replicas@SLO", "$/Mtok@SLO"},
+		Title: fmt.Sprintf("%s (%s), %d requests per point, in/out %d/%d tokens, chunk %d, share %v, %d replica(s) %s, SLO TTFT %.2gs TPOT %.2gs",
+			*modelName, *dt, *requests, *inLen, *outLen, *chunkSize, *prefixShare, *replicas, *lbPolicy, *sloTTFT, *sloTPOT),
+		Header: []string{"platform", "rate(req/s)", "tput(tok/s)", "goodput", "SLO%", "TTFT p50(s)", "TTFT p99(s)", "TPOT(s)", "TPOT p99(s)", "p99 lat(s)", "prefix-hit(tok)", "preempt", "replicas", "$/Mtok@SLO"},
 	}
 	for _, plat := range strings.Split(*platforms, ",") {
 		plat = strings.TrimSpace(plat)
@@ -62,15 +82,21 @@ func main() {
 				InputLen: *inLen, OutputLen: *outLen,
 				RatePerSec: *rate * m, Requests: *requests,
 				MaxBatch: *batch, Sockets: *sockets,
-				TTFTSLOSec: *sloTTFT, TPOTSLOSec: *sloTPOT,
+				ChunkTokens:   *chunkSize,
+				PrefixSharing: *prefixShare,
+				PrefixGroups:  *prefixGroups,
+				PrefixFrac:    *prefixFrac,
+				Replicas:      *replicas,
+				LBPolicy:      *lbPolicy,
+				TTFTSLOSec:    *sloTTFT, TPOTSLOSec: *sloTPOT,
 			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "cllm-serve: %s at rate %.2f: %v\n", plat, *rate*m, err)
 				os.Exit(1)
 			}
-			replicas, cost := "-", "-"
+			nRepl, cost := "-", "-"
 			if rep.SLOFeasible {
-				replicas = fmt.Sprintf("%d", rep.ReplicasAtSLO)
+				nRepl = fmt.Sprintf("%d", rep.ReplicasAtSLO)
 				cost = fmt.Sprintf("%.2f", rep.USDPerMTokAtSLO)
 			}
 			table.Rows = append(table.Rows, []string{
@@ -82,12 +108,27 @@ func main() {
 				fmt.Sprintf("%.3f", rep.TTFTp50),
 				fmt.Sprintf("%.3f", rep.TTFTp99),
 				fmt.Sprintf("%.3f", rep.TPOTMean),
+				fmt.Sprintf("%.3f", rep.TPOTp99),
 				fmt.Sprintf("%.2f", rep.LatencyP99),
-				replicas,
+				fmt.Sprintf("%d", rep.PrefixCacheHitTokens),
+				fmt.Sprintf("%d", rep.Preemptions),
+				nRepl,
 				cost,
 			})
 		}
 	}
 
-	fmt.Print(table.Render())
+	switch *format {
+	case "csv":
+		fmt.Print(table.CSV())
+	case "json":
+		out, err := table.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cllm-serve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+	default:
+		fmt.Print(table.Render())
+	}
 }

@@ -63,4 +63,19 @@ func main() {
 		fmt.Println("        the H100 leaves HBM unencrypted (Table I) — for the strictest")
 		fmt.Println("        threat models the CPU deployment wins regardless of cost.")
 	}
+
+	// Single-request $/Mtok assumes the instance is always busy. Under real
+	// load, SLOs decide how much of the rented fleet is actually useful —
+	// simulate a served fleet instead of extrapolating (see
+	// examples/fleetsizing for the full comparison).
+	fmt.Println("\nserved fleet check (TDX, 8 req/s, chat workload):")
+	served, err := tdx.Serve(cllm.ServeConfig{
+		Model: "llama2-7b", RatePerSec: 8, Requests: 64,
+		Replicas: 2, LBPolicy: "least-loaded", ChunkTokens: 512,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  2 replicas: %.0f%% of requests within SLO, $%.2f/Mtok served\n",
+		served.SLOAttainment*100, served.USDPerMTokAtSLO)
 }

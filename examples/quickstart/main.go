@@ -53,4 +53,21 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("at 32 vCPUs: $%.2f/hour, $%.2f per million tokens\n", cost.HourlyUSD, cost.USDPerMTok)
+
+	// 6. The same question under production load: a Poisson request stream
+	//    into the continuous-batching scheduler, with chunked prefill
+	//    bounding decode stalls. Throughput, tail latency and SLO-aware
+	//    cost all emerge from the same modeled TEE mechanisms.
+	served, err := session.Serve(cllm.ServeConfig{
+		Model: "llama2-7b", RatePerSec: 8, Requests: 64, ChunkTokens: 512,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving at 8 req/s: %.1f tok/s goodput, TTFT p99 %.2fs, %.0f%% within SLO\n",
+		served.GoodputTokensPerSec, served.TTFTp99, served.SLOAttainment*100)
+	if served.SLOFeasible {
+		fmt.Printf("SLO fleet: %d replica(s), $%.2f per million served tokens\n",
+			served.ReplicasAtSLO, served.USDPerMTokAtSLO)
+	}
 }

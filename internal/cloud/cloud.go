@@ -114,6 +114,20 @@ func ServingCost(hourlyPerReplica float64, replicas int, offeredTokensPerSec flo
 	return CostPerMTokens(hourlyPerReplica*float64(replicas), offeredTokensPerSec)
 }
 
+// FleetCostPerMTok prices a simulated fleet: `replicas` identical
+// instances at `hourlyPerReplica` whose simulation served
+// `servedTokensPerSec` aggregate SLO-compliant output tokens per second.
+// Unlike ServingCost, the fleet size and the served rate both come from a
+// multi-replica simulation (see internal/serve.RunFleet) rather than from
+// extrapolating one replica's goodput — load-balancer skew, per-replica
+// queueing and prefix-cache locality are in the inputs.
+func FleetCostPerMTok(hourlyPerReplica float64, replicas int, servedTokensPerSec float64) (float64, error) {
+	if replicas <= 0 {
+		return 0, fmt.Errorf("cloud: non-positive replica count %d", replicas)
+	}
+	return CostPerMTokens(hourlyPerReplica*float64(replicas), servedTokensPerSec)
+}
+
 // CostPoint is one (vCPUs, throughput, cost) sample of a scaling sweep.
 type CostPoint struct {
 	VCPUs        int

@@ -6,6 +6,8 @@
 package harness
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -94,6 +96,62 @@ func (r *Result) Render() string {
 		fmt.Fprintf(&b, "check [%s] %s: %s\n", status, c.Name, c.Detail)
 	}
 	return b.String()
+}
+
+// CSV renders the result's table as RFC-4180 CSV: one header line followed
+// by the data rows. Checks and notes are not part of the tabular schema —
+// machine consumers wanting them should use JSON. The column schema per
+// tool is documented in docs/serving-model.md.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write(r.Header)
+	for _, row := range r.Rows {
+		_ = w.Write(row)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// JSON renders the full result — metadata, rows keyed by header name,
+// shape checks and notes — as an indented JSON document (schema in
+// docs/serving-model.md). Rows shorter than the header are padded with
+// empty strings.
+func (r *Result) JSON() (string, error) {
+	type check struct {
+		Name   string `json:"name"`
+		Pass   bool   `json:"pass"`
+		Detail string `json:"detail"`
+	}
+	rows := make([]map[string]string, len(r.Rows))
+	for i, row := range r.Rows {
+		m := make(map[string]string, len(r.Header))
+		for j, h := range r.Header {
+			if j < len(row) {
+				m[h] = row[j]
+			} else {
+				m[h] = ""
+			}
+		}
+		rows[i] = m
+	}
+	checks := make([]check, len(r.Checks))
+	for i, c := range r.Checks {
+		checks[i] = check{Name: c.Name, Pass: c.Pass, Detail: c.Detail}
+	}
+	doc := struct {
+		ID     string              `json:"id"`
+		Title  string              `json:"title"`
+		Header []string            `json:"header"`
+		Rows   []map[string]string `json:"rows"`
+		Checks []check             `json:"checks,omitempty"`
+		Notes  []string            `json:"notes,omitempty"`
+	}{r.ID, r.Title, r.Header, rows, checks, r.Notes}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
 }
 
 // Experiment is a registered paper artifact.

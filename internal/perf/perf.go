@@ -200,7 +200,13 @@ func cpuOpTimes(cfg CPURun, st trace.StepTrace) []float64 {
 
 	// Step-level working set drives TLB pressure: each step streams the
 	// weights plus the KV cache, evicting translations continuously.
-	ws := st.TotalBytes()
+	// Cross-row re-reads of shared prefix pages (st.SharedBytes) are
+	// bandwidth, not resident footprint — the pages are mapped once, so
+	// they neither widen TLB reach demand nor page the enclave.
+	ws := st.TotalBytes() - st.SharedBytes
+	if ws < 0 {
+		ws = 0
+	}
 	tlb := mem.TLBPenalty(ws, p.Pages, cfg.CPU.DTLBEntries, p.PageWalkAmp)
 	epcFactor := p.EPC.PagingPenalty(ws)
 
@@ -258,6 +264,32 @@ func CPUStepTime(cfg CPURun, st trace.StepTrace) (float64, error) {
 // GPUStepTime is CPUStepTime's GPU counterpart.
 func GPUStepTime(cfg GPURun, st trace.StepTrace) (float64, error) {
 	if err := cfg.Workload.Validate(); err != nil {
+		return 0, err
+	}
+	return gpuStepTime(cfg, st), nil
+}
+
+// CPUPrefillChunkTime costs one chunked-prefill step on the CPU
+// configuration: cfg.Workload.InputLen new prompt tokens per row computed
+// on top of hist cached tokens (earlier chunks or shared-prefix reuse).
+// With hist == 0 it equals the monolithic prompt pass of the same length.
+// The serving scheduler uses this to bound per-iteration prefill work so
+// in-flight decodes keep a steady token cadence.
+func CPUPrefillChunkTime(cfg CPURun, hist int) (float64, error) {
+	if err := cfg.normalize(); err != nil {
+		return 0, err
+	}
+	st, err := trace.PrefillChunkStep(cfg.Workload, hist)
+	if err != nil {
+		return 0, err
+	}
+	return cpuStepTime(cfg, st), nil
+}
+
+// GPUPrefillChunkTime is CPUPrefillChunkTime's GPU counterpart.
+func GPUPrefillChunkTime(cfg GPURun, hist int) (float64, error) {
+	st, err := trace.PrefillChunkStep(cfg.Workload, hist)
+	if err != nil {
 		return 0, err
 	}
 	return gpuStepTime(cfg, st), nil

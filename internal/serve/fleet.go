@@ -1,0 +1,286 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"cllm/internal/cloud"
+	"cllm/internal/sim"
+)
+
+// LBPolicy selects how a fleet's load balancer dispatches arrivals to
+// replicas.
+type LBPolicy int
+
+const (
+	// RoundRobin dispatches arrivals to replicas in rotation.
+	RoundRobin LBPolicy = iota
+	// LeastLoaded dispatches each arrival to the replica with the fewest
+	// outstanding (queued + running) requests at arrival time.
+	LeastLoaded
+	// PrefixAffinity routes requests that declare a shared prefix to the
+	// replica owning that prefix (hash of the prefix identity), so one
+	// replica's prefix cache serves the whole group. To avoid hash skew
+	// starving the fleet, a request whose home replica is badly overloaded
+	// relative to the least-loaded one is dispatched least-loaded instead
+	// (cache-aware routing with a load guard, as production routers do).
+	// Requests without a prefix always go least-loaded. Only useful with
+	// Config.PrefixSharing on.
+	PrefixAffinity
+)
+
+// affinityOverloadSlack is how many outstanding requests beyond twice the
+// fleet minimum a prefix's home replica may hold before prefix-affinity
+// dispatch abandons cache locality for load balance.
+const affinityOverloadSlack = 4
+
+// String names the policy as the CLI spells it.
+func (p LBPolicy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case LeastLoaded:
+		return "least-loaded"
+	case PrefixAffinity:
+		return "prefix-affinity"
+	}
+	return fmt.Sprintf("LBPolicy(%d)", int(p))
+}
+
+// ParseLBPolicy resolves a CLI policy name.
+func ParseLBPolicy(s string) (LBPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "round-robin", "rr", "":
+		return RoundRobin, nil
+	case "least-loaded", "ll":
+		return LeastLoaded, nil
+	case "prefix-affinity", "affinity", "pa":
+		return PrefixAffinity, nil
+	}
+	return 0, fmt.Errorf("serve: unknown load-balancing policy %q (round-robin|least-loaded|prefix-affinity)", s)
+}
+
+// FleetConfig describes a multi-replica deployment: N identical replicas
+// of the backend behind a load balancer.
+type FleetConfig struct {
+	// Replicas is the fleet size (default 1).
+	Replicas int
+	// Policy is the dispatch policy (default RoundRobin).
+	Policy LBPolicy
+}
+
+// FleetReport is the outcome of one fleet simulation: the aggregate view
+// the operator sees plus each replica's own report.
+type FleetReport struct {
+	// Policy is the dispatch policy's name.
+	Policy string
+	// Aggregate merges all replicas: counters are summed, quantiles are
+	// computed over the union of completed requests, and KV/prefix-cache
+	// figures are fleet totals (peak block usage sums per-replica peaks,
+	// which may occur at different times).
+	Aggregate *Report
+	// PerReplica holds each replica's own report, indexed by replica.
+	PerReplica []*Report
+	// Dispatch counts arrivals routed to each replica.
+	Dispatch []int
+}
+
+// SLOAttainment returns the fleet-wide fraction of offered requests served
+// within SLO.
+func (f *FleetReport) SLOAttainment() float64 { return f.Aggregate.SLOAttainment() }
+
+// CostPerMTok prices the simulated fleet directly: all replicas are rented
+// for the whole run while only SLO-compliant tokens count as served. This
+// replaces the single-replica extrapolation (Report.CostAtSLO) with a
+// simulated fleet — queueing interactions between replicas and the load
+// balancer are in the number, not assumed away.
+func (f *FleetReport) CostPerMTok(hourlyPerReplica float64) (float64, error) {
+	return cloud.FleetCostPerMTok(hourlyPerReplica, len(f.PerReplica), f.Aggregate.GoodputTokensPerSec)
+}
+
+// RunFleet simulates cfg's offered load against a fleet of identical
+// replicas sharing one simulated clock: the load balancer dispatches each
+// arrival to a replica per fc.Policy, and every replica runs its own
+// continuous-batching scheduler, KV pool and noise stream. The offered
+// rate is the fleet rate — fc.Replicas divides it implicitly through
+// dispatch, not by pre-splitting the trace.
+func RunFleet(be Backend, cfg Config, fc FleetConfig) (*FleetReport, error) {
+	if fc.Replicas <= 0 {
+		fc.Replicas = 1
+	}
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if !be.IsGPU && be.CPU.Sockets <= 0 {
+		be.CPU.Sockets = 1
+	}
+	eng := sim.NewEngine()
+	reps := make([]*scheduler, fc.Replicas)
+	for i := range reps {
+		s, err := newScheduler(be, cfg, eng, newNoise(be, cfg.Seed+int64(i)*7919+1))
+		if err != nil {
+			return nil, err
+		}
+		reps[i] = s
+	}
+	arrivals, err := genArrivals(cfg, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+
+	dispatch := make([]int, fc.Replicas)
+	perReplica := make([][]*reqState, fc.Replicas)
+	rr := 0
+	leastLoaded := func() (int, int) {
+		// Fewest outstanding requests, lowest index on ties (deterministic).
+		best, load := 0, reps[0].outstanding()
+		for i := 1; i < fc.Replicas; i++ {
+			if l := reps[i].outstanding(); l < load {
+				best, load = i, l
+			}
+		}
+		return best, load
+	}
+	pick := func(req Request) int {
+		switch fc.Policy {
+		case RoundRobin:
+			i := rr % fc.Replicas
+			rr++
+			return i
+		case PrefixAffinity:
+			if req.PrefixID != 0 {
+				home := int(prefixHash(req.PrefixID) % uint64(fc.Replicas))
+				best, load := leastLoaded()
+				if reps[home].outstanding() <= 2*load+affinityOverloadSlack {
+					return home
+				}
+				return best
+			}
+		}
+		best, _ := leastLoaded()
+		return best
+	}
+
+	lastArrival := 0.0
+	for _, req := range arrivals {
+		req := req
+		st := &reqState{req: req}
+		if req.ArrivalSec > lastArrival {
+			lastArrival = req.ArrivalSec
+		}
+		eng.Schedule(sim.Time(req.ArrivalSec), func(*sim.Engine) {
+			i := pick(req)
+			dispatch[i]++
+			perReplica[i] = append(perReplica[i], st)
+			reps[i].submit(st)
+		})
+	}
+	horizon := sim.Time(lastArrival + cfg.HorizonSec)
+	if _, err := eng.RunUntil(horizon, cfg.MaxSteps); err != nil {
+		return nil, err
+	}
+
+	out := &FleetReport{
+		Policy:     fc.Policy.String(),
+		PerReplica: make([]*Report, fc.Replicas),
+		Dispatch:   dispatch,
+	}
+	for i, s := range reps {
+		if s.err != nil {
+			return nil, s.err
+		}
+		out.PerReplica[i] = s.report(perReplica[i])
+	}
+	out.Aggregate = mergeReports(cfg, out.PerReplica)
+	// Each replica's offered load is its dispatch share of the fleet rate,
+	// not the whole fleet rate the scheduler config carries.
+	if n := len(arrivals); n > 0 {
+		for i, r := range out.PerReplica {
+			r.OfferedRate = out.Aggregate.OfferedRate * float64(dispatch[i]) / float64(n)
+		}
+	}
+	return out, nil
+}
+
+// mergeReports builds the fleet-wide aggregate from per-replica reports.
+func mergeReports(cfg Config, reps []*Report) *Report {
+	agg := &Report{OfferedRate: cfg.Rate}
+	var ttfts, tpots, lats []float64
+	goodTokens, goodReqs := 0, 0
+	for _, r := range reps {
+		agg.Platform = r.Platform
+		agg.Completed += r.Completed
+		agg.Dropped += r.Dropped
+		agg.Unfinished += r.Unfinished
+		agg.Preemptions += r.Preemptions
+		agg.TotalTokens += r.TotalTokens
+		agg.KVBlocksTotal += r.KVBlocksTotal
+		agg.PeakKVBlocksInUse += r.PeakKVBlocksInUse
+		agg.KVBlocksInUseAtEnd += r.KVBlocksInUseAtEnd
+		agg.KVBlocksCachedAtEnd += r.KVBlocksCachedAtEnd
+		agg.PrefixCacheHitTokens += r.PrefixCacheHitTokens
+		agg.PrefixCacheMissTokens += r.PrefixCacheMissTokens
+		agg.EvictedBlocks += r.EvictedBlocks
+		if r.MakespanSec > agg.MakespanSec {
+			agg.MakespanSec = r.MakespanSec
+		}
+		for _, m := range r.Requests {
+			agg.Requests = append(agg.Requests, m)
+			ttfts = append(ttfts, m.TTFT)
+			lats = append(lats, m.Latency)
+			if m.OutputTokens > 1 {
+				tpots = append(tpots, m.TPOT)
+			}
+			if m.SLOMet {
+				goodReqs++
+				goodTokens += m.OutputTokens
+			}
+		}
+	}
+	if len(cfg.Trace) > 0 {
+		span := 0.0
+		for _, r := range cfg.Trace {
+			if r.ArrivalSec > span {
+				span = r.ArrivalSec
+			}
+		}
+		if span > 0 {
+			agg.OfferedRate = float64(len(cfg.Trace)) / span
+		}
+	}
+	if agg.MakespanSec > 0 {
+		agg.TokensPerSec = float64(agg.TotalTokens) / agg.MakespanSec
+		agg.GoodputTokensPerSec = float64(goodTokens) / agg.MakespanSec
+		agg.GoodRequestsPerSec = float64(goodReqs) / agg.MakespanSec
+	}
+	agg.TTFT = quantiles(ttfts)
+	agg.TPOT = quantiles(tpots)
+	agg.Latency = quantiles(lats)
+	return agg
+}
+
+// SizeFleetForSLO finds the smallest fleet (1..maxReplicas) whose simulated
+// SLO attainment reaches target, returning the size and that fleet's
+// report. This answers the sizing question by simulation — replica
+// interference, dispatch skew and prefix-cache locality included — where
+// cloud.ReplicasForRate only extrapolates from one replica's rate. It
+// fails if even maxReplicas cannot reach the target.
+func SizeFleetForSLO(be Backend, cfg Config, policy LBPolicy, target float64, maxReplicas int) (int, *FleetReport, error) {
+	if target <= 0 || target > 1 {
+		return 0, nil, fmt.Errorf("serve: SLO attainment target %g outside (0, 1]", target)
+	}
+	if maxReplicas <= 0 {
+		maxReplicas = 16
+	}
+	for n := 1; n <= maxReplicas; n++ {
+		rep, err := RunFleet(be, cfg, FleetConfig{Replicas: n, Policy: policy})
+		if err != nil {
+			return 0, nil, err
+		}
+		if rep.SLOAttainment() >= target {
+			return n, rep, nil
+		}
+	}
+	return 0, nil, fmt.Errorf("serve: even %d replicas miss %.0f%% SLO attainment", maxReplicas, target*100)
+}

@@ -1,10 +1,13 @@
 package serve
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
 
 func TestBlockManagerAccounting(t *testing.T) {
 	// 10 blocks of 16 tokens × 4 bytes/token = 64 bytes/block.
-	m, err := NewBlockManager(640, 16, 4)
+	m, err := NewBlockManager(640, 16, 4, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,11 +65,204 @@ func TestBlockManagerAccounting(t *testing.T) {
 	}
 }
 
+func TestPrefixSharingLifecycle(t *testing.T) {
+	// 32 blocks of 16 tokens × 4 bytes/token.
+	m, err := NewBlockManager(32*64, 16, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := prefixHash(7)
+
+	// First acquirer publishes 4 blocks (64 prefix tokens), nothing cached.
+	cached, err := m.AcquirePrefix(1, h, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != 0 {
+		t.Fatalf("first acquire cached %d tokens, want 0", cached)
+	}
+	if m.SharedTokens(1) != 64 || m.InUse() != 4 {
+		t.Fatalf("pins %d tokens, in-use %d", m.SharedTokens(1), m.InUse())
+	}
+	// A concurrent sharer pins the same blocks but gets no hits — they are
+	// not computed yet.
+	if cached, _ = m.AcquirePrefix(2, h, 64); cached != 0 {
+		t.Fatalf("uncomputed blocks served %d cached tokens", cached)
+	}
+	if m.InUse() != 4 {
+		t.Fatalf("sharer allocated new blocks: in-use %d, want 4", m.InUse())
+	}
+	m.MarkComputed(1, 64)
+	// A later sharer now hits the whole prefix.
+	if cached, _ = m.AcquirePrefix(3, h, 64); cached != 64 {
+		t.Fatalf("computed prefix served %d cached tokens, want 64", cached)
+	}
+	if err := m.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Private growth counts pinned blocks first: 64 shared + 36 private
+	// tokens need 4 + 3 blocks.
+	if !m.Grow(1, 100) {
+		t.Fatal("grow failed with a near-empty pool")
+	}
+	if m.InUse() != 7 {
+		t.Fatalf("in-use %d after grow, want 7 (4 shared + 3 private)", m.InUse())
+	}
+
+	// Releases decrement refcounts; blocks cache only when nobody pins.
+	m.Release(1)
+	m.Release(2)
+	if m.CachedBlocks() != 0 {
+		t.Fatalf("blocks cached while request 3 still pins them")
+	}
+	m.Release(3)
+	if m.CachedBlocks() != 4 || m.InUse() != 0 {
+		t.Fatalf("cached %d in-use %d after all releases, want 4/0", m.CachedBlocks(), m.InUse())
+	}
+	// A new arrival hits straight from the cache and revives the blocks.
+	if cached, _ = m.AcquirePrefix(9, h, 64); cached != 64 {
+		t.Fatalf("cache revival served %d tokens, want 64", cached)
+	}
+	if m.CachedBlocks() != 0 || m.InUse() != 4 {
+		t.Fatalf("revival state: cached %d in-use %d", m.CachedBlocks(), m.InUse())
+	}
+	if err := m.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixNoSharingAcrossDifferentPrefixes(t *testing.T) {
+	m, err := NewBlockManager(64*64, 16, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AcquirePrefix(1, prefixHash(1), 64); err != nil {
+		t.Fatal(err)
+	}
+	m.MarkComputed(1, 64)
+	// Same length, different prefix identity: the chained hashes differ at
+	// every block index, so nothing may be served from request 1's blocks.
+	cached, err := m.AcquirePrefix(2, prefixHash(2), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != 0 {
+		t.Fatalf("different prefix hit %d cached tokens", cached)
+	}
+	if m.InUse() != 8 {
+		t.Fatalf("in-use %d, want 8 distinct blocks", m.InUse())
+	}
+	// Same identity, shorter declared prefix: shares the leading blocks only.
+	cached, err = m.AcquirePrefix(3, prefixHash(1), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != 32 {
+		t.Fatalf("leading-block share served %d tokens, want 32", cached)
+	}
+	if err := m.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixCacheEvictionLeafFirst(t *testing.T) {
+	// 8-block pool; publish a 6-block prefix, release it (cached), then
+	// demand private blocks that force eviction.
+	m, err := NewBlockManager(8*64, 16, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AcquirePrefix(1, prefixHash(5), 96); err != nil {
+		t.Fatal(err)
+	}
+	m.MarkComputed(1, 96)
+	m.Release(1)
+	if m.CachedBlocks() != 6 || m.FreeBlocks() != 2 {
+		t.Fatalf("cached %d free %d, want 6/2", m.CachedBlocks(), m.FreeBlocks())
+	}
+	// 4 private blocks needed → 2 free + 2 evicted (the deepest two).
+	if !m.Grow(2, 64) {
+		t.Fatal("grow with evictable cache failed")
+	}
+	if m.EvictedBlocks() != 2 {
+		t.Fatalf("evicted %d blocks, want 2", m.EvictedBlocks())
+	}
+	// The surviving cache must be the prefix's leading blocks: a sharer of
+	// the first 4 blocks still hits them all.
+	cached, err := m.AcquirePrefix(3, prefixHash(5), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != 64 {
+		t.Fatalf("leaf-first eviction broke the chain: %d cached tokens, want 64", cached)
+	}
+	if err := m.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	// Oversized demand with nothing evictable left fails all-or-nothing.
+	if m.Grow(4, 16*16) {
+		t.Fatal("impossible grow succeeded")
+	}
+	if err := m.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockRefcountConservationRandomized(t *testing.T) {
+	m, err := NewBlockManager(48*64, 16, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	type live struct{ id, prefixLen int }
+	var actives []live
+	nextID := 0
+	for i := 0; i < 4000; i++ {
+		switch op := rng.Intn(5); {
+		case op == 0 || len(actives) == 0: // new request acquires a prefix
+			id := nextID
+			nextID++
+			group := rng.Intn(4) + 1
+			pl := (rng.Intn(6) + 1) * 16
+			if _, err := m.AcquirePrefix(id, prefixHash(group), pl); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			actives = append(actives, live{id: id, prefixLen: pl})
+		case op == 1: // grow
+			r := actives[rng.Intn(len(actives))]
+			m.Grow(r.id, r.prefixLen+rng.Intn(128))
+		case op == 2: // prefill progress
+			r := actives[rng.Intn(len(actives))]
+			m.MarkComputed(r.id, rng.Intn(r.prefixLen+1))
+		default: // release (preempt/finish)
+			k := rng.Intn(len(actives))
+			m.Release(actives[k].id)
+			actives = append(actives[:k], actives[k+1:]...)
+		}
+		if err := m.CheckConservation(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	for _, r := range actives {
+		m.Release(r.id)
+	}
+	if err := m.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if m.InUse() != 0 {
+		t.Fatalf("blocks still active after releasing everything: %d", m.InUse())
+	}
+	if m.FreeBlocks()+m.CachedBlocks() != m.TotalBlocks() {
+		t.Fatalf("free %d + cached %d != total %d", m.FreeBlocks(), m.CachedBlocks(), m.TotalBlocks())
+	}
+}
+
 func TestBlockManagerRejectsHopelessBudget(t *testing.T) {
-	if _, err := NewBlockManager(63, 16, 4); err == nil {
+	if _, err := NewBlockManager(63, 16, 4, false); err == nil {
 		t.Fatal("sub-block budget accepted")
 	}
-	if _, err := NewBlockManager(1<<20, 0, 4); err == nil {
+	if _, err := NewBlockManager(1<<20, 0, 4, true); err == nil {
 		t.Fatal("zero block size accepted")
 	}
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"math"
+	"math/rand"
 
 	"cllm/internal/hw"
 	"cllm/internal/perf"
@@ -27,20 +28,40 @@ type reqState struct {
 	admitSeq int // order of first admission (FIFO audit)
 	// generated counts produced output tokens; survives preemption (the
 	// delivered tokens are not un-delivered, the cache is recomputed).
-	generated    int
-	preemptions  int
-	admittedAt   float64 // first admission time
-	firstTokenAt float64
-	finishedAt   float64
+	generated   int
+	preemptions int
+	// prefilled counts prompt tokens whose KV entries exist (computed this
+	// admission or reused from the prefix cache); prefillTarget is where the
+	// current prefill ends (prompt plus any tokens generated before a
+	// preemption, which vLLM-style recompute re-prefills).
+	prefilled     int
+	prefillTarget int
+	admittedAt    float64 // first admission time
+	firstTokenAt  float64
+	finishedAt    float64
 }
 
-// ctxTokens is the KV-cache footprint the request needs right now.
+// ctxTokens is the KV-cache footprint the request needs for its next decode
+// step: the full prompt plus every generated token.
 func (r *reqState) ctxTokens() int { return r.req.InputLen + r.generated }
+
+// prefilling reports whether the request is mid-prefill (chunks remain).
+func (r *reqState) prefilling() bool { return r.prefilled < r.prefillTarget }
+
+// chunkWork is one request's prefill contribution to an iteration: tokens
+// new prompt tokens computed on top of hist cached ones.
+type chunkWork struct {
+	r      *reqState
+	tokens int
+	hist   int
+}
 
 // scheduler runs the continuous-batching loop on the event engine: one
 // iteration event per engine step, shaped like Orca/vLLM iteration-level
 // scheduling — running sequences decode one token, freed capacity admits
-// queued prompts, and KV exhaustion preempts the youngest sequence.
+// queued prompts (whole, or chunk by chunk under chunked prefill), and KV
+// exhaustion preempts the youngest sequence. Several schedulers can share
+// one engine (see RunFleet); each owns its queue, KV pool and noise stream.
 type scheduler struct {
 	cfg   Config
 	be    Backend
@@ -62,58 +83,111 @@ type scheduler struct {
 	err error
 }
 
+// newScheduler builds one replica's scheduler on the given engine. cfg must
+// already be normalized and the backend socket-defaulted; the noise stream
+// is owned by this replica.
+func newScheduler(be Backend, cfg Config, eng *sim.Engine, noise *sim.Noise) (*scheduler, error) {
+	kvBudget, err := be.KVBudgetBytes(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	bytesPerToken := cfg.Workload.Model.KVCacheBytesPerToken(cfg.Workload.Kind.Size())
+	kv, err := NewBlockManager(kvBudget, cfg.BlockTokens, bytesPerToken, cfg.PrefixSharing)
+	if err != nil {
+		return nil, err
+	}
+	return &scheduler{cfg: cfg, be: be, eng: eng, noise: noise, kv: kv}, nil
+}
+
+// submit enqueues an arrived request and wakes the iteration loop.
+func (s *scheduler) submit(st *reqState) {
+	s.queue = append(s.queue, st)
+	s.kick()
+}
+
+// outstanding is the replica's current load: queued plus running requests.
+// Load balancers use it for least-loaded dispatch.
+func (s *scheduler) outstanding() int { return len(s.queue) + len(s.running) }
+
 // Run executes one serving simulation.
 func Run(be Backend, cfg Config) (*Report, error) {
 	rep, _, err := RunAudited(be, cfg)
 	return rep, err
 }
 
-// arrivals returns the offered load: the explicit trace when given,
-// otherwise Poisson arrivals with jittered lengths. Synthetic generation
-// draws from the same seeded RNG the noise model uses, so a seed fixes the
-// whole run.
-func (s *scheduler) arrivals() ([]Request, error) {
-	if len(s.cfg.Trace) > 0 {
-		seen := make(map[int]bool, len(s.cfg.Trace))
-		for _, r := range s.cfg.Trace {
+// genArrivals returns the offered load: the explicit trace when given,
+// otherwise Poisson arrivals with jittered lengths drawn from rng (so a
+// seed fixes the whole run). With PrefixGroups set, synthetic requests are
+// assigned to a random prefix group each and share the leading
+// PrefixFrac×InputLen tokens within their group (RAG-style workloads:
+// common system prompt and document set, distinct questions).
+func genArrivals(cfg Config, rng *rand.Rand) ([]Request, error) {
+	if len(cfg.Trace) > 0 {
+		seen := make(map[int]bool, len(cfg.Trace))
+		for _, r := range cfg.Trace {
 			if r.InputLen <= 0 || r.OutputLen <= 0 || r.ArrivalSec < 0 {
 				return nil, fmt.Errorf("serve: invalid trace request %+v", r)
 			}
-			if sum := r.InputLen + r.OutputLen; sum > s.cfg.Workload.Model.ContextLen {
+			if r.PrefixLen < 0 || r.PrefixLen > r.InputLen {
+				return nil, fmt.Errorf("serve: request %d prefix %d outside prompt %d", r.ID, r.PrefixLen, r.InputLen)
+			}
+			if sum := r.InputLen + r.OutputLen; sum > cfg.Workload.Model.ContextLen {
 				return nil, fmt.Errorf("serve: request %d length %d exceeds %s context %d",
-					r.ID, sum, s.cfg.Workload.Model.Name, s.cfg.Workload.Model.ContextLen)
+					r.ID, sum, cfg.Workload.Model.Name, cfg.Workload.Model.ContextLen)
 			}
 			if seen[r.ID] {
 				return nil, fmt.Errorf("serve: duplicate request ID %d in trace", r.ID)
 			}
 			seen[r.ID] = true
 		}
-		return append([]Request(nil), s.cfg.Trace...), nil
+		return append([]Request(nil), cfg.Trace...), nil
 	}
-	rng := s.noise.RNG()
 	jitter := func(mean int) int {
-		if s.cfg.LengthJitter <= 0 {
+		if cfg.LengthJitter <= 0 || mean <= 0 {
 			return mean
 		}
-		f := 1 + s.cfg.LengthJitter*(2*rng.Float64()-1)
+		f := 1 + cfg.LengthJitter*(2*rng.Float64()-1)
 		n := int(math.Round(float64(mean) * f))
 		if n < 1 {
 			n = 1
 		}
 		return n
 	}
-	out := make([]Request, s.cfg.Requests)
+	prefixLen := 0
+	if cfg.PrefixGroups > 0 {
+		prefixLen = int(math.Round(cfg.PrefixFrac * float64(cfg.Workload.InputLen)))
+		if prefixLen >= cfg.Workload.InputLen {
+			prefixLen = cfg.Workload.InputLen - 1
+		}
+	}
+	out := make([]Request, cfg.Requests)
 	t := 0.0
 	for i := range out {
-		t += rng.ExpFloat64() / s.cfg.Rate
-		inLen := jitter(s.cfg.Workload.InputLen)
-		outLen := jitter(s.cfg.Workload.OutputLen)
+		t += rng.ExpFloat64() / cfg.Rate
+		var inLen int
+		r := Request{ID: i, ArrivalSec: t}
+		if prefixLen > 0 {
+			// The shared prefix has one fixed length per group; only the
+			// request-specific suffix jitters. Group membership is drawn at
+			// random — deterministic round-robin assignment would alias with
+			// round-robin dispatch in fleet runs and fake prefix affinity.
+			r.PrefixID = rng.Intn(cfg.PrefixGroups) + 1
+			r.PrefixLen = prefixLen
+			suffix := jitter(cfg.Workload.InputLen - prefixLen)
+			if suffix < 1 {
+				suffix = 1
+			}
+			inLen = prefixLen + suffix
+		} else {
+			inLen = jitter(cfg.Workload.InputLen)
+		}
+		outLen := jitter(cfg.Workload.OutputLen)
 		if outLen < 2 {
 			outLen = 2 // keep TPOT defined
 		}
 		// Upward jitter on means near the context limit must not overflow it:
 		// shorten the prompt first, then the generation.
-		ctx := s.cfg.Workload.Model.ContextLen
+		ctx := cfg.Workload.Model.ContextLen
 		if over := inLen + outLen - ctx; over > 0 {
 			inLen -= over
 			if inLen < 1 {
@@ -123,9 +197,21 @@ func (s *scheduler) arrivals() ([]Request, error) {
 				outLen = ctx - inLen
 			}
 		}
-		out[i] = Request{ID: i, ArrivalSec: t, InputLen: inLen, OutputLen: outLen}
+		if r.PrefixLen >= inLen {
+			r.PrefixLen = inLen - 1
+		}
+		r.InputLen, r.OutputLen = inLen, outLen
+		out[i] = r
 	}
 	return out, nil
+}
+
+// prefixHash derives the content-identity hash of a request's shared
+// prefix. Requests with equal PrefixID model byte-identical prefix content,
+// so they hash equally; the chained per-block keys (see chainHash) then
+// guarantee requests with different prefixes can never alias a block.
+func prefixHash(prefixID int) uint64 {
+	return mix64(uint64(prefixID) + 0x9e3779b97f4a7c15)
 }
 
 // kick starts the iteration loop if it is idle.
@@ -141,17 +227,77 @@ func (s *scheduler) kick() {
 }
 
 // iterate performs one scheduling round at the current simulated time and
-// schedules its completion.
+// schedules its completion. The round has three passes:
+//
+//  1. prefill continuation — running sequences mid-prefill consume the
+//     iteration's chunk budget, oldest first;
+//  2. decode capacity — every fully-prefilled sequence must be able to
+//     append one token, preempting the youngest sequence on exhaustion;
+//  3. admission — remaining batch slots and chunk budget admit queued
+//     prompts, reusing shared prefix blocks when sharing is on.
 func (s *scheduler) iterate() {
 	now := float64(s.eng.Now())
 
-	// 1. Capacity pass: every running sequence must be able to append one
-	// token. When the pool is exhausted, preempt the youngest running
-	// sequence (vLLM's recompute policy): release its blocks and requeue it
-	// at the front, where it will re-prefill its full context later.
+	// Chunk budget: new prompt tokens this iteration. 0 = monolithic
+	// (unlimited) prefills.
+	budget := s.cfg.ChunkTokens
+	chunked := budget > 0
+	var chunks []chunkWork
+
+	// 1. Prefill continuation pass (oldest first). A sequence that cannot
+	// grow its cache preempts the youngest running sequence, possibly
+	// itself.
+	for i := 0; i < len(s.running); i++ {
+		if chunked && budget <= 0 {
+			break
+		}
+		r := s.running[i]
+		if !r.prefilling() {
+			continue
+		}
+		chunk := r.prefillTarget - r.prefilled
+		if chunked && chunk > budget {
+			chunk = budget
+		}
+		// A chunk that completes the prompt produces the first token, whose
+		// KV entry the next decode step writes — reserve its slot now so
+		// the request cannot be admitted, fully prefilled, and then
+		// self-preempted for want of one block.
+		need := r.prefilled + chunk
+		if need == r.prefillTarget {
+			need++
+		}
+		stalled := false
+		for !s.kv.Grow(r.req.ID, need) {
+			victim := s.running[len(s.running)-1]
+			s.preempt(victim)
+			chunks = dropChunk(chunks, victim)
+			if victim == r {
+				stalled = true
+				break
+			}
+		}
+		if stalled {
+			break // r was the youngest: everything after it is gone too
+		}
+		chunks = append(chunks, chunkWork{r: r, tokens: chunk, hist: r.prefilled})
+		if chunked {
+			budget -= chunk
+		}
+	}
+
+	// 2. Decode capacity pass: every fully-prefilled sequence must be able
+	// to append one token. When the pool is exhausted, preempt the youngest
+	// running sequence (vLLM's recompute policy): release its blocks and
+	// requeue it at the front, where it will re-prefill its full context
+	// later (shared prefix blocks may still be cached then).
 	decoding := make([]*reqState, 0, len(s.running))
 	for i := 0; i < len(s.running); {
 		r := s.running[i]
+		if r.prefilling() {
+			i++
+			continue
+		}
 		if s.kv.Grow(r.req.ID, r.ctxTokens()+1) {
 			decoding = append(decoding, r)
 			i++
@@ -159,6 +305,7 @@ func (s *scheduler) iterate() {
 		}
 		victim := s.running[len(s.running)-1]
 		s.preempt(victim)
+		chunks = dropChunk(chunks, victim)
 		if victim == r {
 			break // r was the youngest; the loop is past every survivor
 		}
@@ -166,23 +313,51 @@ func (s *scheduler) iterate() {
 		i = 0 // pool changed; re-run the pass from the oldest sequence
 	}
 
-	// 2. Admission pass (FIFO): fill remaining batch slots while the pool
-	// can hold each prompt plus its first generated token. A request that
-	// cannot fit even an empty pool is dropped — no amount of waiting
-	// makes the enclave bigger.
-	var admitted []*reqState
-	for len(s.queue) > 0 && len(s.running)+len(admitted) < s.cfg.MaxBatch {
+	// 3. Admission pass (FIFO): fill remaining batch slots while chunk
+	// budget and the pool allow. A request that cannot fit even an empty
+	// pool is dropped — no amount of waiting makes the enclave bigger.
+	for len(s.queue) > 0 && len(s.running) < s.cfg.MaxBatch {
 		head := s.queue[0]
-		need := s.kv.BlocksFor(head.ctxTokens() + 1)
-		if need > s.kv.TotalBlocks() {
+		target := head.ctxTokens() // prompt plus pre-preemption tokens to re-prefill
+		if s.kv.BlocksFor(target+1) > s.kv.TotalBlocks() {
 			s.queue = s.queue[1:]
 			head.phase = phaseDropped
 			s.dropped = append(s.dropped, head)
 			continue
 		}
-		if !s.kv.Grow(head.req.ID, head.ctxTokens()+1) {
+		if chunked && budget <= 0 {
 			break
 		}
+		// Reuse cached prefix blocks. At least the last prompt token is
+		// always recomputed — producing the first output token needs a
+		// forward pass even on a full cache hit.
+		cached := 0
+		if s.cfg.PrefixSharing && head.req.PrefixID != 0 {
+			pl := head.req.PrefixLen
+			if pl > target-1 {
+				pl = target - 1
+			}
+			c, err := s.kv.AcquirePrefix(head.req.ID, prefixHash(head.req.PrefixID), pl)
+			if err != nil {
+				s.err = err
+				s.iterating = false
+				return
+			}
+			cached = c
+		}
+		chunk := target - cached
+		if chunked && chunk > budget {
+			chunk = budget
+		}
+		need := cached + chunk
+		if need == target {
+			need++ // first-token slot (see the continuation pass)
+		}
+		if !s.kv.Grow(head.req.ID, need) {
+			s.kv.Release(head.req.ID) // un-pin the acquired prefix
+			break
+		}
+		s.kv.creditPrefixStats(head.req.ID, cached)
 		s.queue = s.queue[1:]
 		if head.phase == phaseWaiting && head.preemptions == 0 {
 			head.admittedAt = now
@@ -191,18 +366,35 @@ func (s *scheduler) iterate() {
 			s.admitOrder = append(s.admitOrder, head.req.ID)
 		}
 		head.phase = phaseRunning
-		admitted = append(admitted, head)
+		head.prefilled = cached
+		head.prefillTarget = target
+		s.running = append(s.running, head)
+		chunks = append(chunks, chunkWork{r: head, tokens: chunk, hist: cached})
+		if chunked {
+			budget -= chunk
+		}
 	}
 
-	if len(decoding) == 0 && len(admitted) == 0 {
+	if len(decoding) == 0 && len(chunks) == 0 {
 		// Nothing can make progress now; the next arrival (or nothing)
-		// restarts the loop. With an empty running set the pool is free, so
-		// a non-fitting queue head was dropped above — no livelock.
+		// restarts the loop. With an empty running set the pool's active
+		// blocks are free (cached blocks evict on demand), so a non-fitting
+		// queue head was dropped above — no livelock.
 		s.iterating = false
 		return
 	}
 
-	dur, err := s.iterationTime(decoding, admitted)
+	// Without chunked prefill, a prefill runs as a dedicated prefill-only
+	// iteration and in-flight decodes stall behind it — the classic
+	// continuous-batching behavior whose tail-TPOT cost chunked prefill
+	// exists to bound. Chunked iterations are hybrid: the chunk budget and
+	// one decode step share the round. (Stalled decodes keep their grown
+	// block for the next round.)
+	if !chunked && len(chunks) > 0 {
+		decoding = nil
+	}
+
+	dur, err := s.iterationTime(decoding, chunks)
 	if err != nil {
 		// A costing failure is a configuration bug (e.g. more sockets than
 		// the CPU has); halt the loop and fail the whole run.
@@ -212,8 +404,18 @@ func (s *scheduler) iterate() {
 	}
 	dur = s.noise.Sample(dur, s.be.protected())
 	s.eng.Schedule(sim.Time(dur), func(*sim.Engine) {
-		s.finishIteration(decoding, admitted)
+		s.finishIteration(decoding, chunks)
 	})
+}
+
+// dropChunk cancels a preempted sequence's chunk work for this iteration.
+func dropChunk(chunks []chunkWork, victim *reqState) []chunkWork {
+	for i, cw := range chunks {
+		if cw.r == victim {
+			return append(chunks[:i], chunks[i+1:]...)
+		}
+	}
+	return chunks
 }
 
 // preempt releases a running sequence's cache and requeues it at the front.
@@ -226,37 +428,38 @@ func (s *scheduler) preempt(r *reqState) {
 	}
 	s.kv.Release(r.req.ID)
 	r.phase = phaseWaiting
+	r.prefilled = 0
+	r.prefillTarget = 0
 	r.preemptions++
 	s.preemptions++
 	s.queue = append([]*reqState{r}, s.queue...)
 }
 
 // iterationTime costs one scheduling round with the mechanistic roofline:
-// a batched prefill over the admitted prompts (re-prefills included) plus
-// one decode step over the running batch. KV traffic is linear in total
-// context, so costing the decode at the mean context length is exact for
-// the memory-bound path.
-func (s *scheduler) iterationTime(decoding, admitted []*reqState) (float64, error) {
+// the iteration's prefill chunks (admissions, continuations and
+// re-prefills) plus one decode step over the running batch. Chunks are
+// costed as one batched chunk step at the mean chunk length and mean
+// cached history; KV traffic is linear in totals, so the mean is exact for
+// the memory-bound path, approximate for attention-FLOPs skew (same
+// approximation the decode batch uses).
+func (s *scheduler) iterationTime(decoding []*reqState, chunks []chunkWork) (float64, error) {
 	var total float64
-	if len(admitted) > 0 {
-		prefillTokens := 0
-		for _, r := range admitted {
-			prefillTokens += r.ctxTokens()
+	if len(chunks) > 0 {
+		sumTok, sumHist := 0, 0
+		for _, cw := range chunks {
+			sumTok += cw.tokens
+			sumHist += cw.hist
 		}
-		meanLen := (prefillTokens + len(admitted) - 1) / len(admitted)
-		t, err := s.stepTime(len(admitted), meanLen, trace.Prefill)
+		meanTok := (sumTok + len(chunks) - 1) / len(chunks)
+		meanHist := sumHist / len(chunks)
+		t, err := s.chunkTime(len(chunks), meanTok, meanHist)
 		if err != nil {
 			return 0, err
 		}
 		total += t
 	}
 	if len(decoding) > 0 {
-		ctx := 0
-		for _, r := range decoding {
-			ctx += r.ctxTokens()
-		}
-		meanCtx := (ctx + len(decoding) - 1) / len(decoding)
-		t, err := s.stepTime(len(decoding), meanCtx, trace.Decode)
+		t, err := s.decodeTime(decoding)
 		if err != nil {
 			return 0, err
 		}
@@ -265,29 +468,35 @@ func (s *scheduler) iterationTime(decoding, admitted []*reqState) (float64, erro
 	return total, nil
 }
 
-// stepTime builds a synthetic single-step workload of the batch shape and
-// costs it on the backend.
-func (s *scheduler) stepTime(batch, ctxLen int, ph trace.Phase) (float64, error) {
-	if ctxLen < 1 {
-		ctxLen = 1
+// decodeTime costs one decode step over the running batch. KV traffic is
+// linear in total context, so costing at the mean context length is exact
+// for the memory-bound path. When prefix sharing is on, repeat reads of
+// shared blocks are flagged so the roofline's TLB/enclave working set
+// counts each shared page once.
+func (s *scheduler) decodeTime(decoding []*reqState) (float64, error) {
+	ctx := 0
+	ids := make([]int, len(decoding))
+	for i, r := range decoding {
+		ctx += r.ctxTokens()
+		ids[i] = r.req.ID
 	}
-	if max := s.cfg.Workload.Model.ContextLen - 1; ctxLen > max {
-		ctxLen = max
+	meanCtx := (ctx + len(decoding) - 1) / len(decoding)
+	if meanCtx < 1 {
+		meanCtx = 1
+	}
+	if max := s.cfg.Workload.Model.ContextLen - 1; meanCtx > max {
+		meanCtx = max
 	}
 	wl := trace.Workload{
 		Model: s.cfg.Workload.Model, Kind: s.cfg.Workload.Kind,
-		Batch: batch, Beam: 1, InputLen: ctxLen, OutputLen: 1,
+		Batch: len(decoding), Beam: 1, InputLen: meanCtx, OutputLen: 1,
 	}
-	var st trace.StepTrace
-	var err error
-	if ph == trace.Prefill {
-		st, err = trace.PrefillStep(wl)
-	} else {
-		st, err = trace.DecodeStep(wl, ctxLen)
-	}
+	st, err := trace.DecodeStep(wl, meanCtx)
 	if err != nil {
 		return 0, err
 	}
+	bytesPerToken := s.cfg.Workload.Model.KVCacheBytesPerToken(s.cfg.Workload.Kind.Size())
+	st.SharedBytes = float64(s.kv.DedupSavedTokens(ids)) * float64(bytesPerToken)
 	if s.be.IsGPU {
 		cfg := s.be.GPU
 		cfg.Workload = wl
@@ -298,8 +507,38 @@ func (s *scheduler) stepTime(batch, ctxLen int, ph trace.Phase) (float64, error)
 	return perf.CPUStepTime(cfg, st)
 }
 
-// finishIteration commits the round's token production at its end time.
-func (s *scheduler) finishIteration(decoding, admitted []*reqState) {
+// chunkTime costs a batched prefill-chunk step: batch rows each computing
+// chunk new prompt tokens over hist cached ones.
+func (s *scheduler) chunkTime(batch, chunk, hist int) (float64, error) {
+	if chunk < 1 {
+		chunk = 1
+	}
+	if max := s.cfg.Workload.Model.ContextLen - 1; chunk > max {
+		chunk = max
+	}
+	if hist < 0 {
+		hist = 0
+	}
+	if max := s.cfg.Workload.Model.ContextLen - 1 - chunk; hist > max {
+		hist = max
+	}
+	wl := trace.Workload{
+		Model: s.cfg.Workload.Model, Kind: s.cfg.Workload.Kind,
+		Batch: batch, Beam: 1, InputLen: chunk, OutputLen: 1,
+	}
+	if s.be.IsGPU {
+		cfg := s.be.GPU
+		cfg.Workload = wl
+		return perf.GPUPrefillChunkTime(cfg, hist)
+	}
+	cfg := s.be.CPU
+	cfg.Workload = wl
+	return perf.CPUPrefillChunkTime(cfg, hist)
+}
+
+// finishIteration commits the round's prefill progress and token
+// production at its end time.
+func (s *scheduler) finishIteration(decoding []*reqState, chunks []chunkWork) {
 	now := float64(s.eng.Now())
 	produce := func(r *reqState) {
 		r.generated++
@@ -319,14 +558,23 @@ func (s *scheduler) finishIteration(decoding, admitted []*reqState) {
 			}
 		}
 	}
-	// Prefill produces each admitted request's next token (the first, or —
-	// after preemption — the one the recomputed cache enables).
-	for _, r := range admitted {
-		s.running = append(s.running, r)
-		produce(r)
+	// Prefill chunks commit their progress; a chunk that completes the
+	// prompt produces the request's next token (the first, or — after
+	// preemption — the one the recomputed cache enables). Completed prefix
+	// blocks become cache hits for later sharers.
+	for _, cw := range chunks {
+		r := cw.r
+		if r.phase != phaseRunning { // preempted mid-round (cannot happen, but be safe)
+			continue
+		}
+		r.prefilled += cw.tokens
+		s.kv.MarkComputed(r.req.ID, r.prefilled)
+		if !r.prefilling() {
+			produce(r)
+		}
 	}
 	for _, r := range decoding {
-		if r.phase == phaseRunning { // not preempted since (cannot happen mid-round, but be safe)
+		if r.phase == phaseRunning {
 			produce(r)
 		}
 	}
@@ -337,12 +585,16 @@ func (s *scheduler) finishIteration(decoding, admitted []*reqState) {
 // report assembles the run outcome.
 func (s *scheduler) report(states []*reqState) *Report {
 	rep := &Report{
-		Platform:           s.be.platformName(),
-		OfferedRate:        s.cfg.Rate,
-		Preemptions:        s.preemptions,
-		KVBlocksTotal:      s.kv.TotalBlocks(),
-		PeakKVBlocksInUse:  s.kv.PeakInUse(),
-		KVBlocksInUseAtEnd: s.kv.InUse(),
+		Platform:              s.be.platformName(),
+		OfferedRate:           s.cfg.Rate,
+		Preemptions:           s.preemptions,
+		KVBlocksTotal:         s.kv.TotalBlocks(),
+		PeakKVBlocksInUse:     s.kv.PeakInUse(),
+		KVBlocksInUseAtEnd:    s.kv.InUse(),
+		KVBlocksCachedAtEnd:   s.kv.CachedBlocks(),
+		PrefixCacheHitTokens:  s.kv.HitTokens(),
+		PrefixCacheMissTokens: s.kv.MissTokens(),
+		EvictedBlocks:         s.kv.EvictedBlocks(),
 	}
 	if len(s.cfg.Trace) > 0 {
 		span := 0.0
@@ -411,6 +663,16 @@ func (s *scheduler) report(states []*reqState) *Report {
 // AdmitOrder is the sequence of request IDs in first-admission order.
 type AdmitOrder []int
 
+// newNoise builds the replica noise stream. Parameters mirror the
+// single-request paths: GPUs jitter less and show no memory-encryption
+// outlier tail (H100 leaves HBM clear).
+func newNoise(be Backend, seed int64) *sim.Noise {
+	if be.IsGPU {
+		return sim.NewNoise(seed, hw.NoiseBase/2, hw.MemEncryptJitter/4, 0, 1)
+	}
+	return sim.NewNoise(seed, hw.NoiseBase, hw.MemEncryptJitter, hw.OutlierProb, hw.OutlierScale)
+}
+
 // RunAudited is Run plus the FIFO admission audit trail: the order in
 // which requests were first admitted, for scheduling-invariant tests.
 func RunAudited(be Backend, cfg Config) (*Report, AdmitOrder, error) {
@@ -420,25 +682,12 @@ func RunAudited(be Backend, cfg Config) (*Report, AdmitOrder, error) {
 	if !be.IsGPU && be.CPU.Sockets <= 0 {
 		be.CPU.Sockets = 1
 	}
-	kvBudget, err := be.KVBudgetBytes(cfg.Workload)
+	noise := newNoise(be, cfg.Seed)
+	s, err := newScheduler(be, cfg, sim.NewEngine(), noise)
 	if err != nil {
 		return nil, nil, err
 	}
-	bytesPerToken := cfg.Workload.Model.KVCacheBytesPerToken(cfg.Workload.Kind.Size())
-	kv, err := NewBlockManager(kvBudget, cfg.BlockTokens, bytesPerToken)
-	if err != nil {
-		return nil, nil, err
-	}
-	// Noise parameters mirror the single-request paths: GPUs jitter less
-	// and show no memory-encryption outlier tail (H100 leaves HBM clear).
-	var noise *sim.Noise
-	if be.IsGPU {
-		noise = sim.NewNoise(cfg.Seed, hw.NoiseBase/2, hw.MemEncryptJitter/4, 0, 1)
-	} else {
-		noise = sim.NewNoise(cfg.Seed, hw.NoiseBase, hw.MemEncryptJitter, hw.OutlierProb, hw.OutlierScale)
-	}
-	s := &scheduler{cfg: cfg, be: be, eng: sim.NewEngine(), noise: noise, kv: kv}
-	arrivals, err := s.arrivals()
+	arrivals, err := genArrivals(cfg, noise.RNG())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -452,8 +701,7 @@ func RunAudited(be Backend, cfg Config) (*Report, AdmitOrder, error) {
 			lastArrival = req.ArrivalSec
 		}
 		s.eng.Schedule(sim.Time(req.ArrivalSec), func(*sim.Engine) {
-			s.queue = append(s.queue, st)
-			s.kick()
+			s.submit(st)
 		})
 	}
 	horizon := sim.Time(lastArrival + cfg.HorizonSec)

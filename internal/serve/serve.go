@@ -30,6 +30,14 @@ type Request struct {
 	InputLen int
 	// OutputLen is the number of tokens the request generates.
 	OutputLen int
+	// PrefixID labels the request's shared prompt prefix: requests with
+	// equal nonzero PrefixID model byte-identical content over their first
+	// PrefixLen tokens (a RAG system prompt plus document set), which the
+	// prefix cache can serve from shared KV blocks. Zero means no shared
+	// prefix.
+	PrefixID int
+	// PrefixLen is the shared prefix length in tokens (at most InputLen).
+	PrefixLen int
 }
 
 // Backend selects the hardware/TEE combination the server runs on. Exactly
@@ -101,6 +109,21 @@ type Config struct {
 	MaxBatch int
 	// BlockTokens is the paged-KV block size in tokens (default 16).
 	BlockTokens int
+	// ChunkTokens caps new prompt tokens processed per scheduler iteration
+	// (chunked prefill): long prompts are split into budgeted chunks
+	// interleaved with decode steps, bounding the TPOT stall a monolithic
+	// prefill would impose on in-flight decodes. 0 disables chunking.
+	ChunkTokens int
+	// PrefixSharing enables the block-level prefix cache: requests with
+	// equal PrefixID reuse the shared prefix's KV blocks (refcounted, LRU
+	// eviction) instead of recomputing and re-storing them.
+	PrefixSharing bool
+	// PrefixGroups makes synthetic arrivals share prompt prefixes: each
+	// request draws one of this many prefix identities. 0 disables.
+	PrefixGroups int
+	// PrefixFrac is the shared fraction of the mean prompt length for
+	// synthetic prefix groups (default 0.5 when PrefixGroups is set).
+	PrefixFrac float64
 	// LengthJitter varies synthetic lengths uniformly within ±fraction of
 	// the mean (default 0.25; negative disables, 0 means default).
 	LengthJitter float64
@@ -141,6 +164,20 @@ func (c *Config) normalize() error {
 	}
 	if c.BlockTokens <= 0 {
 		c.BlockTokens = 16
+	}
+	if c.ChunkTokens < 0 {
+		c.ChunkTokens = 0
+	}
+	if c.PrefixGroups < 0 {
+		c.PrefixGroups = 0
+	}
+	if c.PrefixGroups > 0 {
+		switch {
+		case c.PrefixFrac == 0:
+			c.PrefixFrac = 0.5
+		case c.PrefixFrac < 0 || c.PrefixFrac >= 1:
+			return fmt.Errorf("serve: prefix fraction %g outside [0, 1)", c.PrefixFrac)
+		}
 	}
 	switch {
 	case c.LengthJitter == 0:
@@ -210,8 +247,20 @@ type Report struct {
 	PeakKVBlocksInUse  int
 	// KVBlocksInUseAtEnd must be zero whenever Unfinished is zero — any
 	// other value is a scheduler leak (tests assert this invariant).
-	KVBlocksInUseAtEnd int
-	Requests           []RequestMetrics
+	// Cached (refcount-zero, reclaimable) prefix blocks are not in use;
+	// they are reported in KVBlocksCachedAtEnd.
+	KVBlocksInUseAtEnd  int
+	KVBlocksCachedAtEnd int
+	// PrefixCacheHitTokens counts prompt tokens served from shared prefix
+	// blocks instead of being recomputed; PrefixCacheMissTokens counts
+	// shareable prefix tokens that had to be computed (first arrival of a
+	// prefix, or reuse after eviction). Both are zero without sharing.
+	PrefixCacheHitTokens  int
+	PrefixCacheMissTokens int
+	// EvictedBlocks counts cached prefix blocks reclaimed under memory
+	// pressure.
+	EvictedBlocks int
+	Requests      []RequestMetrics
 }
 
 // SLOAttainment returns the fraction of offered requests that completed

@@ -251,6 +251,214 @@ func TestServeCostAtSLO(t *testing.T) {
 	}
 }
 
+func TestServeChunkedPrefillInvariants(t *testing.T) {
+	cfg := Config{
+		Workload: trace.Workload{Model: tinyModel(), Kind: dtype.BF16, InputLen: 200, OutputLen: 8},
+		Rate:     20, Requests: 24, Seed: 1, ChunkTokens: 48,
+	}
+	rep, err := Run(cpuBackend(tee.TDX()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 24 || rep.Dropped != 0 || rep.Unfinished != 0 {
+		t.Fatalf("completed/dropped/unfinished = %d/%d/%d, want 24/0/0",
+			rep.Completed, rep.Dropped, rep.Unfinished)
+	}
+	if rep.KVBlocksInUseAtEnd != 0 {
+		t.Fatalf("leaked %d KV blocks under chunked prefill", rep.KVBlocksInUseAtEnd)
+	}
+	// Chunking must not change what is produced, only when.
+	mono := cfg
+	mono.ChunkTokens = 0
+	repM, err := Run(cpuBackend(tee.TDX()), mono)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repM.TotalTokens != rep.TotalTokens {
+		t.Fatalf("chunked run produced %d tokens, monolithic %d", rep.TotalTokens, repM.TotalTokens)
+	}
+	// Determinism still holds with chunking on.
+	rep2, err := Run(cpuBackend(tee.TDX()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, rep2) {
+		t.Fatal("chunked runs with equal seeds diverged")
+	}
+}
+
+func TestServePrefixSharingExactHits(t *testing.T) {
+	// Arrivals far apart (each request finishes before the next arrives)
+	// with ample memory: the first request of each prefix group misses its
+	// whole 64-token prefix, every later one hits it fully. Any sharing
+	// across the two groups (a hash-collision bug) would inflate the hits.
+	var tr []Request
+	for i := 0; i < 6; i++ {
+		tr = append(tr, Request{ID: i, ArrivalSec: float64(i) * 5, InputLen: 96, OutputLen: 4,
+			PrefixID: i%2 + 1, PrefixLen: 64})
+	}
+	cfg := Config{Workload: trace.Workload{Model: tinyModel(), Kind: dtype.BF16},
+		Trace: tr, Seed: 1, PrefixSharing: true}
+	rep, err := Run(cpuBackend(tee.Baremetal()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 6 {
+		t.Fatalf("completed %d, want 6", rep.Completed)
+	}
+	wantHits := 2 * 2 * 64 // two groups × two hitting requests × 64 tokens
+	if rep.PrefixCacheHitTokens != wantHits {
+		t.Fatalf("prefix hits %d tokens, want exactly %d", rep.PrefixCacheHitTokens, wantHits)
+	}
+	if rep.PrefixCacheMissTokens != 2*64 {
+		t.Fatalf("prefix misses %d tokens, want %d (first arrival per group)", rep.PrefixCacheMissTokens, 2*64)
+	}
+	if rep.KVBlocksInUseAtEnd != 0 {
+		t.Fatalf("leaked %d blocks", rep.KVBlocksInUseAtEnd)
+	}
+	if rep.KVBlocksCachedAtEnd != 2*4 {
+		t.Fatalf("cached %d blocks at end, want 8 (two 4-block prefixes)", rep.KVBlocksCachedAtEnd)
+	}
+	// Without sharing the same trace hits nothing.
+	cfg.PrefixSharing = false
+	rep, err = Run(cpuBackend(tee.Baremetal()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PrefixCacheHitTokens != 0 || rep.KVBlocksCachedAtEnd != 0 {
+		t.Fatalf("sharing disabled but cache active: %+v", rep)
+	}
+}
+
+func TestServePrefixSharingSurvivesPreemptionAndEviction(t *testing.T) {
+	// A pool small enough to force preemption and cache eviction while two
+	// prefix groups churn through it; the run must still complete every
+	// request and release every active block.
+	m := tinyModel()
+	wl := trace.Workload{Model: m, Kind: dtype.BF16}
+	weights := int64(trace.WeightFootprint(wl))
+	perToken := m.KVCacheBytesPerToken(2)
+	p := tee.Baremetal()
+	p.Name = "tiny-enclave"
+	p.EPC = mem.EPC{Size: weights + 280*perToken, PageInCostFactor: 1}
+	var tr []Request
+	for i := 0; i < 16; i++ {
+		tr = append(tr, Request{ID: i, ArrivalSec: float64(i) * 0.001, InputLen: 96, OutputLen: 24,
+			PrefixID: i%2 + 1, PrefixLen: 64})
+	}
+	cfg := Config{Workload: wl, Trace: tr, Seed: 3, BlockTokens: 16, PrefixSharing: true}
+	rep, err := Run(cpuBackend(p), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 16 || rep.Dropped != 0 || rep.Unfinished != 0 {
+		t.Fatalf("completed/dropped/unfinished = %d/%d/%d, want 16/0/0",
+			rep.Completed, rep.Dropped, rep.Unfinished)
+	}
+	if rep.KVBlocksInUseAtEnd != 0 {
+		t.Fatalf("leaked %d active blocks across share/preempt/evict", rep.KVBlocksInUseAtEnd)
+	}
+	if rep.PrefixCacheHitTokens == 0 {
+		t.Fatal("no cache hits despite shared prefixes")
+	}
+	if rep.Preemptions == 0 {
+		t.Fatalf("pool of %d blocks produced no preemptions (peak %d)",
+			rep.KVBlocksTotal, rep.PeakKVBlocksInUse)
+	}
+}
+
+func TestFleetDeterministicAndDispatch(t *testing.T) {
+	cfg := Config{
+		Workload: trace.Workload{Model: tinyModel(), Kind: dtype.BF16, InputLen: 64, OutputLen: 8},
+		Rate:     40, Requests: 32, Seed: 1, PrefixGroups: 4, PrefixSharing: true,
+	}
+	be := cpuBackend(tee.TDX())
+	a, err := RunFleet(be, cfg, FleetConfig{Replicas: 3, Policy: RoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFleet(be, cfg, FleetConfig{Replicas: 3, Policy: RoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical fleet seeds diverged")
+	}
+	cfg2 := cfg
+	cfg2.Seed = 2
+	c, err := RunFleet(be, cfg2, FleetConfig{Replicas: 3, Policy: RoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different fleet seeds produced identical runs")
+	}
+
+	// Round-robin spreads arrivals evenly.
+	total := 0
+	for i, n := range a.Dispatch {
+		total += n
+		if n < 10 || n > 11 {
+			t.Fatalf("round-robin dispatch %v unbalanced at replica %d", a.Dispatch, i)
+		}
+	}
+	if total != 32 {
+		t.Fatalf("dispatched %d requests, want 32", total)
+	}
+	if got := a.Aggregate.Completed + a.Aggregate.Dropped + a.Aggregate.Unfinished; got != 32 {
+		t.Fatalf("aggregate accounts for %d requests, want 32", got)
+	}
+
+	// Prefix affinity sends a whole group to one replica under light load.
+	var tr []Request
+	for i := 0; i < 9; i++ {
+		tr = append(tr, Request{ID: i, ArrivalSec: float64(i), InputLen: 64, OutputLen: 4,
+			PrefixID: 1, PrefixLen: 48})
+	}
+	aff, err := RunFleet(be, Config{Workload: trace.Workload{Model: tinyModel(), Kind: dtype.BF16},
+		Trace: tr, Seed: 1, PrefixSharing: true}, FleetConfig{Replicas: 3, Policy: PrefixAffinity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonZero := 0
+	for _, n := range aff.Dispatch {
+		if n > 0 {
+			nonZero++
+		}
+	}
+	if nonZero != 1 {
+		t.Fatalf("one shared prefix scattered across replicas: dispatch %v", aff.Dispatch)
+	}
+}
+
+func TestFleetCostAndSizing(t *testing.T) {
+	cfg := Config{
+		Workload: trace.Workload{Model: tinyModel(), Kind: dtype.BF16, InputLen: 64, OutputLen: 8},
+		Rate:     30, Requests: 24, Seed: 1,
+	}
+	fr, err := RunFleet(cpuBackend(tee.TDX()), cfg, FleetConfig{Replicas: 2, Policy: LeastLoaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	usd, err := fr.CostPerMTok(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usd <= 0 {
+		t.Fatalf("fleet cost %.4f $/Mtok", usd)
+	}
+	n, sized, err := SizeFleetForSLO(cpuBackend(tee.TDX()), cfg, LeastLoaded, 0.9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 || n > 4 || sized.SLOAttainment() < 0.9 {
+		t.Fatalf("sizing: %d replicas at %.2f attainment", n, sized.SLOAttainment())
+	}
+	if _, _, err := SizeFleetForSLO(cpuBackend(tee.TDX()), cfg, LeastLoaded, 1.5, 4); err == nil {
+		t.Error("impossible attainment target accepted")
+	}
+}
+
 func TestServeConfigValidation(t *testing.T) {
 	be := cpuBackend(tee.Baremetal())
 	if _, err := Run(be, Config{}); err == nil {

@@ -151,7 +151,14 @@ type StepTrace struct {
 	// NewTokens is the number of user-visible tokens this step produces
 	// (batch for decode) or consumes (batch×inputLen for prefill).
 	NewTokens int
-	Ops       []Op
+	// SharedBytes is the portion of the step's KV traffic that re-reads
+	// pages shared across rows (prefix-cache sharing): it is real memory
+	// bandwidth — each row's attention streams the shared prefix — but not
+	// additional resident working set, so TLB-reach and enclave-paging
+	// models must not count it twice. Serving schedulers set it from block
+	// refcounts; single-request paths leave it zero.
+	SharedBytes float64
+	Ops         []Op
 }
 
 // TotalFLOPs sums FLOPs over all ops.
@@ -192,6 +199,25 @@ func PrefillStep(w Workload) (StepTrace, error) {
 	return buildStep(w, Prefill, w.InputLen, 0), nil
 }
 
+// PrefillChunkStep builds the operator trace of one chunked-prefill step:
+// w.InputLen new prompt tokens per row computed on top of hist tokens whose
+// KV entries already exist (earlier chunks, or blocks reused from a shared
+// prefix cache). With hist == 0 it is exactly PrefillStep. Chunk tokens
+// attend to the full cached history, so attention FLOPs and KV read traffic
+// grow with hist while projection/MLP work scales only with the chunk —
+// this is what makes late chunks of a long prompt more memory-bound than
+// early ones, and what a prefix-cache hit avoids entirely.
+func PrefillChunkStep(w Workload, hist int) (StepTrace, error) {
+	if err := w.Validate(); err != nil {
+		return StepTrace{}, err
+	}
+	if hist < 0 || hist+w.InputLen > w.Model.ContextLen {
+		return StepTrace{}, fmt.Errorf("trace: chunk history %d + chunk %d outside context %d",
+			hist, w.InputLen, w.Model.ContextLen)
+	}
+	return buildStep(w, Prefill, w.InputLen, hist), nil
+}
+
 // buildStep constructs the trace for processing `chunk` new tokens per row
 // on top of `hist` cached tokens.
 func buildStep(w Workload, phase Phase, chunk, hist int) StepTrace {
@@ -206,13 +232,14 @@ func buildStep(w Workload, phase Phase, chunk, hist int) StepTrace {
 	act := w.actElemSize()
 	kvElem := w.kvElemSize()
 
-	// Attention span: decode sees hist+1; prefill token i sees i+1 — sum
-	// over the chunk gives chunk*(chunk+1)/2 per row.
+	// Attention span: decode sees hist+1; prefill token i of a chunk sees
+	// hist+i+1 — sum over the chunk gives chunk*hist + chunk*(chunk+1)/2 per
+	// row (hist is 0 for a monolithic prompt pass).
 	var attnSpan float64 // total (row, position) pairs attended
 	if phase == Decode {
 		attnSpan = rows * float64(hist+1)
 	} else {
-		attnSpan = rows * float64(chunk) * float64(chunk+1) / 2
+		attnSpan = rows * float64(chunk) * (float64(hist) + float64(chunk+1)/2)
 	}
 
 	st := StepTrace{Phase: phase}
@@ -245,12 +272,14 @@ func buildStep(w Workload, phase Phase, chunk, hist int) StepTrace {
 		avFlops := 2 * attnSpan * heads * hd    // probs × V
 		// KV-cache DRAM traffic. Decode re-reads the whole history once per
 		// step; prefill attention is tiled (flash-attention style), so its
-		// K/V blocks stay cache-resident and DRAM sees each entry ~twice.
+		// K/V blocks stay cache-resident and DRAM sees each entry ~twice. A
+		// chunked-prefill step additionally streams the cached history K/V
+		// once (the chunk's queries attend to it tile by tile).
 		var kvTraffic float64
 		if phase == Decode {
 			kvTraffic = attnSpan*2*kvd*kvElem + n*2*kvd*kvElem
 		} else {
-			kvTraffic = 3 * n * kvd * kvElem
+			kvTraffic = 3*n*kvd*kvElem + rows*float64(hist)*2*kvd*kvElem
 		}
 		st.Ops = append(st.Ops, Op{
 			Kind: OpSelfAttn, Layer: l,

@@ -1,0 +1,37 @@
+#!/bin/sh
+# check-doc-links.sh — fail if README/docs markdown references local files
+# that don't exist. Scans every tracked .md file for inline links and for
+# backtick-quoted repo paths, skipping URLs and pure anchors. Run from the
+# repository root (CI does).
+set -eu
+
+fail=0
+for md in $(git ls-files '*.md' 2>/dev/null || find . -name '*.md' -not -path './.git/*'); do
+    dir=$(dirname "$md")
+    # Inline markdown links: [text](target)
+    for target in $(grep -o '](\([^)]*\))' "$md" 2>/dev/null | sed 's/^](//; s/)$//'); do
+        case "$target" in
+        http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path=${target%%#*}
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            echo "$md: broken link: $target" >&2
+            fail=1
+        fi
+    done
+    # Backtick-quoted repo paths that look like files we ship, e.g.
+    # `.github/workflows/ci.yml` or `scripts/check-doc-links.sh`.
+    for target in $(grep -o '`[A-Za-z0-9_.-]*/[A-Za-z0-9_./-]*\.\(go\|md\|sh\|yml\)`' "$md" 2>/dev/null | tr -d '\`'); do
+        if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+            echo "$md: broken path reference: $target" >&2
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check-doc-links: broken references found" >&2
+    exit 1
+fi
+echo "check-doc-links: all documentation references resolve"

@@ -27,6 +27,26 @@ type ServeConfig struct {
 	MaxBatch int
 	// BlockTokens is the paged KV-cache block size (default 16 tokens).
 	BlockTokens int
+	// ChunkTokens caps prompt tokens prefilled per scheduler iteration
+	// (chunked prefill): bounds the decode stall long prompts impose on
+	// in-flight requests at the cost of higher TTFT. 0 keeps monolithic
+	// prefills.
+	ChunkTokens int
+	// PrefixSharing enables block-level prefix-cache sharing: requests
+	// with a common prompt prefix reuse its KV blocks (refcounted, LRU
+	// eviction) instead of recomputing and re-storing them.
+	PrefixSharing bool
+	// PrefixGroups makes synthetic arrivals share prompt prefixes across
+	// this many groups (RAG-style traffic); 0 disables. PrefixFrac is the
+	// shared fraction of the mean prompt (default 0.5 when groups are set).
+	PrefixGroups int
+	PrefixFrac   float64
+	// Replicas simulates a load-balanced fleet of this size instead of a
+	// single replica (default 1). The offered rate is the fleet rate.
+	Replicas int
+	// LBPolicy picks the fleet dispatch policy:
+	// round-robin|least-loaded|prefix-affinity (default round-robin).
+	LBPolicy string
 	// Sockets / Cores select the CPU deployment as in MeasureOptions.
 	Sockets, Cores int
 	// TTFTSLOSec / TPOTSLOSec are SLO targets (defaults 5s / 0.5s).
@@ -49,14 +69,26 @@ type ServeReport struct {
 	SLOAttainment float64
 	// Tail latency (seconds).
 	TTFTp50, TTFTp95, TTFTp99 float64
-	TPOTMean                  float64
+	TPOTMean, TPOTp99         float64
 	LatencyP50, LatencyP99    float64
 	// Paged KV-cache pressure.
 	KVBlocksTotal, PeakKVBlocksInUse int
-	// SLO-aware cost: the replica fleet sized so the offered request rate
-	// fits the measured per-replica SLO-compliant rate, priced per million
-	// served tokens. SLOFeasible is false when no finite fleet hits the SLO
-	// (a single replica serves no request within target).
+	// Prefix-cache effectiveness (zero unless PrefixSharing is on):
+	// prompt tokens served from shared KV blocks, shareable tokens that
+	// had to be computed, and cached blocks reclaimed under pressure.
+	PrefixCacheHitTokens  int
+	PrefixCacheMissTokens int
+	EvictedKVBlocks       int
+	// Replicas and LBPolicy echo the simulated deployment (1 replica uses
+	// no load balancer).
+	Replicas int
+	LBPolicy string
+	// SLO-aware cost. With Replicas == 1 the fleet is *extrapolated*: sized
+	// so the offered rate fits the measured per-replica SLO-compliant rate.
+	// With Replicas > 1 the fleet is *simulated*: ReplicasAtSLO echoes the
+	// configured size and USDPerMTokAtSLO prices the whole rented fleet
+	// over its simulated SLO-compliant token rate. SLOFeasible is false
+	// when no request was served within SLO.
 	SLOFeasible     bool
 	ReplicasAtSLO   int
 	FleetHourlyUSD  float64
@@ -95,18 +127,38 @@ func (s *Session) Serve(cfg ServeConfig) (*ServeReport, error) {
 		}}
 	}
 
-	rep, err := serve.Run(be, serve.Config{
-		Workload:    trace.Workload{Model: mcfg, Kind: kind, InputLen: cfg.InputLen, OutputLen: cfg.OutputLen},
-		Rate:        cfg.RatePerSec,
-		Requests:    cfg.Requests,
-		Seed:        s.cfg.Seed,
-		MaxBatch:    cfg.MaxBatch,
-		BlockTokens: cfg.BlockTokens,
-		TTFTSLOSec:  cfg.TTFTSLOSec,
-		TPOTSLOSec:  cfg.TPOTSLOSec,
-	})
+	scfg := serve.Config{
+		Workload:      trace.Workload{Model: mcfg, Kind: kind, InputLen: cfg.InputLen, OutputLen: cfg.OutputLen},
+		Rate:          cfg.RatePerSec,
+		Requests:      cfg.Requests,
+		Seed:          s.cfg.Seed,
+		MaxBatch:      cfg.MaxBatch,
+		BlockTokens:   cfg.BlockTokens,
+		ChunkTokens:   cfg.ChunkTokens,
+		PrefixSharing: cfg.PrefixSharing,
+		PrefixGroups:  cfg.PrefixGroups,
+		PrefixFrac:    cfg.PrefixFrac,
+		TTFTSLOSec:    cfg.TTFTSLOSec,
+		TPOTSLOSec:    cfg.TPOTSLOSec,
+	}
+	policy, err := serve.ParseLBPolicy(cfg.LBPolicy)
 	if err != nil {
 		return nil, err
+	}
+
+	var rep *serve.Report
+	var fleet *serve.FleetReport
+	if cfg.Replicas > 1 {
+		fleet, err = serve.RunFleet(be, scfg, serve.FleetConfig{Replicas: cfg.Replicas, Policy: policy})
+		if err != nil {
+			return nil, err
+		}
+		rep = fleet.Aggregate
+	} else {
+		rep, err = serve.Run(be, scfg)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	out := &ServeReport{
@@ -123,15 +175,32 @@ func (s *Session) Serve(cfg ServeConfig) (*ServeReport, error) {
 		TTFTp95:             rep.TTFT.P95,
 		TTFTp99:             rep.TTFT.P99,
 		TPOTMean:            rep.TPOT.Mean,
+		TPOTp99:             rep.TPOT.P99,
 		LatencyP50:          rep.Latency.P50,
 		LatencyP99:          rep.Latency.P99,
 		KVBlocksTotal:       rep.KVBlocksTotal,
 		PeakKVBlocksInUse:   rep.PeakKVBlocksInUse,
+
+		PrefixCacheHitTokens:  rep.PrefixCacheHitTokens,
+		PrefixCacheMissTokens: rep.PrefixCacheMissTokens,
+		EvictedKVBlocks:       rep.EvictedBlocks,
+		Replicas:              1,
 	}
 
 	hourly, err := s.serveHourlyUSD(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if fleet != nil {
+		out.Replicas = cfg.Replicas
+		out.LBPolicy = fleet.Policy
+		out.ReplicasAtSLO = cfg.Replicas
+		out.FleetHourlyUSD = hourly * float64(cfg.Replicas)
+		if usd, err := fleet.CostPerMTok(hourly); err == nil {
+			out.SLOFeasible = true
+			out.USDPerMTokAtSLO = usd
+		}
+		return out, nil
 	}
 	if cost, err := rep.CostAtSLO(hourly); err == nil {
 		out.SLOFeasible = true
