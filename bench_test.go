@@ -55,6 +55,8 @@ func BenchmarkServingCurves(b *testing.B)    { benchExperiment(b, "serving") }
 func BenchmarkChunkedPrefill(b *testing.B)   { benchExperiment(b, "chunked") }
 func BenchmarkPrefixCache(b *testing.B)      { benchExperiment(b, "prefix") }
 func BenchmarkFleetPolicies(b *testing.B)    { benchExperiment(b, "fleet") }
+func BenchmarkHeteroDispatch(b *testing.B)   { benchExperiment(b, "hetero") }
+func BenchmarkAutoscaling(b *testing.B)      { benchExperiment(b, "autoscale") }
 
 // BenchmarkServeScheduler measures the serving simulator itself: simulated
 // requests completed per wall-clock second of scheduler execution.
@@ -187,6 +189,7 @@ func TestBenchmarkCoverage(t *testing.T) {
 		"sev": true, "b100": true, "scaleout": true, "hybrid": true,
 		"spr": true, "ablation": true, "serving": true,
 		"chunked": true, "prefix": true, "fleet": true,
+		"hetero": true, "autoscale": true,
 	}
 	for _, e := range Experiments() {
 		if !covered[e.ID] {

@@ -308,3 +308,81 @@ func TestMeasureDistribution(t *testing.T) {
 		t.Error("GPU shows more outliers than the CPU TEE")
 	}
 }
+
+func TestParseClasses(t *testing.T) {
+	cs, err := ParseClasses("tdx:4,cgpu:2:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 || cs[0] != (AutoscaleClass{Platform: "tdx", Min: 1, Max: 4}) ||
+		cs[1] != (AutoscaleClass{Platform: "cgpu", Min: 1, Max: 2}) {
+		t.Fatalf("ParseClasses = %+v", cs)
+	}
+	for _, bad := range []string{"", ":2", "tdx:x", "tdx:2:3", "tdx:1:1:1"} {
+		if _, err := ParseClasses(bad); err == nil {
+			t.Errorf("ParseClasses(%q) accepted", bad)
+		}
+	}
+}
+
+func TestAutoscalePublicAPI(t *testing.T) {
+	rep, err := Autoscale(AutoscaleConfig{
+		Scenario:   "bursty",
+		RatePerSec: 2,
+		Requests:   48,
+		Classes:    []AutoscaleClass{{Platform: "tdx", Min: 1, Max: 2}},
+		MaxBatch:   8,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Completed + rep.Dropped + rep.Unfinished; got != 48 {
+		t.Fatalf("conservation: %d of 48 accounted", got)
+	}
+	if len(rep.Classes) != 1 || rep.Classes[0].Name != "tdx" {
+		t.Fatalf("classes = %+v", rep.Classes)
+	}
+	if rep.Classes[0].ColdStartSec <= 0 {
+		t.Error("TDX class has no cold start")
+	}
+	if rep.Classes[0].CapacityReqPerSec <= 0 {
+		t.Error("class capacity not probed")
+	}
+	if rep.ReplicaHours <= 0 || rep.CostUSD <= 0 {
+		t.Errorf("billing empty: %+v", rep)
+	}
+	if len(rep.Windows) == 0 {
+		t.Error("no control windows")
+	}
+	if _, err := Autoscale(AutoscaleConfig{}); err == nil {
+		t.Error("missing classes accepted")
+	}
+	if _, err := Autoscale(AutoscaleConfig{
+		Classes: []AutoscaleClass{{Platform: "nope", Min: 1, Max: 1}},
+	}); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}
+
+func TestServeScenarioPublicAPI(t *testing.T) {
+	sess, err := Open(Config{Platform: "tdx", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sess.Serve(ServeConfig{
+		Scenario:   "bursty+rag",
+		RatePerSec: 1,
+		Requests:   12,
+		MaxBatch:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed+rep.Dropped+rep.Unfinished != 12 {
+		t.Fatalf("conservation failed: %+v", rep)
+	}
+	if _, err := sess.Serve(ServeConfig{Scenario: "nope", RatePerSec: 1}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}

@@ -1,8 +1,10 @@
 // cllm-serve simulates production serving on a confidential platform:
-// Poisson arrivals into a continuous-batching scheduler with a paged
-// KV-cache — optionally with chunked prefill, prefix-cache sharing and a
-// load-balanced multi-replica fleet — reported as throughput–latency
-// curves with SLO-aware cost.
+// Poisson arrivals — or a workload scenario (bursty MMPP, diurnal, ramp ×
+// chat/RAG/agentic mixes) — into a continuous-batching scheduler with a
+// paged KV-cache, optionally with chunked prefill, prefix-cache sharing, a
+// load-balanced multi-replica fleet, or an elastic autoscaled
+// heterogeneous fleet — reported as throughput–latency curves with
+// SLO-aware cost.
 //
 // Usage:
 //
@@ -11,11 +13,17 @@
 //	cllm-serve -platform cgpu -rate 24 -slo-ttft 2 -slo-tpot 0.2
 //	cllm-serve -platform sgx -rate 2 -prefix-share -prefix-groups 4 -chunk-size 512
 //	cllm-serve -replicas 4 -lb-policy prefix-affinity -prefix-share -chunk-size 512 -format json
+//	cllm-serve -platform tdx -scenario diurnal+rag -rate 6
+//	cllm-serve -scenario diurnal -autoscale -classes tdx:2,cgpu:2
+//	cllm-serve -scenario bursty -autoscale -classes tdx:4 -no-cold-start
 //
 // For each platform the offered rate is swept around -rate, tracing how
 // tail latency and cost-per-million-tokens move as load approaches and
-// passes saturation. -format csv|json emits the same rows machine-readably
-// for plotting (schema in docs/serving-model.md).
+// passes saturation. With -autoscale, one elastic run is simulated
+// instead: replica classes from -classes scale reactively with the
+// scenario, paying per-TEE cold starts (enclave/TD build + attestation).
+// -format csv|json emits the same rows machine-readably for plotting
+// (schema in docs/serving-model.md).
 package main
 
 import (
@@ -33,10 +41,11 @@ func main() {
 	system := flag.String("system", "EMR1", "CPU testbed: EMR1 or EMR2")
 	modelName := flag.String("model", "llama2-7b", "model name (see cllm-infer -models)")
 	dt := flag.String("dtype", "bf16", "datatype: bf16|int8|f32")
-	rate := flag.Float64("rate", 8, "base Poisson arrival rate (requests/s)")
+	rate := flag.Float64("rate", 8, "base (mean) arrival rate (requests/s)")
 	requests := flag.Int("requests", 48, "arrivals per run")
-	inLen := flag.Int("in", 128, "mean prompt tokens")
-	outLen := flag.Int("out", 32, "mean generated tokens")
+	scenario := flag.String("scenario", "", "traffic scenario: poisson|bursty|diurnal|ramp, chat|rag|agentic, or arrivals+mix (empty = plain Poisson synthesis)")
+	inLen := flag.Int("in", 128, "mean prompt tokens (ignored with -scenario)")
+	outLen := flag.Int("out", 32, "mean generated tokens (ignored with -scenario)")
 	batch := flag.Int("batch", 32, "max concurrent sequences")
 	chunkSize := flag.Int("chunk-size", 0, "chunked-prefill budget in prompt tokens per iteration (0 = monolithic prefill)")
 	prefixShare := flag.Bool("prefix-share", false, "enable prefix-cache sharing of common prompt prefixes")
@@ -44,6 +53,12 @@ func main() {
 	prefixFrac := flag.Float64("prefix-frac", 0.5, "shared fraction of the mean prompt per prefix group")
 	replicas := flag.Int("replicas", 1, "simulated fleet size behind the load balancer")
 	lbPolicy := flag.String("lb-policy", "round-robin", "fleet dispatch policy: round-robin|least-loaded|prefix-affinity")
+	autoscaleF := flag.Bool("autoscale", false, "simulate an elastic heterogeneous fleet (uses -classes; ignores -platform, -replicas, -lb-policy, -in, -out, -prefix-groups and -prefix-frac — the scenario's shape mixes own the request shapes)")
+	classes := flag.String("classes", "tdx:2", "autoscale replica classes as platform:max[:min], comma-separated (e.g. tdx:4,cgpu:2)")
+	dispatch := flag.String("dispatch", "cost-aware", "autoscale dispatch policy: uniform|cost-aware")
+	noColdStart := flag.Bool("no-cold-start", false, "zero TEE cold starts (counterfactual elasticity baseline)")
+	targetUtil := flag.Float64("target-util", 0.7, "autoscaler target utilization (lower = more headroom)")
+	interval := flag.Float64("interval", 15, "autoscaler control period (seconds)")
 	format := flag.String("format", "table", "output format: table|csv|json")
 	sloTTFT := flag.Float64("slo-ttft", 5, "TTFT SLO (seconds)")
 	sloTPOT := flag.Float64("slo-tpot", 0.5, "TPOT SLO (seconds/token)")
@@ -59,11 +74,37 @@ func main() {
 		*prefixGroups = 4 // sharing without declared groups would never hit
 	}
 
+	if *autoscaleF {
+		// The sweep default of 48 arrivals spans seconds; an elastic run
+		// needs enough stream for the control loop to act. Unless the user
+		// set -requests, defer to the API default.
+		nReq := 0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "requests" {
+				nReq = *requests
+			}
+		})
+		runAutoscale(autoscaleArgs{
+			modelName: *modelName, dt: *dt, system: *system,
+			scenario: *scenario, rate: *rate, requests: nReq,
+			classes: *classes, dispatch: *dispatch, noColdStart: *noColdStart,
+			targetUtil: *targetUtil, interval: *interval, batch: *batch,
+			chunkSize: *chunkSize, prefixShare: *prefixShare,
+			sloTTFT: *sloTTFT, sloTPOT: *sloTPOT, sockets: *sockets,
+			seed: *seed, format: *format,
+		})
+		return
+	}
+
+	load := fmt.Sprintf("in/out %d/%d tokens", *inLen, *outLen)
+	if *scenario != "" {
+		load = "scenario " + *scenario
+	}
 	mults := []float64{0.25, 0.5, 1, 1.5, 2}
 	table := &harness.Result{
 		ID: "serve",
-		Title: fmt.Sprintf("%s (%s), %d requests per point, in/out %d/%d tokens, chunk %d, share %v, %d replica(s) %s, SLO TTFT %.2gs TPOT %.2gs",
-			*modelName, *dt, *requests, *inLen, *outLen, *chunkSize, *prefixShare, *replicas, *lbPolicy, *sloTTFT, *sloTPOT),
+		Title: fmt.Sprintf("%s (%s), %d requests per point, %s, chunk %d, share %v, %d replica(s) %s, SLO TTFT %.2gs TPOT %.2gs",
+			*modelName, *dt, *requests, load, *chunkSize, *prefixShare, *replicas, *lbPolicy, *sloTTFT, *sloTPOT),
 		Header: []string{"platform", "rate(req/s)", "tput(tok/s)", "goodput", "SLO%", "TTFT p50(s)", "TTFT p99(s)", "TPOT(s)", "TPOT p99(s)", "p99 lat(s)", "prefix-hit(tok)", "preempt", "replicas", "$/Mtok@SLO"},
 	}
 	for _, plat := range strings.Split(*platforms, ",") {
@@ -80,6 +121,7 @@ func main() {
 			rep, err := sess.Serve(cllm.ServeConfig{
 				Model: *modelName, DType: *dt,
 				InputLen: *inLen, OutputLen: *outLen,
+				Scenario:   *scenario,
 				RatePerSec: *rate * m, Requests: *requests,
 				MaxBatch: *batch, Sockets: *sockets,
 				ChunkTokens:   *chunkSize,
@@ -118,7 +160,12 @@ func main() {
 		}
 	}
 
-	switch *format {
+	emit(table, *format)
+}
+
+// emit prints a result table in the chosen format.
+func emit(table *harness.Result, format string) {
+	switch format {
 	case "csv":
 		fmt.Print(table.CSV())
 	case "json":
@@ -131,4 +178,81 @@ func main() {
 	default:
 		fmt.Print(table.Render())
 	}
+}
+
+type autoscaleArgs struct {
+	modelName, dt, system       string
+	scenario, classes, dispatch string
+	rate, targetUtil, interval  float64
+	sloTTFT, sloTPOT            float64
+	requests, batch, sockets    int
+	chunkSize                   int
+	prefixShare, noColdStart    bool
+	seed                        int64
+	format                      string
+}
+
+// runAutoscale simulates one elastic heterogeneous fleet and prints its
+// per-class usage plus the fleet summary row.
+func runAutoscale(a autoscaleArgs) {
+	classes, err := cllm.ParseClasses(a.classes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cllm-serve: %v\n", err)
+		os.Exit(1)
+	}
+	scenario := a.scenario
+	if scenario == "" {
+		scenario = "bursty"
+	}
+	rep, err := cllm.Autoscale(cllm.AutoscaleConfig{
+		Model: a.modelName, DType: a.dt, System: a.system,
+		Scenario: scenario, RatePerSec: a.rate, Requests: a.requests,
+		Classes: classes, Dispatch: a.dispatch,
+		IntervalSec: a.interval, TargetUtil: a.targetUtil,
+		NoColdStart: a.noColdStart, MaxBatch: a.batch,
+		ChunkTokens: a.chunkSize, PrefixSharing: a.prefixShare,
+		Sockets: a.sockets, TTFTSLOSec: a.sloTTFT, TPOTSLOSec: a.sloTPOT,
+		Seed: a.seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cllm-serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	offered := rep.Completed + rep.Dropped + rep.Unfinished
+	table := &harness.Result{
+		ID: "autoscale",
+		Title: fmt.Sprintf("%s (%s), scenario %s at %.2g req/s mean, %d requests, %s dispatch, target util %.2g, SLO TTFT %.2gs TPOT %.2gs",
+			a.modelName, a.dt, scenario, a.rate, offered, rep.Dispatch, a.targetUtil, a.sloTTFT, a.sloTPOT),
+		Header: []string{"class", "$/h", "coldstart(s)", "cap(req/s)", "dispatched", "peak", "coldstarts", "replica-hrs", "cost($)", "SLO%", "goodput", "$/Mtok"},
+	}
+	for _, c := range rep.Classes {
+		table.Rows = append(table.Rows, []string{
+			c.Name,
+			fmt.Sprintf("%.2f", c.HourlyUSD),
+			fmt.Sprintf("%.1f", c.ColdStartSec),
+			fmt.Sprintf("%.2f", c.CapacityReqPerSec),
+			fmt.Sprintf("%d", c.Dispatched),
+			fmt.Sprintf("%d", c.PeakActive),
+			fmt.Sprintf("%d", c.ColdStarts),
+			fmt.Sprintf("%.4f", c.ReplicaHours),
+			fmt.Sprintf("%.4f", c.CostUSD),
+			"-", "-", "-",
+		})
+	}
+	table.Rows = append(table.Rows, []string{
+		"fleet", "-", "-", "-",
+		fmt.Sprintf("%d", rep.Completed+rep.Dropped+rep.Unfinished),
+		"-",
+		fmt.Sprintf("%d", rep.ColdStarts),
+		fmt.Sprintf("%.4f", rep.ReplicaHours),
+		fmt.Sprintf("%.4f", rep.CostUSD),
+		fmt.Sprintf("%.0f%%", rep.SLOAttainment*100),
+		fmt.Sprintf("%.1f", rep.GoodputTokensPerSec),
+		fmt.Sprintf("%.2f", rep.USDPerMTok),
+	})
+	table.Notes = append(table.Notes,
+		fmt.Sprintf("completed %d, dropped %d, unfinished %d; TTFT p50 %.3fs p99 %.3fs; %d control windows",
+			rep.Completed, rep.Dropped, rep.Unfinished, rep.TTFTp50, rep.TTFTp99, len(rep.Windows)))
+	emit(table, a.format)
 }

@@ -1,0 +1,756 @@
+// Package autoscale simulates elastic heterogeneous TEE fleets: replica
+// classes (backend × instance price × cold-start latency) behind a cost-
+// and load-aware dispatcher, with a reactive target-tracking scaler that
+// activates and drains replicas as the arrival process moves. Its question
+// extends the paper's: confidentiality is priced not only per served token
+// at steady state, but per *elastic* token — scaling a confidential fleet
+// reactively pays TEE-specific cold starts (enclave/TD memory preparation
+// plus the attestation round-trip) that non-confidential fleets do not,
+// which forces overprovisioning to hold an SLO under bursty load.
+//
+// The control loop runs on the same discrete-event engine as the serving
+// schedulers (one shared simulated clock), so queueing during a cold start
+// is in the numbers, not assumed away.
+package autoscale
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cllm/internal/gramine"
+	"cllm/internal/serve"
+	"cllm/internal/sim"
+	"cllm/internal/tee"
+	"cllm/internal/trace"
+)
+
+// Class is one replica flavor of a heterogeneous fleet: a backend
+// (hardware × TEE), its rental price, its cold-start latency, and the
+// replica-count bounds the operator allows.
+type Class struct {
+	// Name labels the class in reports (e.g. "tdx", "cgpu").
+	Name string
+	// Backend is the hardware/TEE combination replicas of this class run.
+	Backend serve.Backend
+	// HourlyUSD is the rental price of one replica.
+	HourlyUSD float64
+	// ColdStartSec is activation-to-servable latency: instance boot, TEE
+	// memory preparation, weight provisioning and the attestation
+	// round-trip. Use ColdStartSec() to derive it from the platform
+	// mechanisms; zero means instantly servable (the counterfactual
+	// baseline the harness compares against).
+	ColdStartSec float64
+	// Min/Max bound the active replica count. Min replicas start warm at
+	// t=0 (the standing fleet); the scaler may activate up to Max.
+	Min, Max int
+	// CapacityReqPerSec is one replica's saturated completion rate for the
+	// experiment's request shape, used by cost-aware dispatch weighting
+	// and the target-tracking scaler. Zero means "probe it": Run measures
+	// it with ProbeCapacity before simulating.
+	CapacityReqPerSec float64
+}
+
+// ColdStartSec models provisioning a fresh replica of the backend for a
+// workload: base boot, streaming the weight image from storage, TEE
+// memory preparation (TD page acceptance for VM TEEs, EADD+EEXTEND enclave
+// build for SGX, bounce-buffered weight upload for confidential GPUs) and
+// — for protected platforms — the attestation round-trip before secrets
+// are released. Constants live in internal/tee and internal/gramine next
+// to the mechanisms they time.
+func ColdStartSec(be serve.Backend, w trace.Workload) float64 {
+	weights := trace.WeightFootprint(w)
+	var p tee.Platform
+	if be.IsGPU {
+		p = be.GPU.Platform
+	} else {
+		p = be.CPU.Platform
+	}
+	t := tee.BaseBootSec + weights/tee.WeightLoadBytesPerSec
+	if be.IsGPU {
+		// Weights cross the host-GPU link; confidential mode routes them
+		// through the encrypted bounce buffer (PCIeBWFactor < 1).
+		t += weights / (be.GPU.GPU.PCIeBandwidth * p.PCIeBWFactor)
+	}
+	switch p.Class {
+	case tee.ClassVM:
+		t += weights / tee.TDXAcceptBytesPerSec
+	case tee.ClassProcess:
+		t += weights / gramine.EnclaveBuildBytesPerSec
+	}
+	if p.Protected {
+		t += tee.AttestationRTTSec
+	}
+	return t
+}
+
+// Dispatch selects how arrivals are routed across the active fleet.
+type Dispatch int
+
+const (
+	// Uniform routes each arrival to the active replica with the fewest
+	// outstanding requests, blind to class capability or price — the
+	// policy a homogeneous-fleet balancer would apply unchanged.
+	Uniform Dispatch = iota
+	// CostAware routes by normalized load — outstanding work relative to
+	// the class's service capacity — so slow (cheap) replicas receive only
+	// what they can serve within SLO, and breaks ties toward the cheaper
+	// class per unit capacity.
+	CostAware
+)
+
+// String names the policy as the CLI spells it.
+func (d Dispatch) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case CostAware:
+		return "cost-aware"
+	}
+	return fmt.Sprintf("Dispatch(%d)", int(d))
+}
+
+// ParseDispatch resolves a CLI dispatch name.
+func ParseDispatch(s string) (Dispatch, error) {
+	switch s {
+	case "uniform", "":
+		return Uniform, nil
+	case "cost-aware", "cost", "ca":
+		return CostAware, nil
+	}
+	return 0, fmt.Errorf("autoscale: unknown dispatch %q (uniform|cost-aware)", s)
+}
+
+// Config tunes one autoscaling simulation.
+type Config struct {
+	// Serve carries the workload (model, datatype, SLOs) and the offered
+	// load — a Scenario, a Trace, or plain Poisson Rate/Requests — shared
+	// by every replica. Per-replica knobs (MaxBatch, chunking, prefix
+	// sharing) apply to each replica individually.
+	Serve serve.Config
+	// Dispatch is the routing policy (default Uniform).
+	Dispatch Dispatch
+	// IntervalSec is the control-loop period (default 15 s).
+	IntervalSec float64
+	// TargetUtil is the utilization the scaler tracks: it provisions
+	// capacity = demand / TargetUtil (default 0.7). Lower values mean more
+	// headroom — the knob operators turn to absorb cold-start lag.
+	TargetUtil float64
+	// ScaleDownHoldSec is how long the fleet must stay above the desired
+	// size before surplus replicas start draining (default 2 intervals) —
+	// hysteresis against flapping on burst edges.
+	ScaleDownHoldSec float64
+}
+
+func (c *Config) normalize() error {
+	if c.IntervalSec <= 0 {
+		c.IntervalSec = 15
+	}
+	if c.TargetUtil == 0 {
+		c.TargetUtil = 0.7
+	}
+	if c.TargetUtil < 0 || c.TargetUtil > 1 {
+		return fmt.Errorf("autoscale: target utilization %g outside (0, 1]", c.TargetUtil)
+	}
+	if c.ScaleDownHoldSec <= 0 {
+		c.ScaleDownHoldSec = 2 * c.IntervalSec
+	}
+	switch c.Dispatch {
+	case Uniform, CostAware:
+	default:
+		return fmt.Errorf("autoscale: unknown dispatch policy %d", int(c.Dispatch))
+	}
+	return nil
+}
+
+// Window is one control-loop interval of the run's time series.
+type Window struct {
+	// StartSec is the window's start on the simulated clock.
+	StartSec float64
+	// Arrivals counts requests that arrived during the window.
+	Arrivals int
+	// Backlog is the queued+running total across the fleet at window end.
+	Backlog int
+	// Active is the per-class count of billed replicas (including ones
+	// still cold-starting) at window end; Available counts only servable
+	// ones.
+	Active, Available []int
+	// DemandReqPerSec is the scaler's demand estimate for the window.
+	DemandReqPerSec float64
+}
+
+// ClassUsage aggregates one class's consumption over the run.
+type ClassUsage struct {
+	Name string
+	// ReplicaHours integrates billed (active) replicas over simulated time.
+	ReplicaHours float64
+	// CostUSD prices those hours at the class rate.
+	CostUSD float64
+	// PeakActive is the maximum simultaneously billed replicas.
+	PeakActive int
+	// Dispatched counts requests routed to the class.
+	Dispatched int
+	// ColdStarts counts activations that paid the class cold start.
+	ColdStarts int
+	// ColdStartSec echoes the class's configured cold-start latency.
+	ColdStartSec float64
+}
+
+// Report is the outcome of one autoscaling simulation.
+type Report struct {
+	// Dispatch names the routing policy.
+	Dispatch string
+	// Aggregate merges every replica's serving report (see
+	// serve.MergeReports): fleet-wide latency quantiles, goodput, SLO
+	// counters.
+	Aggregate *serve.Report
+	// Windows is the control-loop time series.
+	Windows []Window
+	// Usage is per-class consumption, in class order.
+	Usage []ClassUsage
+	// ReplicaHours and CostUSD total the usage across classes.
+	ReplicaHours float64
+	CostUSD      float64
+	// USDPerMTok prices the run: total rental cost over SLO-compliant
+	// served tokens. Infinite when nothing was served within SLO.
+	USDPerMTok float64
+	// ColdStarts counts replica activations that paid a cold start.
+	ColdStarts int
+}
+
+// SLOAttainment returns the fraction of offered requests served within SLO.
+func (r *Report) SLOAttainment() float64 { return r.Aggregate.SLOAttainment() }
+
+// ProbeCapacity measures one replica's saturated completion rate for the
+// config's request shape: a closed burst (every probe request arrives at
+// t=0) is served to completion and the rate is completed/makespan. The
+// scaler and cost-aware dispatch consume this as the class's capacity.
+func ProbeCapacity(be serve.Backend, scfg serve.Config) (float64, error) {
+	cfg := scfg
+	inLen, outLen := cfg.Workload.InputLen, cfg.Workload.OutputLen
+	if cfg.Scenario != nil {
+		inLen = cfg.Scenario.Mix.MeanInputLen()
+		outLen = cfg.Scenario.Mix.MeanOutputLen()
+	}
+	if inLen <= 0 {
+		inLen = 128
+	}
+	if outLen <= 1 {
+		outLen = 32
+	}
+	if ctx := cfg.Workload.Model.ContextLen; ctx > 0 && inLen+outLen > ctx {
+		inLen = ctx - outLen
+		if inLen < 1 {
+			inLen, outLen = 1, ctx-1
+		}
+	}
+	cfg.Scenario = nil
+	// The burst must overfill the batch, or the "saturated" rate would
+	// reflect a part-empty batch plus ramp-down tail and understate the
+	// class for deep-batch configs.
+	mb := cfg.MaxBatch
+	if mb <= 0 {
+		mb = 32 // serve's normalize default
+	}
+	probes := 2 * mb
+	if probes < 24 {
+		probes = 24
+	}
+	probe := make([]serve.Request, probes)
+	for i := range probe {
+		probe[i] = serve.Request{ID: i, ArrivalSec: 0, InputLen: inLen, OutputLen: outLen}
+	}
+	cfg.Trace = probe
+	rep, err := serve.Run(be, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if rep.Completed == 0 || rep.MakespanSec <= 0 {
+		return 0, fmt.Errorf("autoscale: capacity probe on %s completed nothing", rep.Platform)
+	}
+	return float64(rep.Completed) / rep.MakespanSec, nil
+}
+
+// slot is one provisionable replica instance. Its scheduler (rep) is
+// built lazily on first activation — a class's Max bounds the fleet, it
+// should not cost Max schedulers' state when the load never needs them.
+type slot struct {
+	class int   // index into classes
+	seed  int64 // decorrelates this slot's noise stream
+	rep   *serve.Replica
+	// active means billed (operator pays from activation to drain-done).
+	active bool
+	// availableAt is when the slot can first serve (activation + cold
+	// start); meaningful while active.
+	availableAt float64
+	// draining means no new dispatches; deactivates when it empties.
+	draining bool
+	// billStart is the activation instant of the current billing span.
+	billStart float64
+	// billedHours accumulates completed billing spans.
+	billedHours float64
+	dispatched  int
+}
+
+func (s *slot) servable(now float64) bool {
+	return s.active && !s.draining && s.availableAt <= now+1e-12
+}
+
+// Run simulates the offered load against an elastic fleet of the given
+// classes. Class Min replicas start warm; the control loop activates (with
+// cold start) and drains replicas every IntervalSec to track demand.
+func Run(classes []Class, cfg Config) (*Report, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("autoscale: no replica classes")
+	}
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	cls := append([]Class(nil), classes...)
+	totalMin := 0
+	for i := range cls {
+		c := &cls[i]
+		if c.Name == "" {
+			return nil, fmt.Errorf("autoscale: class %d needs a name", i)
+		}
+		if c.Max <= 0 {
+			return nil, fmt.Errorf("autoscale: class %s needs Max >= 1, got %d", c.Name, c.Max)
+		}
+		if c.Min < 0 || c.Min > c.Max {
+			return nil, fmt.Errorf("autoscale: class %s Min %d outside [0, %d]", c.Name, c.Min, c.Max)
+		}
+		if !(c.HourlyUSD > 0) || math.IsInf(c.HourlyUSD, 0) {
+			return nil, fmt.Errorf("autoscale: class %s hourly price %g must be positive and finite", c.Name, c.HourlyUSD)
+		}
+		if c.ColdStartSec < 0 {
+			return nil, fmt.Errorf("autoscale: class %s cold start %g is negative", c.Name, c.ColdStartSec)
+		}
+		if c.CapacityReqPerSec <= 0 {
+			cap, err := ProbeCapacity(c.Backend, cfg.Serve)
+			if err != nil {
+				return nil, fmt.Errorf("autoscale: class %s: %w", c.Name, err)
+			}
+			c.CapacityReqPerSec = cap
+		}
+		totalMin += c.Min
+	}
+	if totalMin == 0 {
+		// An empty standing fleet would queue the first arrivals behind a
+		// cold start forever under zero demand estimate; keep one warm
+		// replica of the cheapest-per-capacity class.
+		cheapest := 0
+		for i := range cls {
+			if cls[i].HourlyUSD/cls[i].CapacityReqPerSec < cls[cheapest].HourlyUSD/cls[cheapest].CapacityReqPerSec {
+				cheapest = i
+			}
+		}
+		cls[cheapest].Min = 1
+	}
+
+	arrivals, err := serve.Arrivals(cfg.Serve)
+	if err != nil {
+		return nil, err
+	}
+	// Normalize a local copy the replicas share (NewReplica normalizes
+	// again idempotently; this fixes defaults like HorizonSec up front).
+	scfg := cfg.Serve
+	if err := scfg.Normalize(); err != nil {
+		return nil, err
+	}
+
+	eng := sim.NewEngine()
+	f := &fleet{
+		classes: cls, cfg: cfg, scfg: scfg, eng: eng,
+		totalArrivals: len(arrivals),
+		coldStarts:    make([]int, len(cls)),
+		overSince:     make([]float64, len(cls)),
+	}
+	for ci := range cls {
+		f.overSince[ci] = -1
+		for j := 0; j < cls[ci].Max; j++ {
+			s := &slot{class: ci, seed: scfg.Seed + int64(len(f.slots))*7919 + 104729}
+			s.active = j < cls[ci].Min // warm standing fleet
+			f.slots = append(f.slots, s)
+			// Construct warm slots now, plus one probe slot per class, so
+			// backend misconfigurations fail at Run time, not mid-event.
+			if (s.active || j == 0) && !f.ensureReplica(s) {
+				return nil, f.err
+			}
+		}
+	}
+	lastArrival := 0.0
+	for _, req := range arrivals {
+		req := req
+		if req.ArrivalSec > lastArrival {
+			lastArrival = req.ArrivalSec
+		}
+		eng.Schedule(sim.Time(req.ArrivalSec), func(*sim.Engine) { f.dispatch(req) })
+	}
+	eng.Schedule(sim.Time(cfg.IntervalSec), f.tick)
+
+	horizon := sim.Time(lastArrival + scfg.HorizonSec)
+	if _, err := eng.RunUntil(horizon, scfg.MaxSteps); err != nil {
+		return nil, err
+	}
+	return f.report()
+}
+
+// fleet is the mutable state of one autoscaling run.
+type fleet struct {
+	classes []Class
+	cfg     Config
+	scfg    serve.Config
+	slots   []*slot
+	eng     *sim.Engine
+
+	pending        []serve.Request // arrivals waiting for a servable slot
+	windowArrivals int
+	totalArrivals  int
+	dispatchedN    int
+	windows        []Window
+	coldStarts     []int // per class
+	// overSince tracks, per class, when it started exceeding its desired
+	// count (scale-down hysteresis); -1 means not currently over.
+	overSince []float64
+	done      bool
+	// err records a mid-simulation replica-construction failure; it halts
+	// the loop and fails the run.
+	err error
+}
+
+// ensureReplica lazily constructs a slot's scheduler. A failure (backend
+// misconfiguration) is recorded and halts the control loop.
+func (f *fleet) ensureReplica(s *slot) bool {
+	if s.rep != nil {
+		return true
+	}
+	rep, err := serve.NewReplica(f.classes[s.class].Backend, f.scfg, f.eng, s.seed)
+	if err != nil {
+		f.err = err
+		f.done = true
+		return false
+	}
+	s.rep = rep
+	return true
+}
+
+// dispatch routes one arrival (or a flushed pending request) to a replica.
+func (f *fleet) dispatch(req serve.Request) {
+	now := float64(f.eng.Now())
+	f.windowArrivals++
+	best := f.pick(now)
+	if best == nil {
+		f.pending = append(f.pending, req)
+		return
+	}
+	f.submit(best, req)
+}
+
+// submit hands a request to a chosen slot.
+func (f *fleet) submit(s *slot, req serve.Request) {
+	s.rep.Submit(req)
+	s.dispatched++
+	f.dispatchedN++
+}
+
+// pick selects the dispatch target among servable slots, or nil.
+func (f *fleet) pick(now float64) *slot {
+	var best *slot
+	var bestKey [2]float64
+	for _, s := range f.slots {
+		if !s.servable(now) {
+			continue
+		}
+		var key [2]float64
+		c := f.classes[s.class]
+		switch f.cfg.Dispatch {
+		case CostAware:
+			// Normalized load first, then dollars per unit capacity: a
+			// slow cheap replica only wins while it is genuinely idle
+			// relative to its service rate.
+			key = [2]float64{
+				(float64(s.rep.Outstanding()) + 1) / c.CapacityReqPerSec,
+				c.HourlyUSD / c.CapacityReqPerSec,
+			}
+		default:
+			key = [2]float64{float64(s.rep.Outstanding()), 0}
+		}
+		if best == nil || key[0] < bestKey[0] || (key[0] == bestKey[0] && key[1] < bestKey[1]) {
+			best, bestKey = s, key
+		}
+	}
+	return best
+}
+
+// flushPending re-dispatches queued arrivals once a slot becomes servable.
+func (f *fleet) flushPending() {
+	if len(f.pending) == 0 {
+		return
+	}
+	now := float64(f.eng.Now())
+	queued := f.pending
+	f.pending = nil
+	for i, req := range queued {
+		best := f.pick(now)
+		if best == nil {
+			f.pending = append(f.pending, queued[i:]...)
+			return
+		}
+		f.submit(best, req)
+	}
+}
+
+// outstanding is fleet-wide queued+running load including undispatched
+// pending arrivals.
+func (f *fleet) outstanding() int {
+	n := len(f.pending)
+	for _, s := range f.slots {
+		if s.rep != nil {
+			n += s.rep.Outstanding()
+		}
+	}
+	return n
+}
+
+// tick is one control-loop round: estimate demand, reconcile the fleet
+// toward the desired per-class counts, retire drained slots, record the
+// window, and reschedule until the run is over.
+func (f *fleet) tick(*sim.Engine) {
+	if f.done {
+		return
+	}
+	now := float64(f.eng.Now())
+	interval := f.cfg.IntervalSec
+
+	backlog := f.outstanding()
+	arrived := f.windowArrivals
+	f.windowArrivals = 0
+	// Demand: sustain the window's arrival rate and drain the backlog
+	// within one control interval.
+	demand := float64(arrived)/interval + float64(backlog)/interval
+	needCapacity := demand / f.cfg.TargetUtil
+
+	desired := f.desiredCounts(needCapacity)
+	f.reconcile(now, desired)
+	f.retireDrained(now)
+
+	w := Window{
+		StartSec:        now - interval,
+		Arrivals:        arrived,
+		Backlog:         backlog,
+		Active:          make([]int, len(f.classes)),
+		Available:       make([]int, len(f.classes)),
+		DemandReqPerSec: demand,
+	}
+	for _, s := range f.slots {
+		if s.active {
+			w.Active[s.class]++
+			if s.servable(now) {
+				w.Available[s.class]++
+			}
+		}
+	}
+	f.windows = append(f.windows, w)
+
+	// The loop ends once every arrival is dispatched and served; replicas
+	// still active then are billed to the clock in report().
+	if f.dispatchedN == f.totalArrivals && backlog == 0 {
+		f.done = true
+		return
+	}
+	f.eng.Schedule(sim.Time(interval), f.tick)
+}
+
+// desiredCounts allocates replicas to cover needCapacity at minimum rental
+// cost: every class keeps its Min; extra replicas go to classes in
+// cost-per-capacity order.
+func (f *fleet) desiredCounts(needCapacity float64) []int {
+	desired := make([]int, len(f.classes))
+	remaining := needCapacity
+	for i, c := range f.classes {
+		desired[i] = c.Min
+		remaining -= float64(c.Min) * c.CapacityReqPerSec
+	}
+	order := make([]int, len(f.classes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, cb := f.classes[order[a]], f.classes[order[b]]
+		return ca.HourlyUSD/ca.CapacityReqPerSec < cb.HourlyUSD/cb.CapacityReqPerSec
+	})
+	for _, i := range order {
+		c := f.classes[i]
+		for remaining > 0 && desired[i] < c.Max {
+			desired[i]++
+			remaining -= c.CapacityReqPerSec
+		}
+	}
+	return desired
+}
+
+// reconcile moves the fleet toward the desired per-class counts:
+// activations pay the class cold start immediately; drains wait out the
+// scale-down hysteresis.
+func (f *fleet) reconcile(now float64, desired []int) {
+	for ci := range f.classes {
+		activeN := 0
+		for _, s := range f.slots {
+			if s.class == ci && s.active && !s.draining {
+				activeN++
+			}
+		}
+		switch {
+		case activeN < desired[ci]:
+			f.overSince[ci] = -1
+			need := desired[ci] - activeN
+			// Prefer un-draining (still warm, no cold start) over cold
+			// activation; an un-drained replica is servable immediately,
+			// so queued arrivals flush onto it right away.
+			for _, s := range f.slots {
+				if need == 0 {
+					break
+				}
+				if s.class == ci && s.active && s.draining {
+					s.draining = false
+					f.flushPending()
+					need--
+				}
+			}
+			for _, s := range f.slots {
+				if need == 0 {
+					break
+				}
+				if s.class == ci && !s.active {
+					if !f.ensureReplica(s) {
+						return
+					}
+					s.active = true
+					s.billStart = now
+					s.availableAt = now + f.classes[ci].ColdStartSec
+					if f.classes[ci].ColdStartSec > 0 {
+						f.coldStarts[ci]++
+						availAt := s.availableAt
+						f.eng.Schedule(sim.Time(availAt-now), func(*sim.Engine) { f.flushPending() })
+					} else {
+						f.flushPending()
+					}
+					need--
+				}
+			}
+		case activeN > desired[ci]:
+			// Per-class hysteresis: the class must stay over-provisioned
+			// for the whole hold before its surplus drains, so burst-edge
+			// flapping does not buy extra cold starts.
+			if f.overSince[ci] < 0 {
+				f.overSince[ci] = now
+				break
+			}
+			if now-f.overSince[ci] < f.cfg.ScaleDownHoldSec {
+				break
+			}
+			surplus := activeN - desired[ci]
+			// Drain the emptiest slots first (they finish draining soonest).
+			cands := make([]*slot, 0, activeN)
+			for _, s := range f.slots {
+				if s.class == ci && s.active && !s.draining {
+					cands = append(cands, s)
+				}
+			}
+			sort.SliceStable(cands, func(a, b int) bool {
+				return cands[a].rep.Outstanding() < cands[b].rep.Outstanding()
+			})
+			for i := 0; i < surplus && i < len(cands); i++ {
+				cands[i].draining = true
+			}
+		default:
+			f.overSince[ci] = -1
+		}
+	}
+}
+
+// retireDrained deactivates drained slots and closes their billing span.
+func (f *fleet) retireDrained(now float64) {
+	for _, s := range f.slots {
+		if s.active && s.draining && s.rep.Outstanding() == 0 {
+			s.active = false
+			s.draining = false
+			s.billedHours += (now - s.billStart) / 3600
+		}
+	}
+}
+
+// report assembles the run outcome, billing still-active slots to the
+// final clock.
+func (f *fleet) report() (*Report, error) {
+	if f.err != nil {
+		return nil, f.err
+	}
+	now := float64(f.eng.Now())
+	usage := make([]ClassUsage, len(f.classes))
+	var reps []*serve.Report
+	for i, c := range f.classes {
+		usage[i] = ClassUsage{Name: c.Name, ColdStarts: f.coldStarts[i], ColdStartSec: c.ColdStartSec}
+	}
+	for _, s := range f.slots {
+		if s.rep == nil {
+			continue // never activated (lazily constructed on demand)
+		}
+		if err := s.rep.Err(); err != nil {
+			return nil, err
+		}
+		hours := s.billedHours
+		if s.active {
+			hours += (now - s.billStart) / 3600
+		}
+		u := &usage[s.class]
+		u.ReplicaHours += hours
+		u.Dispatched += s.dispatched
+		if s.rep.Submitted() > 0 || hours > 0 {
+			reps = append(reps, s.rep.Report())
+		}
+	}
+	// Peak active per class from the window series.
+	for _, w := range f.windows {
+		for ci, n := range w.Active {
+			if n > usage[ci].PeakActive {
+				usage[ci].PeakActive = n
+			}
+		}
+	}
+	out := &Report{
+		Dispatch:   f.cfg.Dispatch.String(),
+		Aggregate:  serve.MergeReports(f.scfg.OfferedRate(), reps),
+		Windows:    f.windows,
+		Usage:      usage,
+		ColdStarts: sum(f.coldStarts),
+	}
+	// Undispatched pending arrivals (horizon hit mid-cold-start) are
+	// offered-but-unserved; account them so attainment cannot overcount.
+	out.Aggregate.Unfinished += len(f.pending)
+	goodTokens := 0
+	for _, m := range out.Aggregate.Requests {
+		if m.SLOMet {
+			goodTokens += m.OutputTokens
+		}
+	}
+	for i, c := range f.classes {
+		usage[i].CostUSD = usage[i].ReplicaHours * c.HourlyUSD
+		out.ReplicaHours += usage[i].ReplicaHours
+		out.CostUSD += usage[i].CostUSD
+	}
+	if goodTokens > 0 {
+		out.USDPerMTok = out.CostUSD / (float64(goodTokens) / 1e6)
+	} else {
+		out.USDPerMTok = math.Inf(1)
+	}
+	return out, nil
+}
+
+func sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

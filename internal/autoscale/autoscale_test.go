@@ -1,0 +1,243 @@
+package autoscale
+
+import (
+	"math"
+	"testing"
+
+	"cllm/internal/dtype"
+	"cllm/internal/gramine"
+	"cllm/internal/hw"
+	"cllm/internal/model"
+	"cllm/internal/perf"
+	"cllm/internal/serve"
+	"cllm/internal/tee"
+	"cllm/internal/trace"
+	"cllm/internal/workload"
+)
+
+func testBackend(p tee.Platform) serve.Backend {
+	return serve.Backend{CPU: perf.CPURun{CPU: hw.EMR1(), Platform: p, Sockets: 1, AMX: true}}
+}
+
+func gpuBackend(p tee.Platform) serve.Backend {
+	return serve.Backend{IsGPU: true, GPU: perf.GPURun{GPU: hw.H100NVL(), Platform: p}}
+}
+
+func testWorkload(t *testing.T) trace.Workload {
+	t.Helper()
+	m, err := model.Lookup("llama2-7b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.Workload{Model: m, Kind: dtype.BF16}
+}
+
+// testServeConfig is a bursty scenario over a chat-like mix, small enough
+// for CI.
+func testServeConfig(t *testing.T, requests int) serve.Config {
+	sc := workload.Scenario{
+		Arrivals: workload.Bursty(3),
+		Mix:      workload.Mix{{Name: "chat", Weight: 1, InputLen: 128, OutputLen: 24, LengthJitter: 0.2}},
+	}
+	return serve.Config{
+		Workload: testWorkload(t),
+		Scenario: &sc,
+		Requests: requests,
+		Seed:     1,
+		MaxBatch: 16,
+	}
+}
+
+func TestColdStartSecMechanisms(t *testing.T) {
+	w := testWorkload(t)
+	bm := ColdStartSec(testBackend(tee.Baremetal()), w)
+	tdx := ColdStartSec(testBackend(tee.TDX()), w)
+	if tdx <= bm {
+		t.Errorf("TDX cold start %.2fs not above baremetal %.2fs", tdx, bm)
+	}
+	// The protected delta must include at least the attestation RTT plus
+	// the TD page-acceptance pass over the weights.
+	weights := trace.WeightFootprint(w)
+	if minDelta := tee.AttestationRTTSec + weights/tee.TDXAcceptBytesPerSec; tdx-bm < minDelta*0.99 {
+		t.Errorf("TDX cold-start delta %.2fs below mechanism floor %.2fs", tdx-bm, minDelta)
+	}
+	sgxPlat, err := sgxPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sgx := ColdStartSec(testBackend(sgxPlat), w)
+	if sgx <= tdx {
+		t.Errorf("SGX cold start %.2fs not above TDX %.2fs (EADD+EEXTEND is slower than TD accept)", sgx, tdx)
+	}
+	gpu := ColdStartSec(gpuBackend(tee.GPU()), w)
+	cgpu := ColdStartSec(gpuBackend(tee.CGPU()), w)
+	if cgpu <= gpu {
+		t.Errorf("cGPU cold start %.2fs not above GPU %.2fs (bounce-buffered weight upload)", cgpu, gpu)
+	}
+}
+
+func TestProbeCapacityOrdersBackends(t *testing.T) {
+	cfg := testServeConfig(t, 16)
+	cpu, err := ProbeCapacity(testBackend(tee.TDX()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := ProbeCapacity(gpuBackend(tee.CGPU()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu <= 0 || gpu <= 0 {
+		t.Fatalf("non-positive capacities: cpu %g, gpu %g", cpu, gpu)
+	}
+	if gpu <= cpu {
+		t.Errorf("cGPU capacity %.2f req/s not above TDX %.2f", gpu, cpu)
+	}
+}
+
+func TestRunConservesRequestsAndBills(t *testing.T) {
+	cfg := Config{Serve: testServeConfig(t, 96), IntervalSec: 10, TargetUtil: 0.6}
+	classes := []Class{{
+		Name: "tdx", Backend: testBackend(tee.TDX()), HourlyUSD: 0.83,
+		ColdStartSec: 12, Min: 1, Max: 4,
+	}}
+	rep, err := Run(classes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := rep.Aggregate
+	if got := agg.Completed + agg.Dropped + agg.Unfinished; got != 96 {
+		t.Errorf("request conservation: %d completed + %d dropped + %d unfinished = %d, want 96",
+			agg.Completed, agg.Dropped, agg.Unfinished, got)
+	}
+	if rep.ReplicaHours <= 0 || rep.CostUSD <= 0 {
+		t.Errorf("no billing recorded: %v hours, $%v", rep.ReplicaHours, rep.CostUSD)
+	}
+	if len(rep.Windows) == 0 {
+		t.Error("no control windows recorded")
+	}
+	if len(rep.Usage) != 1 || rep.Usage[0].Name != "tdx" {
+		t.Fatalf("usage = %+v", rep.Usage)
+	}
+	if rep.Usage[0].Dispatched != 96 {
+		t.Errorf("dispatched %d, want 96", rep.Usage[0].Dispatched)
+	}
+	// A 3 req/s bursty stream cannot be held by one TDX replica: the
+	// scaler must have activated someone (paying the cold start).
+	if rep.ColdStarts == 0 {
+		t.Error("bursty load never triggered a scale-up")
+	}
+	if att := rep.SLOAttainment(); att <= 0 || att > 1 {
+		t.Errorf("attainment %g outside (0, 1]", att)
+	}
+	if math.IsNaN(rep.USDPerMTok) {
+		t.Error("USDPerMTok is NaN")
+	}
+	// The billed fleet never exceeds Max and never drops below Min.
+	for _, w := range rep.Windows {
+		if w.Active[0] < 1 || w.Active[0] > 4 {
+			t.Fatalf("window at %.0fs has %d active replicas outside [1, 4]", w.StartSec, w.Active[0])
+		}
+	}
+}
+
+func TestRunDeterministicUnderSeed(t *testing.T) {
+	cfg := Config{Serve: testServeConfig(t, 48), IntervalSec: 10}
+	classes := []Class{{
+		Name: "tdx", Backend: testBackend(tee.TDX()), HourlyUSD: 0.83,
+		ColdStartSec: 12, Min: 1, Max: 3,
+	}}
+	a, err := Run(classes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(classes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ReplicaHours != b.ReplicaHours || a.CostUSD != b.CostUSD ||
+		a.SLOAttainment() != b.SLOAttainment() || a.ColdStarts != b.ColdStarts {
+		t.Errorf("not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestColdStartDegradesAttainment(t *testing.T) {
+	mk := func(coldStart float64) *Report {
+		cfg := Config{Serve: testServeConfig(t, 96), IntervalSec: 10, TargetUtil: 0.8}
+		rep, err := Run([]Class{{
+			Name: "tdx", Backend: testBackend(tee.TDX()), HourlyUSD: 0.83,
+			ColdStartSec: coldStart, Min: 1, Max: 4,
+		}}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	warm := mk(0)
+	cold := mk(25)
+	if warm.ColdStarts != 0 {
+		t.Errorf("zero-cold-start run recorded %d cold starts", warm.ColdStarts)
+	}
+	if cold.SLOAttainment() > warm.SLOAttainment() {
+		t.Errorf("cold start improved attainment: %.3f cold vs %.3f warm",
+			cold.SLOAttainment(), warm.SLOAttainment())
+	}
+}
+
+func TestHeterogeneousDispatchPolicies(t *testing.T) {
+	classes := func() []Class {
+		return []Class{
+			{Name: "tdx", Backend: testBackend(tee.TDX()), HourlyUSD: 0.83, Min: 2, Max: 2},
+			{Name: "cgpu", Backend: gpuBackend(tee.CGPU()), HourlyUSD: 6.20, Min: 1, Max: 1},
+		}
+	}
+	run := func(d Dispatch) *Report {
+		cfg := Config{Serve: testServeConfig(t, 96), Dispatch: d, IntervalSec: 10}
+		rep, err := Run(classes(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	uni := run(Uniform)
+	ca := run(CostAware)
+	if uni.Usage[1].Dispatched == 0 || ca.Usage[1].Dispatched == 0 {
+		t.Fatalf("cGPU class starved: uniform %d, cost-aware %d",
+			uni.Usage[1].Dispatched, ca.Usage[1].Dispatched)
+	}
+	// Cost-aware dispatch weighs load by capacity: the fast cGPU replica
+	// must receive a larger traffic share than blind least-outstanding
+	// gives it.
+	if ca.Usage[1].Dispatched <= uni.Usage[1].Dispatched {
+		t.Errorf("cost-aware routed %d to cGPU, uniform %d — capacity weighting had no effect",
+			ca.Usage[1].Dispatched, uni.Usage[1].Dispatched)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	scfg := testServeConfig(t, 8)
+	if _, err := Run(nil, Config{Serve: scfg}); err == nil {
+		t.Error("empty class list accepted")
+	}
+	bad := []Class{{Name: "x", Backend: testBackend(tee.TDX()), HourlyUSD: 0, Max: 1}}
+	if _, err := Run(bad, Config{Serve: scfg}); err == nil {
+		t.Error("zero hourly price accepted")
+	}
+	bad[0].HourlyUSD = 1
+	bad[0].Max = 0
+	if _, err := Run(bad, Config{Serve: scfg}); err == nil {
+		t.Error("zero Max accepted")
+	}
+	bad[0].Max = 1
+	bad[0].ColdStartSec = -1
+	if _, err := Run(bad, Config{Serve: scfg}); err == nil {
+		t.Error("negative cold start accepted")
+	}
+	if _, err := ParseDispatch("nope"); err == nil {
+		t.Error("unknown dispatch accepted")
+	}
+}
+
+// sgxPlatform builds the default Gramine-SGX platform.
+func sgxPlatform() (tee.Platform, error) {
+	return tee.SGX(gramine.DefaultManifest("/models/llama2.bin", 192<<30, 64))
+}

@@ -49,10 +49,20 @@ func (c CPUInstance) Validate() error {
 	return nil
 }
 
-// HourlyCost returns the instance's rental price per hour.
+// HourlyCost returns the instance's rental price per hour. Non-positive or
+// non-finite price-book entries are rejected explicitly: a zero or NaN
+// hourly price would otherwise flow through the $/Mtok arithmetic as a
+// spuriously free (or NaN/Inf) cost point and silently win every
+// "cheapest" comparison.
 func (p PriceBook) HourlyCost(inst CPUInstance) (float64, error) {
 	if err := inst.Validate(); err != nil {
 		return 0, err
+	}
+	if !(p.VCPUHour > 0) || math.IsInf(p.VCPUHour, 0) {
+		return 0, fmt.Errorf("cloud: vCPU hourly price %g must be positive and finite", p.VCPUHour)
+	}
+	if !(p.MemGiBHour > 0) || math.IsInf(p.MemGiBHour, 0) {
+		return 0, fmt.Errorf("cloud: memory hourly price %g must be positive and finite", p.MemGiBHour)
 	}
 	return float64(inst.VCPUs)*p.VCPUHour + float64(inst.MemGiB)*p.MemGiBHour, nil
 }
@@ -60,11 +70,11 @@ func (p PriceBook) HourlyCost(inst CPUInstance) (float64, error) {
 // CostPerMTokens converts an hourly price and a throughput into dollars per
 // one million generated tokens.
 func CostPerMTokens(hourly, tokensPerSec float64) (float64, error) {
-	if tokensPerSec <= 0 {
-		return 0, fmt.Errorf("cloud: non-positive throughput %g", tokensPerSec)
+	if !(tokensPerSec > 0) || math.IsInf(tokensPerSec, 0) {
+		return 0, fmt.Errorf("cloud: throughput %g must be positive and finite", tokensPerSec)
 	}
-	if hourly < 0 {
-		return 0, fmt.Errorf("cloud: negative hourly price %g", hourly)
+	if hourly < 0 || math.IsNaN(hourly) || math.IsInf(hourly, 0) {
+		return 0, fmt.Errorf("cloud: hourly price %g must be non-negative and finite", hourly)
 	}
 	secondsPerMTok := 1e6 / tokensPerSec
 	return hourly / 3600 * secondsPerMTok, nil
@@ -124,6 +134,9 @@ func ServingCost(hourlyPerReplica float64, replicas int, offeredTokensPerSec flo
 func FleetCostPerMTok(hourlyPerReplica float64, replicas int, servedTokensPerSec float64) (float64, error) {
 	if replicas <= 0 {
 		return 0, fmt.Errorf("cloud: non-positive replica count %d", replicas)
+	}
+	if !(hourlyPerReplica > 0) || math.IsInf(hourlyPerReplica, 0) {
+		return 0, fmt.Errorf("cloud: replica hourly price %g must be positive and finite", hourlyPerReplica)
 	}
 	return CostPerMTokens(hourlyPerReplica*float64(replicas), servedTokensPerSec)
 }

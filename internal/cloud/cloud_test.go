@@ -28,6 +28,43 @@ func TestHourlyCost(t *testing.T) {
 	}
 }
 
+func TestHourlyCostRejectsBadPrices(t *testing.T) {
+	inst := CPUInstance{VCPUs: 16, MemGiB: 128}
+	for _, p := range []PriceBook{
+		{VCPUHour: 0, MemGiBHour: 0.001},
+		{VCPUHour: -0.01, MemGiBHour: 0.001},
+		{VCPUHour: math.NaN(), MemGiBHour: 0.001},
+		{VCPUHour: math.Inf(1), MemGiBHour: 0.001},
+		{VCPUHour: 0.01, MemGiBHour: 0},
+		{VCPUHour: 0.01, MemGiBHour: math.NaN()},
+	} {
+		if cost, err := p.HourlyCost(inst); err == nil {
+			t.Errorf("price book %+v priced instance at %g instead of erroring", p, cost)
+		}
+	}
+}
+
+func TestFleetCostPerMTokRejectsBadPrices(t *testing.T) {
+	for _, hourly := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if cost, err := FleetCostPerMTok(hourly, 2, 100); err == nil {
+			t.Errorf("hourly %g priced fleet at %g instead of erroring", hourly, cost)
+		}
+	}
+	if _, err := FleetCostPerMTok(1, 0, 100); err == nil {
+		t.Error("zero replicas priced")
+	}
+	if _, err := FleetCostPerMTok(1, 2, math.NaN()); err == nil {
+		t.Error("NaN served rate priced")
+	}
+	got, err := FleetCostPerMTok(0.36, 2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("FleetCostPerMTok = %g, want 1.0", got)
+	}
+}
+
 func TestCostPerMTokens(t *testing.T) {
 	// 100 tok/s at $0.36/hr: 1e6 tokens take 1e4 s; $0.36/3600*1e4 = $1.
 	got, err := CostPerMTokens(0.36, 100)

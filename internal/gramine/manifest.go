@@ -12,6 +12,14 @@ import (
 	"strings"
 )
 
+// EnclaveBuildBytesPerSec is the EADD+EEXTEND throughput of enclave
+// construction: every page of the initial enclave image (the libOS, the
+// runtime, and — for sealed models — the weight image) is added and
+// measured before EINIT can seal the identity. It makes SGX cold starts
+// scale with the enclave image, which is why the autoscaling simulator
+// charges SGX the steepest scale-up latency per byte.
+const EnclaveBuildBytesPerSec = 1.8e9
+
 // Manifest mirrors the fields of a Gramine manifest the paper's Fig 2 shows:
 // entrypoint, enclave size, thread count, trusted and encrypted files.
 type Manifest struct {

@@ -10,7 +10,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "table1", "othermodels", "snc",
 		"sev", "b100", "scaleout", "hybrid", "spr", "ablation", "serving",
-		"chunked", "prefix", "fleet",
+		"chunked", "prefix", "fleet", "hetero", "autoscale",
 	}
 	for _, id := range want {
 		if _, err := Lookup(id); err != nil {

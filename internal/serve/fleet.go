@@ -192,7 +192,7 @@ func RunFleet(be Backend, cfg Config, fc FleetConfig) (*FleetReport, error) {
 		}
 		out.PerReplica[i] = s.report(perReplica[i])
 	}
-	out.Aggregate = mergeReports(cfg, out.PerReplica)
+	out.Aggregate = MergeReports(offeredRate(cfg), out.PerReplica)
 	// Each replica's offered load is its dispatch share of the fleet rate,
 	// not the whole fleet rate the scheduler config carries.
 	if n := len(arrivals); n > 0 {
@@ -203,13 +203,47 @@ func RunFleet(be Backend, cfg Config, fc FleetConfig) (*FleetReport, error) {
 	return out, nil
 }
 
-// mergeReports builds the fleet-wide aggregate from per-replica reports.
-func mergeReports(cfg Config, reps []*Report) *Report {
-	agg := &Report{OfferedRate: cfg.Rate}
+// OfferedRate is the rate label of a (normalized) config: an explicit
+// trace's measured rate when one is given, otherwise the configured (or
+// scenario-derived) rate. External control loops label their merged
+// reports with it.
+func (c Config) OfferedRate() float64 { return offeredRate(c) }
+
+// offeredRate is the rate label of a run: an explicit trace's measured
+// rate when one is given, otherwise the configured (or scenario-derived)
+// Poisson rate.
+func offeredRate(cfg Config) float64 {
+	if len(cfg.Trace) > 0 {
+		span := 0.0
+		for _, r := range cfg.Trace {
+			if r.ArrivalSec > span {
+				span = r.ArrivalSec
+			}
+		}
+		if span > 0 {
+			return float64(len(cfg.Trace)) / span
+		}
+	}
+	return cfg.Rate
+}
+
+// MergeReports builds a deployment-wide aggregate from per-replica
+// reports: counters are summed, quantiles are recomputed over the union of
+// completed requests, the makespan is the maximum, and throughput figures
+// are rederived from the merged totals. offeredRate labels the aggregate.
+// RunFleet uses it for homogeneous fleets; internal/autoscale for elastic
+// heterogeneous ones.
+func MergeReports(offeredRate float64, reps []*Report) *Report {
+	agg := &Report{OfferedRate: offeredRate}
 	var ttfts, tpots, lats []float64
 	goodTokens, goodReqs := 0, 0
 	for _, r := range reps {
-		agg.Platform = r.Platform
+		switch agg.Platform {
+		case "", r.Platform:
+			agg.Platform = r.Platform
+		default:
+			agg.Platform = "mixed" // heterogeneous deployment
+		}
 		agg.Completed += r.Completed
 		agg.Dropped += r.Dropped
 		agg.Unfinished += r.Unfinished
@@ -238,17 +272,6 @@ func mergeReports(cfg Config, reps []*Report) *Report {
 			}
 		}
 	}
-	if len(cfg.Trace) > 0 {
-		span := 0.0
-		for _, r := range cfg.Trace {
-			if r.ArrivalSec > span {
-				span = r.ArrivalSec
-			}
-		}
-		if span > 0 {
-			agg.OfferedRate = float64(len(cfg.Trace)) / span
-		}
-	}
 	if agg.MakespanSec > 0 {
 		agg.TokensPerSec = float64(agg.TotalTokens) / agg.MakespanSec
 		agg.GoodputTokensPerSec = float64(goodTokens) / agg.MakespanSec
@@ -266,6 +289,13 @@ func mergeReports(cfg Config, reps []*Report) *Report {
 // interference, dispatch skew and prefix-cache locality included — where
 // cloud.ReplicasForRate only extrapolates from one replica's rate. It
 // fails if even maxReplicas cannot reach the target.
+//
+// Attainment is treated as monotone in the fleet size (more replicas never
+// hurt a load-balanced fleet), so the search probes exponentially
+// (1, 2, 4, ...) until a passing size brackets the answer, then binary
+// searches the bracket — O(log maxReplicas) simulations instead of the
+// linear scan, which is what keeps sizing sweeps over workload scenarios
+// affordable.
 func SizeFleetForSLO(be Backend, cfg Config, policy LBPolicy, target float64, maxReplicas int) (int, *FleetReport, error) {
 	if target <= 0 || target > 1 {
 		return 0, nil, fmt.Errorf("serve: SLO attainment target %g outside (0, 1]", target)
@@ -273,14 +303,53 @@ func SizeFleetForSLO(be Backend, cfg Config, policy LBPolicy, target float64, ma
 	if maxReplicas <= 0 {
 		maxReplicas = 16
 	}
-	for n := 1; n <= maxReplicas; n++ {
+	// best is always the report of the smallest passing size found so far
+	// (the current hi); failing runs are discarded immediately.
+	var best *FleetReport
+	passes := func(n int) (bool, error) {
 		rep, err := RunFleet(be, cfg, FleetConfig{Replicas: n, Policy: policy})
+		if err != nil {
+			return false, err
+		}
+		if rep.SLOAttainment() >= target {
+			best = rep
+			return true, nil
+		}
+		return false, nil
+	}
+
+	// Exponential probe: first passing size, doubling up to maxReplicas.
+	lo, hi := 0, 0 // largest known-failing, smallest known-passing
+	for n := 1; ; n *= 2 {
+		if n > maxReplicas {
+			n = maxReplicas
+		}
+		ok, err := passes(n)
 		if err != nil {
 			return 0, nil, err
 		}
-		if rep.SLOAttainment() >= target {
-			return n, rep, nil
+		if ok {
+			hi = n
+			break
+		}
+		lo = n
+		if n == maxReplicas {
+			return 0, nil, fmt.Errorf("serve: even %d replicas miss %.0f%% SLO attainment", maxReplicas, target*100)
 		}
 	}
-	return 0, nil, fmt.Errorf("serve: even %d replicas miss %.0f%% SLO attainment", maxReplicas, target*100)
+
+	// Binary search (lo, hi]: lo fails, hi passes.
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		ok, err := passes(mid)
+		if err != nil {
+			return 0, nil, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, best, nil
 }

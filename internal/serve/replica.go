@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"cllm/internal/sim"
+)
+
+// Replica is one serving instance exposed for external control loops
+// (internal/autoscale): a continuous-batching scheduler plus its own
+// request ledger on a caller-owned engine. RunFleet composes schedulers
+// directly; Replica is the minimal exported surface an autoscaler needs —
+// create on a shared clock, submit at arrival instants, observe load, and
+// collect the final report.
+type Replica struct {
+	s      *scheduler
+	states []*reqState
+}
+
+// NewReplica builds one replica of the backend on the given engine. The
+// config is normalized locally (the caller's copy is untouched); seed
+// decorrelates this replica's noise stream from its siblings'.
+func NewReplica(be Backend, cfg Config, eng *sim.Engine, seed int64) (*Replica, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if !be.IsGPU && be.CPU.Sockets <= 0 {
+		be.CPU.Sockets = 1
+	}
+	s, err := newScheduler(be, cfg, eng, newNoise(be, seed))
+	if err != nil {
+		return nil, err
+	}
+	return &Replica{s: s}, nil
+}
+
+// Submit hands an arrived request to this replica. Call it from inside an
+// engine event at the request's arrival instant — the scheduler reads the
+// engine clock for admission timestamps.
+func (r *Replica) Submit(req Request) {
+	st := &reqState{req: req}
+	r.states = append(r.states, st)
+	r.s.submit(st)
+}
+
+// Outstanding is the replica's current load: queued plus running requests.
+func (r *Replica) Outstanding() int { return r.s.outstanding() }
+
+// Submitted counts requests ever dispatched to this replica.
+func (r *Replica) Submitted() int { return len(r.states) }
+
+// Err reports a costing failure that halted the replica's loop (a backend
+// misconfiguration); the run's results are invalid if non-nil.
+func (r *Replica) Err() error { return r.s.err }
+
+// Report assembles the replica's outcome over every submitted request.
+// Call it after the engine has drained (or hit its horizon).
+func (r *Replica) Report() *Report { return r.s.report(r.states) }

@@ -115,13 +115,17 @@ func Run(be Backend, cfg Config) (*Report, error) {
 	return rep, err
 }
 
-// genArrivals returns the offered load: the explicit trace when given,
-// otherwise Poisson arrivals with jittered lengths drawn from rng (so a
-// seed fixes the whole run). With PrefixGroups set, synthetic requests are
-// assigned to a random prefix group each and share the leading
-// PrefixFrac×InputLen tokens within their group (RAG-style workloads:
-// common system prompt and document set, distinct questions).
+// genArrivals returns the offered load: the explicit trace when given, a
+// workload scenario's synthesis when configured, otherwise Poisson arrivals
+// with jittered lengths drawn from rng (so a seed fixes the whole run).
+// With PrefixGroups set, synthetic requests are assigned to a random prefix
+// group each and share the leading PrefixFrac×InputLen tokens within their
+// group (RAG-style workloads: common system prompt and document set,
+// distinct questions).
 func genArrivals(cfg Config, rng *rand.Rand) ([]Request, error) {
+	if len(cfg.Trace) == 0 && cfg.Scenario != nil {
+		return scenarioArrivals(cfg, rng)
+	}
 	if len(cfg.Trace) > 0 {
 		seen := make(map[int]bool, len(cfg.Trace))
 		for _, r := range cfg.Trace {
@@ -185,25 +189,63 @@ func genArrivals(cfg Config, rng *rand.Rand) ([]Request, error) {
 		if outLen < 2 {
 			outLen = 2 // keep TPOT defined
 		}
-		// Upward jitter on means near the context limit must not overflow it:
-		// shorten the prompt first, then the generation.
-		ctx := cfg.Workload.Model.ContextLen
-		if over := inLen + outLen - ctx; over > 0 {
-			inLen -= over
-			if inLen < 1 {
-				inLen = 1
-			}
-			if inLen+outLen > ctx {
-				outLen = ctx - inLen
-			}
-		}
-		if r.PrefixLen >= inLen {
-			r.PrefixLen = inLen - 1
-		}
+		// Upward jitter on means near the context limit must not overflow it.
 		r.InputLen, r.OutputLen = inLen, outLen
-		out[i] = r
+		out[i] = clampToContext(r, cfg.Workload.Model.ContextLen)
 	}
 	return out, nil
+}
+
+// clampToContext enforces the model context window on a synthesized
+// request: shorten the prompt first, then the generation, and never let a
+// shared prefix cover (or outlive) the whole prompt.
+func clampToContext(r Request, ctx int) Request {
+	if over := r.InputLen + r.OutputLen - ctx; over > 0 {
+		r.InputLen -= over
+		if r.InputLen < 1 {
+			r.InputLen = 1
+		}
+		if r.InputLen+r.OutputLen > ctx {
+			r.OutputLen = ctx - r.InputLen
+		}
+	}
+	if r.PrefixLen >= r.InputLen {
+		r.PrefixLen = r.InputLen - 1
+	}
+	if r.PrefixLen <= 0 {
+		r.PrefixID, r.PrefixLen = 0, 0
+	}
+	return r
+}
+
+// scenarioArrivals adopts a workload scenario's request stream: shapes and
+// times come from the scenario; the context window is enforced by the same
+// clamp the synthetic path uses.
+func scenarioArrivals(cfg Config, rng *rand.Rand) ([]Request, error) {
+	reqs, err := cfg.Scenario.Generate(cfg.Requests, rng)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Request, len(reqs))
+	for i, wr := range reqs {
+		out[i] = clampToContext(Request{
+			ID: i, ArrivalSec: wr.ArrivalSec,
+			InputLen: wr.InputLen, OutputLen: wr.OutputLen,
+			PrefixID: wr.PrefixID, PrefixLen: wr.PrefixLen,
+		}, cfg.Workload.Model.ContextLen)
+	}
+	return out, nil
+}
+
+// Arrivals synthesizes the offered load a configuration describes — trace,
+// scenario, or Poisson — exactly as Run/RunFleet would see it. External
+// control loops (internal/autoscale) use it to dispatch the same stream
+// across a fleet they manage themselves.
+func Arrivals(cfg Config) ([]Request, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	return genArrivals(cfg, rand.New(rand.NewSource(cfg.Seed)))
 }
 
 // prefixHash derives the content-identity hash of a request's shared

@@ -18,6 +18,7 @@ import (
 	"cllm/internal/perf"
 	"cllm/internal/stats"
 	"cllm/internal/trace"
+	"cllm/internal/workload"
 )
 
 // Request is one arrival in the offered load.
@@ -103,6 +104,13 @@ type Config struct {
 	Requests int
 	// Trace supplies explicit arrivals instead of Poisson synthesis.
 	Trace []Request
+	// Scenario synthesizes arrivals from a workload traffic scenario (an
+	// arrival process crossed with a request-shape mix) instead of the
+	// plain Poisson process above. Requests still bounds the number of
+	// arrivals; Rate, the Workload mean lengths, LengthJitter and the
+	// Prefix* knobs are ignored in favor of the scenario's own shapes.
+	// Trace takes precedence when both are set.
+	Scenario *workload.Scenario
 	// Seed drives arrivals, length jitter and the step-noise model.
 	Seed int64
 	// MaxBatch caps concurrently running sequences (default 32).
@@ -137,11 +145,31 @@ type Config struct {
 	MaxSteps int64
 }
 
+// Normalize validates the config and fills defaults in place. Exported for
+// external control loops (internal/autoscale) that need the resolved
+// HorizonSec/MaxSteps/Requests before building replicas; Run/RunFleet call
+// it internally.
+func (c *Config) Normalize() error { return c.normalize() }
+
 func (c *Config) normalize() error {
 	if c.Workload.Model.Validate() != nil {
 		return fmt.Errorf("serve: config needs a valid model")
 	}
-	if len(c.Trace) == 0 {
+	switch {
+	case len(c.Trace) > 0:
+	case c.Scenario != nil:
+		if err := c.Scenario.Validate(); err != nil {
+			return err
+		}
+		if c.Requests <= 0 {
+			c.Requests = 64
+		}
+		// The scheduler's mean-length fields feed pool sizing heuristics
+		// and reports; mirror the mix so they stay meaningful.
+		c.Workload.InputLen = c.Scenario.Mix.MeanInputLen()
+		c.Workload.OutputLen = c.Scenario.Mix.MeanOutputLen()
+		c.Rate = c.Scenario.Arrivals.MeanRate()
+	default:
 		if c.Rate <= 0 {
 			return fmt.Errorf("serve: arrival rate %g must be positive", c.Rate)
 		}

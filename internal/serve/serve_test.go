@@ -9,8 +9,10 @@ import (
 	"cllm/internal/mem"
 	"cllm/internal/model"
 	"cllm/internal/perf"
+	"cllm/internal/sim"
 	"cllm/internal/tee"
 	"cllm/internal/trace"
+	"cllm/internal/workload"
 )
 
 // tinyModel is a small but valid transformer so scheduler tests iterate
@@ -483,5 +485,158 @@ func TestServeConfigValidation(t *testing.T) {
 	be70.CPU.CPU.MemPerSocketBytes = 32 << 30
 	if _, err := Run(be70, Config{Workload: huge, Rate: 1}); err == nil {
 		t.Error("oversized weights accepted")
+	}
+}
+
+func TestServeScenarioArrivals(t *testing.T) {
+	sc := workload.Scenario{
+		Arrivals: workload.Bursty(20),
+		Mix: workload.Mix{
+			{Name: "a", Weight: 3, InputLen: 64, OutputLen: 8, LengthJitter: 0.2, PrefixGroups: 2, PrefixFrac: 0.5},
+			{Name: "b", Weight: 1, InputLen: 256, OutputLen: 16, LengthJitter: 0.2},
+		},
+	}
+	cfg := Config{
+		Workload: trace.Workload{Model: tinyModel(), Kind: dtype.BF16},
+		Scenario: &sc,
+		Requests: 48,
+		Seed:     1,
+	}
+	rep, err := Run(cpuBackend(tee.Baremetal()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Completed + rep.Dropped + rep.Unfinished; got != 48 {
+		t.Fatalf("conservation: %d of 48 requests accounted", got)
+	}
+	if rep.KVBlocksInUseAtEnd != 0 && rep.Unfinished == 0 {
+		t.Fatalf("leaked %d blocks", rep.KVBlocksInUseAtEnd)
+	}
+	// The report's offered rate reflects the scenario's mean rate.
+	if rep.OfferedRate != sc.Arrivals.MeanRate() {
+		t.Errorf("offered rate %g, want scenario mean %g", rep.OfferedRate, sc.Arrivals.MeanRate())
+	}
+	// Scenario runs are deterministic under the seed.
+	rep2, err := Run(cpuBackend(tee.Baremetal()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, rep2) {
+		t.Error("scenario run not deterministic")
+	}
+	// Generated arrivals respect the model context window.
+	arrivals, err := Arrivals(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 48 {
+		t.Fatalf("Arrivals returned %d requests", len(arrivals))
+	}
+	for _, r := range arrivals {
+		if r.InputLen+r.OutputLen > tinyModel().ContextLen {
+			t.Fatalf("request %d exceeds context: %+v", r.ID, r)
+		}
+		if r.PrefixLen >= r.InputLen {
+			t.Fatalf("prefix covers prompt: %+v", r)
+		}
+	}
+	// An invalid scenario is rejected.
+	bad := cfg
+	bad.Scenario = &workload.Scenario{Arrivals: workload.Poisson{Rate: -1}, Mix: sc.Mix}
+	if _, err := Run(cpuBackend(tee.Baremetal()), bad); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}
+
+func TestReplicaMatchesRun(t *testing.T) {
+	// Driving one exported Replica with the config's own arrivals must
+	// reproduce Run exactly: same scheduler, same noise stream, same clock.
+	cfg := tinyConfig(20, 24)
+	want, err := Run(cpuBackend(tee.TDX()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	rep, err := NewReplica(cpuBackend(tee.TDX()), cfg, eng, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals, err := Arrivals(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := 0.0
+	for _, req := range arrivals {
+		req := req
+		if req.ArrivalSec > last {
+			last = req.ArrivalSec
+		}
+		eng.Schedule(sim.Time(req.ArrivalSec), func(*sim.Engine) { rep.Submit(req) })
+	}
+	if _, err := eng.RunUntil(sim.Time(last+3600), 4_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Report()
+	if got.Completed != want.Completed || got.TotalTokens != want.TotalTokens {
+		t.Errorf("replica completed %d/%d tokens vs Run %d/%d",
+			got.Completed, got.TotalTokens, want.Completed, want.TotalTokens)
+	}
+	if rep.Submitted() != len(arrivals) || rep.Outstanding() != 0 {
+		t.Errorf("submitted %d, outstanding %d", rep.Submitted(), rep.Outstanding())
+	}
+}
+
+func TestSizeFleetForSLOMatchesLinearScan(t *testing.T) {
+	cfg := Config{
+		Workload: trace.Workload{Model: tinyModel(), Kind: dtype.BF16, InputLen: 64, OutputLen: 8},
+		Rate:     30, Requests: 24, Seed: 1,
+	}
+	be := cpuBackend(tee.TDX())
+	const target, maxN = 0.9, 6
+	// Reference: the pre-optimization linear scan.
+	linear := 0
+	for n := 1; n <= maxN; n++ {
+		fr, err := RunFleet(be, cfg, FleetConfig{Replicas: n, Policy: LeastLoaded})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.SLOAttainment() >= target {
+			linear = n
+			break
+		}
+	}
+	if linear == 0 {
+		t.Skip("workload cannot reach target within maxN; pick a gentler rate")
+	}
+	n, fr, err := SizeFleetForSLO(be, cfg, LeastLoaded, target, maxN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != linear {
+		t.Errorf("probe+bisect found %d replicas, linear scan %d", n, linear)
+	}
+	if fr.SLOAttainment() < target {
+		t.Errorf("returned fleet misses target: %.2f", fr.SLOAttainment())
+	}
+}
+
+func TestMergeReportsMixedPlatforms(t *testing.T) {
+	a := &Report{Platform: "TDX", Completed: 1, MakespanSec: 1,
+		Requests: []RequestMetrics{{ID: 0, TTFT: 0.1, OutputTokens: 4, SLOMet: true}}}
+	b := &Report{Platform: "cGPU", Completed: 2, MakespanSec: 2,
+		Requests: []RequestMetrics{{ID: 1, TTFT: 0.2, OutputTokens: 4, SLOMet: true}}}
+	agg := MergeReports(5, []*Report{a, b})
+	if agg.Platform != "mixed" {
+		t.Errorf("merged platform %q, want mixed", agg.Platform)
+	}
+	if agg.Completed != 3 || agg.OfferedRate != 5 || agg.MakespanSec != 2 {
+		t.Errorf("merge totals wrong: %+v", agg)
+	}
+	same := MergeReports(5, []*Report{a, a})
+	if same.Platform != "TDX" {
+		t.Errorf("homogeneous merge platform %q, want TDX", same.Platform)
 	}
 }

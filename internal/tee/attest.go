@@ -16,6 +16,30 @@ import (
 // HMAC standing in for the platform's EPID/ECDSA signing key, preserving
 // the protocol structure: measure → quote → verify → provision.
 
+// Cold-start provisioning costs. A confidential replica is not servable
+// the moment the instance boots: the TEE must prepare its protected memory
+// image and the relying party must complete the attestation round-trip
+// before weights (secrets) are provisioned. These constants parameterize
+// the autoscaling simulator's per-class cold starts — the elasticity tax
+// non-confidential fleets do not pay.
+const (
+	// BaseBootSec is process/guest boot to runtime-ready, TEE work
+	// excluded (kernel + runtime + framework import).
+	BaseBootSec = 2.0
+	// WeightLoadBytesPerSec streams the weight image from local NVMe or
+	// page cache into host memory.
+	WeightLoadBytesPerSec = 2.5e9
+	// TDXAcceptBytesPerSec is TD private-memory conversion throughput
+	// (TDH.MEM.PAGE.AUG + TDG.MEM.PAGE.ACCEPT): every page backing the
+	// weights must be accepted before first use.
+	TDXAcceptBytesPerSec = 3e9
+	// AttestationRTTSec is the measure→quote→verify→key-release round-trip
+	// (quote generation, transport to the verification service, policy
+	// evaluation, secret provisioning) a protected replica completes
+	// before serving its first request.
+	AttestationRTTSec = 1.5
+)
+
 // Measurement is the enclave/TD identity hash.
 type Measurement [32]byte
 

@@ -1,0 +1,511 @@
+// Package workload generates the traffic scenarios the serving simulator
+// consumes: an arrival process (stationary Poisson, bursty MMPP, diurnal
+// sinusoid, ramp, or trace replay) crossed with a request-shape mix (chat,
+// RAG long-prefill, agentic many-turns). The paper measures one request at
+// a time on a quiet machine; real confidential deployments face
+// non-stationary load, where the cost of protection includes paying
+// TEE-specific cold starts to track the arrival process (internal/autoscale
+// builds on these scenarios to quantify that).
+//
+// Every source is deterministic under a fixed *rand.Rand, so scenario
+// sweeps are reproducible and fleet comparisons see identical offered load.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+	"sort"
+	"strings"
+)
+
+// Request is one generated arrival before the serving layer adopts it:
+// arrival time plus the request's shape. PrefixID/PrefixLen follow the
+// serving convention — equal nonzero PrefixID means byte-identical content
+// over the first PrefixLen prompt tokens.
+type Request struct {
+	ArrivalSec          float64
+	InputLen, OutputLen int
+	PrefixID, PrefixLen int
+	// Shape names the mix entry this request was drawn from.
+	Shape string
+}
+
+// Arrivals is an arrival process: a source of event times on the simulated
+// clock. Implementations must be deterministic given the rng.
+type Arrivals interface {
+	// Name identifies the process in reports and CLI flags.
+	Name() string
+	// MeanRate is the long-run arrival rate in requests/s, used by
+	// capacity planning and the statistical tests.
+	MeanRate() float64
+	// Times draws n non-decreasing arrival times starting from 0.
+	Times(n int, rng *rand.Rand) []float64
+}
+
+// Poisson is the stationary memoryless process the simulator used before
+// scenarios existed: exponential inter-arrivals at a fixed rate.
+type Poisson struct {
+	Rate float64 // requests/s
+}
+
+// Name implements Arrivals.
+func (p Poisson) Name() string { return "poisson" }
+
+// MeanRate implements Arrivals.
+func (p Poisson) MeanRate() float64 { return p.Rate }
+
+// Times implements Arrivals.
+func (p Poisson) Times(n int, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	t := 0.0
+	for i := range out {
+		t += rng.ExpFloat64() / p.Rate
+		out[i] = t
+	}
+	return out
+}
+
+// MMPP is a two-state Markov-modulated Poisson process: the arrival rate
+// switches between a low and a high state with exponentially distributed
+// holding times. It is the standard bursty-traffic model — inter-arrival
+// CV exceeds Poisson's 1, and bursts arrive in episodes long enough that a
+// reactive autoscaler must actually scale (rather than average them away).
+type MMPP struct {
+	// LowRate/HighRate are the per-state arrival rates (requests/s).
+	LowRate, HighRate float64
+	// LowHoldSec/HighHoldSec are the mean state holding times.
+	LowHoldSec, HighHoldSec float64
+}
+
+// Bursty returns an MMPP calibrated so its long-run mean equals rate while
+// bursts run at 4x and lulls at 1/4x, with burst episodes of ~20 s — long
+// enough to overwhelm an unscaled fleet, short enough that holding peak
+// capacity forever is visibly wasteful.
+func Bursty(rate float64) MMPP {
+	// mean = (rl·hl + rh·hh) / (hl + hh); with rl = rate/4, rh = 4·rate,
+	// hl = 4·hh the mean works out to exactly rate.
+	return MMPP{
+		LowRate: rate / 4, HighRate: 4 * rate,
+		LowHoldSec: 80, HighHoldSec: 20,
+	}
+}
+
+// Name implements Arrivals.
+func (m MMPP) Name() string { return "bursty" }
+
+// MeanRate implements Arrivals.
+func (m MMPP) MeanRate() float64 {
+	if m.LowHoldSec+m.HighHoldSec <= 0 {
+		return 0
+	}
+	return (m.LowRate*m.LowHoldSec + m.HighRate*m.HighHoldSec) / (m.LowHoldSec + m.HighHoldSec)
+}
+
+// Times implements Arrivals: competing exponentials between the next
+// arrival in the current state and the next state switch.
+func (m MMPP) Times(n int, rng *rand.Rand) []float64 {
+	out := make([]float64, 0, n)
+	t := 0.0
+	high := false // start in the lull so ramp-up dynamics are exercised
+	for len(out) < n {
+		rate, hold := m.LowRate, m.LowHoldSec
+		if high {
+			rate, hold = m.HighRate, m.HighHoldSec
+		}
+		toSwitch := rng.ExpFloat64() * hold
+		toArrival := math.Inf(1)
+		if rate > 0 {
+			toArrival = rng.ExpFloat64() / rate
+		}
+		if toArrival < toSwitch {
+			t += toArrival
+			out = append(out, t)
+		} else {
+			t += toSwitch
+			high = !high
+		}
+	}
+	return out
+}
+
+// Diurnal modulates a Poisson process with a sinusoid: rate(t) = Mean ×
+// (1 + Amplitude·sin(2πt/PeriodSec − π/2)), starting at the trough so a
+// simulation always exercises the scale-up edge. Amplitude in [0, 1).
+type Diurnal struct {
+	Mean      float64
+	Amplitude float64
+	PeriodSec float64
+}
+
+// Name implements Arrivals.
+func (d Diurnal) Name() string { return "diurnal" }
+
+// MeanRate implements Arrivals.
+func (d Diurnal) MeanRate() float64 { return d.Mean }
+
+// rateAt is the instantaneous rate.
+func (d Diurnal) rateAt(t float64) float64 {
+	return d.Mean * (1 + d.Amplitude*math.Sin(2*math.Pi*t/d.PeriodSec-math.Pi/2))
+}
+
+// Times implements Arrivals by thinning: candidates at the peak rate are
+// accepted with probability rate(t)/peak.
+func (d Diurnal) Times(n int, rng *rand.Rand) []float64 {
+	peak := d.Mean * (1 + d.Amplitude)
+	out := make([]float64, 0, n)
+	t := 0.0
+	for len(out) < n {
+		t += rng.ExpFloat64() / peak
+		if rng.Float64()*peak <= d.rateAt(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Ramp grows the rate linearly from StartRate to EndRate over RampSec and
+// holds it there — the sudden-popularity scenario autoscalers size for.
+type Ramp struct {
+	StartRate, EndRate float64
+	RampSec            float64
+}
+
+// Name implements Arrivals.
+func (r Ramp) Name() string { return "ramp" }
+
+// MeanRate implements Arrivals: the post-ramp steady rate, which is what a
+// fleet must eventually sustain.
+func (r Ramp) MeanRate() float64 { return r.EndRate }
+
+// rateAt is the instantaneous rate.
+func (r Ramp) rateAt(t float64) float64 {
+	if t >= r.RampSec || r.RampSec <= 0 {
+		return r.EndRate
+	}
+	return r.StartRate + (r.EndRate-r.StartRate)*t/r.RampSec
+}
+
+// Times implements Arrivals by thinning at the larger endpoint rate.
+func (r Ramp) Times(n int, rng *rand.Rand) []float64 {
+	peak := math.Max(r.StartRate, r.EndRate)
+	out := make([]float64, 0, n)
+	t := 0.0
+	for len(out) < n {
+		t += rng.ExpFloat64() / peak
+		if rng.Float64()*peak <= r.rateAt(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Replay replays recorded arrival times (e.g. a production trace). When
+// more arrivals are requested than the trace holds, it tiles the trace
+// end-to-end, preserving its bursts.
+type Replay struct {
+	// TimesSec are the recorded arrival offsets, non-decreasing from 0.
+	TimesSec []float64
+}
+
+// Name implements Arrivals.
+func (r Replay) Name() string { return "replay" }
+
+// MeanRate implements Arrivals.
+func (r Replay) MeanRate() float64 {
+	if len(r.TimesSec) < 2 {
+		return 0
+	}
+	span := r.TimesSec[len(r.TimesSec)-1] - r.TimesSec[0]
+	if span <= 0 {
+		return 0
+	}
+	return float64(len(r.TimesSec)-1) / span
+}
+
+// Times implements Arrivals. The rng is unused — a replay is already a
+// fixed sample path.
+func (r Replay) Times(n int, _ *rand.Rand) []float64 {
+	out := make([]float64, 0, n)
+	if len(r.TimesSec) == 0 {
+		return make([]float64, n)
+	}
+	// Tile with the mean gap as the seam so the wrapped stream keeps the
+	// trace's rate.
+	seam := 1.0
+	if rate := r.MeanRate(); rate > 0 {
+		seam = 1 / rate
+	}
+	base := 0.0
+	for len(out) < n {
+		for _, ts := range r.TimesSec {
+			out = append(out, base+ts-r.TimesSec[0])
+			if len(out) == n {
+				break
+			}
+		}
+		base = out[len(out)-1] + seam
+	}
+	return out
+}
+
+// Shape is one request class of a traffic mix.
+type Shape struct {
+	// Name labels the class in reports (e.g. "chat", "rag", "agentic").
+	Name string
+	// Weight is the class's share of arrivals (relative; need not sum to 1).
+	Weight float64
+	// InputLen/OutputLen are the mean prompt and generation lengths.
+	InputLen, OutputLen int
+	// LengthJitter varies individual lengths uniformly within ±fraction.
+	LengthJitter float64
+	// PrefixGroups > 0 gives the class shared prompt prefixes: each request
+	// draws one of this many prefix identities covering PrefixFrac of the
+	// mean prompt (system prompt + document set for RAG, system prompt +
+	// tool schemas for agents).
+	PrefixGroups int
+	PrefixFrac   float64
+}
+
+// Mix is a weighted set of request shapes.
+type Mix []Shape
+
+// Validate rejects unusable mixes.
+func (m Mix) Validate() error {
+	if len(m) == 0 {
+		return fmt.Errorf("workload: empty shape mix")
+	}
+	total := 0.0
+	for _, s := range m {
+		if s.Weight < 0 {
+			return fmt.Errorf("workload: shape %q has negative weight %g", s.Name, s.Weight)
+		}
+		if s.InputLen <= 0 || s.OutputLen <= 0 {
+			return fmt.Errorf("workload: shape %q needs positive lengths, got %d/%d", s.Name, s.InputLen, s.OutputLen)
+		}
+		if s.PrefixGroups > 0 && (s.PrefixFrac <= 0 || s.PrefixFrac >= 1) {
+			return fmt.Errorf("workload: shape %q prefix fraction %g outside (0, 1)", s.Name, s.PrefixFrac)
+		}
+		total += s.Weight
+	}
+	if total <= 0 {
+		return fmt.Errorf("workload: mix weights sum to %g", total)
+	}
+	return nil
+}
+
+// MeanInputLen is the weighted mean prompt length of the mix.
+func (m Mix) MeanInputLen() int { return m.meanLen(func(s Shape) int { return s.InputLen }) }
+
+// MeanOutputLen is the weighted mean generation length of the mix.
+func (m Mix) MeanOutputLen() int { return m.meanLen(func(s Shape) int { return s.OutputLen }) }
+
+func (m Mix) meanLen(f func(Shape) int) int {
+	sum, w := 0.0, 0.0
+	for _, s := range m {
+		sum += s.Weight * float64(f(s))
+		w += s.Weight
+	}
+	if w <= 0 {
+		return 0
+	}
+	return int(math.Round(sum / w))
+}
+
+// ChatMix is interactive chat traffic: short-to-medium prompts, moderate
+// generations, a shared system prompt across a few personas.
+func ChatMix() Mix {
+	return Mix{
+		{Name: "chat-short", Weight: 0.7, InputLen: 256, OutputLen: 128, LengthJitter: 0.3,
+			PrefixGroups: 2, PrefixFrac: 0.25},
+		{Name: "chat-long", Weight: 0.3, InputLen: 768, OutputLen: 224, LengthJitter: 0.3,
+			PrefixGroups: 2, PrefixFrac: 0.25},
+	}
+}
+
+// RAGMix is retrieval-augmented traffic: long document-stuffed prompts
+// dominated by a shared prefix (system prompt + document set), short
+// answers — prefill-heavy, prefix-cache friendly.
+func RAGMix() Mix {
+	return Mix{
+		{Name: "rag", Weight: 1, InputLen: 1536, OutputLen: 160, LengthJitter: 0.2,
+			PrefixGroups: 4, PrefixFrac: 0.75},
+	}
+}
+
+// AgenticMix is multi-turn agent traffic: the accumulated tool-call history
+// re-enters as a long prompt each turn (shared tool schemas as prefix) and
+// generations are short tool invocations — decode-light, KV-heavy.
+func AgenticMix() Mix {
+	return Mix{
+		{Name: "agent-turn", Weight: 0.8, InputLen: 1152, OutputLen: 64, LengthJitter: 0.35,
+			PrefixGroups: 3, PrefixFrac: 0.4},
+		{Name: "agent-final", Weight: 0.2, InputLen: 1536, OutputLen: 256, LengthJitter: 0.2,
+			PrefixGroups: 3, PrefixFrac: 0.3},
+	}
+}
+
+// Scenario is an arrival process crossed with a shape mix: everything a
+// serving experiment needs to synthesize offered load.
+type Scenario struct {
+	Arrivals Arrivals
+	Mix      Mix
+}
+
+// Name identifies the scenario by its arrival process (mixes carry no
+// identity of their own — label the mix separately when it matters).
+func (s Scenario) Name() string {
+	if s.Arrivals == nil {
+		return "?"
+	}
+	return s.Arrivals.Name()
+}
+
+// Validate rejects unusable scenarios.
+func (s Scenario) Validate() error {
+	if s.Arrivals == nil {
+		return fmt.Errorf("workload: scenario needs an arrival process")
+	}
+	if s.Arrivals.MeanRate() <= 0 {
+		return fmt.Errorf("workload: scenario %q has non-positive mean rate %g", s.Arrivals.Name(), s.Arrivals.MeanRate())
+	}
+	return s.Mix.Validate()
+}
+
+// Generate draws n requests: arrival times from the process, shapes from
+// the mix, deterministic under the rng. Prefix identities are disjoint
+// across shapes (shape index partitions the ID space).
+func (s Scenario) Generate(n int, rng *rand.Rand) ([]Request, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	times := s.Arrivals.Times(n, rng)
+	totalW := 0.0
+	for _, sh := range s.Mix {
+		totalW += sh.Weight
+	}
+	out := make([]Request, n)
+	for i, t := range times {
+		sh, si := s.pick(rng, totalW)
+		r := Request{ArrivalSec: t, Shape: sh.Name}
+		jitter := func(mean int) int {
+			if sh.LengthJitter <= 0 || mean <= 0 {
+				return mean
+			}
+			f := 1 + sh.LengthJitter*(2*rng.Float64()-1)
+			if v := int(math.Round(float64(mean) * f)); v >= 1 {
+				return v
+			}
+			return 1
+		}
+		if sh.PrefixGroups > 0 {
+			prefixLen := int(math.Round(sh.PrefixFrac * float64(sh.InputLen)))
+			if prefixLen >= sh.InputLen {
+				prefixLen = sh.InputLen - 1
+			}
+			// The shared prefix has one fixed length per shape; only the
+			// request-specific suffix jitters.
+			suffix := jitter(sh.InputLen - prefixLen)
+			if suffix < 1 {
+				suffix = 1
+			}
+			r.PrefixID = si*prefixIDStride + rng.Intn(sh.PrefixGroups) + 1
+			r.PrefixLen = prefixLen
+			r.InputLen = prefixLen + suffix
+		} else {
+			r.InputLen = jitter(sh.InputLen)
+		}
+		r.OutputLen = jitter(sh.OutputLen)
+		if r.OutputLen < 2 {
+			r.OutputLen = 2 // keep TPOT defined
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// prefixIDStride partitions prefix identities by shape so two shapes can
+// never alias a shared prefix.
+const prefixIDStride = 1 << 16
+
+// pick draws one shape by weight.
+func (s Scenario) pick(rng *rand.Rand, totalW float64) (Shape, int) {
+	x := rng.Float64() * totalW
+	for i, sh := range s.Mix {
+		x -= sh.Weight
+		if x < 0 {
+			return sh, i
+		}
+	}
+	return s.Mix[len(s.Mix)-1], len(s.Mix) - 1
+}
+
+// scenarioNames lists the CLI-recognized arrival and mix names.
+var arrivalNames = []string{"poisson", "bursty", "diurnal", "ramp"}
+var mixNames = []string{"chat", "rag", "agentic"}
+
+// ParseScenario resolves a CLI scenario name at the given mean rate.
+// Accepted forms: an arrival process ("poisson", "bursty", "diurnal",
+// "ramp") with the chat mix, a mix name ("chat", "rag", "agentic") with
+// Poisson arrivals, or "arrivals+mix" (e.g. "diurnal+rag").
+func ParseScenario(name string, rate float64) (Scenario, error) {
+	if rate <= 0 {
+		return Scenario{}, fmt.Errorf("workload: scenario %q needs a positive mean rate, got %g", name, rate)
+	}
+	arrival, mixName := "poisson", "chat"
+	parts := strings.Split(strings.ToLower(strings.TrimSpace(name)), "+")
+	switch len(parts) {
+	case 1:
+		switch {
+		case slices.Contains(arrivalNames, parts[0]) || parts[0] == "mmpp":
+			arrival = parts[0]
+		case slices.Contains(mixNames, parts[0]):
+			mixName = parts[0]
+		case parts[0] == "":
+			// defaults
+		default:
+			return Scenario{}, fmt.Errorf("workload: unknown scenario %q (arrivals: %s; mixes: %s; or arrivals+mix)",
+				name, strings.Join(arrivalNames, "|"), strings.Join(mixNames, "|"))
+		}
+	case 2:
+		arrival, mixName = parts[0], parts[1]
+	default:
+		return Scenario{}, fmt.Errorf("workload: scenario %q has more than one '+'", name)
+	}
+
+	var arr Arrivals
+	switch arrival {
+	case "poisson":
+		arr = Poisson{Rate: rate}
+	case "bursty", "mmpp":
+		arr = Bursty(rate)
+	case "diurnal":
+		// One compressed "day" of 600 s: sweeps finish in simulated minutes
+		// while the trough-to-peak swing still spans the 1±0.8 band.
+		arr = Diurnal{Mean: rate, Amplitude: 0.8, PeriodSec: 600}
+	case "ramp":
+		arr = Ramp{StartRate: rate / 4, EndRate: rate, RampSec: 300}
+	default:
+		return Scenario{}, fmt.Errorf("workload: unknown arrival process %q (%s)", arrival, strings.Join(arrivalNames, "|"))
+	}
+	var mix Mix
+	switch mixName {
+	case "chat":
+		mix = ChatMix()
+	case "rag":
+		mix = RAGMix()
+	case "agentic":
+		mix = AgenticMix()
+	default:
+		return Scenario{}, fmt.Errorf("workload: unknown mix %q (%s)", mixName, strings.Join(mixNames, "|"))
+	}
+	return Scenario{Arrivals: arr, Mix: mix}, nil
+}
+
+// ScenarioNames lists the accepted -scenario spellings for CLI help.
+func ScenarioNames() string {
+	all := append(append([]string{}, arrivalNames...), mixNames...)
+	sort.Strings(all)
+	return strings.Join(all, "|")
+}

@@ -8,6 +8,7 @@ import (
 	"cllm/internal/perf"
 	"cllm/internal/serve"
 	"cllm/internal/trace"
+	"cllm/internal/workload"
 )
 
 // ServeConfig describes an open-loop serving run: a Poisson stream of
@@ -19,8 +20,15 @@ type ServeConfig struct {
 	// InputLen / OutputLen are mean request lengths (defaults 128 / 32);
 	// individual requests jitter ±25% around them.
 	InputLen, OutputLen int
-	// RatePerSec is the Poisson arrival rate (required).
+	// RatePerSec is the Poisson arrival rate (required), or the scenario's
+	// mean rate when Scenario is set.
 	RatePerSec float64
+	// Scenario synthesizes arrivals from a workload traffic scenario
+	// instead of the plain Poisson process: an arrival process ("poisson",
+	// "bursty", "diurnal", "ramp"), a request-shape mix ("chat", "rag",
+	// "agentic"), or "arrivals+mix" (e.g. "diurnal+rag"). The scenario's
+	// shapes replace InputLen/OutputLen and the Prefix* knobs.
+	Scenario string
 	// Requests is the number of arrivals to simulate (default 64).
 	Requests int
 	// MaxBatch caps concurrent sequences (default 32).
@@ -127,9 +135,18 @@ func (s *Session) Serve(cfg ServeConfig) (*ServeReport, error) {
 		}}
 	}
 
+	var scenario *workload.Scenario
+	if cfg.Scenario != "" {
+		sc, err := workload.ParseScenario(cfg.Scenario, cfg.RatePerSec)
+		if err != nil {
+			return nil, err
+		}
+		scenario = &sc
+	}
 	scfg := serve.Config{
 		Workload:      trace.Workload{Model: mcfg, Kind: kind, InputLen: cfg.InputLen, OutputLen: cfg.OutputLen},
 		Rate:          cfg.RatePerSec,
+		Scenario:      scenario,
 		Requests:      cfg.Requests,
 		Seed:          s.cfg.Seed,
 		MaxBatch:      cfg.MaxBatch,
