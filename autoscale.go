@@ -94,6 +94,10 @@ type AutoscaleConfig struct {
 	PrefixSharing bool
 	// Sockets selects the CPU deployment for CPU classes (default 1).
 	Sockets int
+	// CostBucket quantizes the memoized step costing (tokens; default 1 =
+	// exact, bit-identical to the unmemoized cost model). See
+	// serve.Config.CostBucket.
+	CostBucket int
 	// TTFTSLOSec / TPOTSLOSec are SLO targets (defaults 5 s / 0.5 s).
 	TTFTSLOSec, TPOTSLOSec float64
 	// Seed drives arrivals and every noise stream.
@@ -194,6 +198,7 @@ func Autoscale(cfg AutoscaleConfig) (*AutoscaleReport, error) {
 		MaxBatch:      cfg.MaxBatch,
 		ChunkTokens:   cfg.ChunkTokens,
 		PrefixSharing: cfg.PrefixSharing,
+		CostBucket:    cfg.CostBucket,
 		TTFTSLOSec:    cfg.TTFTSLOSec, TPOTSLOSec: cfg.TPOTSLOSec,
 	}
 	classes := make([]autoscale.Class, len(cfg.Classes))

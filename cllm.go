@@ -14,11 +14,13 @@ package cllm
 import (
 	"crypto/rand"
 	"fmt"
+	"sync"
 	"time"
 
 	"cllm/internal/dtype"
 	"cllm/internal/gramine"
 	"cllm/internal/hw"
+	"cllm/internal/perf"
 	"cllm/internal/tee"
 )
 
@@ -48,6 +50,15 @@ type Session struct {
 	isGPU    bool
 	attested bool
 	manifest *gramine.Manifest
+
+	// costers caches one memoized step-costing table per serving
+	// deployment shape (model × dtype × sockets/cores × cost bucket), so
+	// repeated Serve calls — rate sweeps, benchmark loops — re-cost
+	// identical scheduler iterations from a table instead of re-walking the
+	// roofline. Purely a cache: memoized keys return bit-identical floats,
+	// so results never depend on it.
+	costerMu sync.Mutex
+	costers  map[string]*perf.StepCoster
 }
 
 // Open validates the configuration, constructs the platform and — for

@@ -59,6 +59,7 @@ func main() {
 	noColdStart := flag.Bool("no-cold-start", false, "zero TEE cold starts (counterfactual elasticity baseline)")
 	targetUtil := flag.Float64("target-util", 0.7, "autoscaler target utilization (lower = more headroom)")
 	interval := flag.Float64("interval", 15, "autoscaler control period (seconds)")
+	costBucket := flag.Int("cost-bucket", 1, "step-costing quantization width in tokens (1 = exact; larger buckets trade bounded modeled-time error for memo hits in big sweeps)")
 	format := flag.String("format", "table", "output format: table|csv|json")
 	sloTTFT := flag.Float64("slo-ttft", 5, "TTFT SLO (seconds)")
 	sloTPOT := flag.Float64("slo-tpot", 0.5, "TPOT SLO (seconds/token)")
@@ -90,7 +91,8 @@ func main() {
 			classes: *classes, dispatch: *dispatch, noColdStart: *noColdStart,
 			targetUtil: *targetUtil, interval: *interval, batch: *batch,
 			chunkSize: *chunkSize, prefixShare: *prefixShare,
-			sloTTFT: *sloTTFT, sloTPOT: *sloTPOT, sockets: *sockets,
+			costBucket: *costBucket,
+			sloTTFT:    *sloTTFT, sloTPOT: *sloTPOT, sockets: *sockets,
 			seed: *seed, format: *format,
 		})
 		return
@@ -130,6 +132,7 @@ func main() {
 				PrefixFrac:    *prefixFrac,
 				Replicas:      *replicas,
 				LBPolicy:      *lbPolicy,
+				CostBucket:    *costBucket,
 				TTFTSLOSec:    *sloTTFT, TPOTSLOSec: *sloTPOT,
 			})
 			if err != nil {
@@ -186,7 +189,7 @@ type autoscaleArgs struct {
 	rate, targetUtil, interval  float64
 	sloTTFT, sloTPOT            float64
 	requests, batch, sockets    int
-	chunkSize                   int
+	chunkSize, costBucket       int
 	prefixShare, noColdStart    bool
 	seed                        int64
 	format                      string
@@ -211,7 +214,8 @@ func runAutoscale(a autoscaleArgs) {
 		IntervalSec: a.interval, TargetUtil: a.targetUtil,
 		NoColdStart: a.noColdStart, MaxBatch: a.batch,
 		ChunkTokens: a.chunkSize, PrefixSharing: a.prefixShare,
-		Sockets: a.sockets, TTFTSLOSec: a.sloTTFT, TPOTSLOSec: a.sloTPOT,
+		Sockets: a.sockets, CostBucket: a.costBucket,
+		TTFTSLOSec: a.sloTTFT, TPOTSLOSec: a.sloTPOT,
 		Seed: a.seed,
 	})
 	if err != nil {

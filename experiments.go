@@ -1,6 +1,8 @@
 package cllm
 
 import (
+	"runtime"
+
 	"cllm/internal/harness"
 )
 
@@ -36,12 +38,15 @@ type ExperimentReport struct {
 
 // RunExperiment executes one paper artifact reproduction. Quick mode
 // shortens generations for fast runs; seeds are fixed for reproducibility.
+// Experiments whose sweeps contain independent simulation runs spread them
+// over the CPUs; results are merged deterministically, so the report is
+// identical to a serial run (the harness tests assert it).
 func RunExperiment(id string, quick bool, seed int64) (*ExperimentReport, error) {
 	e, err := harness.Lookup(id)
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.Run(harness.Options{Seed: seed, Quick: quick})
+	res, err := e.Run(harness.Options{Seed: seed, Quick: quick, Workers: runtime.NumCPU()})
 	if err != nil {
 		return nil, err
 	}

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"cllm/internal/gramine"
+	"cllm/internal/par"
 	"cllm/internal/serve"
 	"cllm/internal/sim"
 	"cllm/internal/tee"
@@ -140,6 +141,13 @@ type Config struct {
 	// size before surplus replicas start draining (default 2 intervals) —
 	// hysteresis against flapping on burst edges.
 	ScaleDownHoldSec float64
+	// Workers bounds concurrent evaluation of independent sub-simulations —
+	// the per-class capacity probes, each on its own engine with its own
+	// seed. Probe results are assigned by class index and any error is
+	// reported for the lowest erroring class, so every worker count
+	// produces the identical report (tests assert serial/parallel equality).
+	// Default (<= 1) keeps everything on the caller's goroutine.
+	Workers int
 }
 
 func (c *Config) normalize() error {
@@ -271,6 +279,32 @@ func ProbeCapacity(be serve.Backend, scfg serve.Config) (float64, error) {
 	return float64(rep.Completed) / rep.MakespanSec, nil
 }
 
+// probeCapacities fills missing per-class capacities, probing classes
+// concurrently when cfg.Workers > 1. Each probe is an independent
+// simulation on its own engine; results land by class index and the error
+// reported is the lowest erroring class's, so the outcome is identical at
+// any worker count.
+func probeCapacities(cls []Class, cfg Config) error {
+	need := make([]int, 0, len(cls))
+	for i := range cls {
+		if cls[i].CapacityReqPerSec <= 0 {
+			need = append(need, i)
+		}
+	}
+	if len(need) == 0 {
+		return nil
+	}
+	return par.For(cfg.Workers, len(need), func(j int) error {
+		i := need[j]
+		cap, err := ProbeCapacity(cls[i].Backend, cfg.Serve)
+		if err != nil {
+			return fmt.Errorf("autoscale: class %s: %w", cls[i].Name, err)
+		}
+		cls[i].CapacityReqPerSec = cap
+		return nil
+	})
+}
+
 // slot is one provisionable replica instance. Its scheduler (rep) is
 // built lazily on first activation — a class's Max bounds the fleet, it
 // should not cost Max schedulers' state when the load never needs them.
@@ -325,14 +359,21 @@ func Run(classes []Class, cfg Config) (*Report, error) {
 		if c.ColdStartSec < 0 {
 			return nil, fmt.Errorf("autoscale: class %s cold start %g is negative", c.Name, c.ColdStartSec)
 		}
-		if c.CapacityReqPerSec <= 0 {
-			cap, err := ProbeCapacity(c.Backend, cfg.Serve)
+		if c.Backend.Coster == nil {
+			// All replicas of a class run the same backend: share one
+			// memoized costing table across its slots (and its capacity
+			// probe below), so a step shape costed anywhere in the fleet is
+			// a table hit everywhere else.
+			coster, err := serve.NewStepCoster(c.Backend, cfg.Serve)
 			if err != nil {
 				return nil, fmt.Errorf("autoscale: class %s: %w", c.Name, err)
 			}
-			c.CapacityReqPerSec = cap
+			c.Backend.Coster = coster
 		}
 		totalMin += c.Min
+	}
+	if err := probeCapacities(cls, cfg); err != nil {
+		return nil, err
 	}
 	if totalMin == 0 {
 		// An empty standing fleet would queue the first arrivals behind a

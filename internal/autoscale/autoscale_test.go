@@ -2,6 +2,7 @@ package autoscale
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"cllm/internal/dtype"
@@ -240,4 +241,26 @@ func TestRunValidation(t *testing.T) {
 // sgxPlatform builds the default Gramine-SGX platform.
 func sgxPlatform() (tee.Platform, error) {
 	return tee.SGX(gramine.DefaultManifest("/models/llama2.bin", 192<<30, 64))
+}
+
+// TestRunParallelProbesMatchSerial: probing class capacities on a worker
+// pool must produce the identical report a serial run does — probes are
+// independent simulations assigned by class index.
+func TestRunParallelProbesMatchSerial(t *testing.T) {
+	classes := []Class{
+		{Name: "tdx", Backend: testBackend(tee.TDX()), HourlyUSD: 0.83, ColdStartSec: 12, Min: 1, Max: 3},
+		{Name: "bm", Backend: testBackend(tee.Baremetal()), HourlyUSD: 1.1, Min: 0, Max: 2},
+	}
+	serial, err := Run(classes, Config{Serve: testServeConfig(t, 48), IntervalSec: 10, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(classes, Config{Serve: testServeConfig(t, 48), IntervalSec: 10, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel-probed report differs from serial:\nserial  %+v\nparallel %+v",
+			serial.Aggregate, parallel.Aggregate)
+	}
 }

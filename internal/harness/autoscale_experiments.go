@@ -81,30 +81,47 @@ func runHetero(o Options) (*Result, error) {
 	}
 	// Probe once; autoscale.Run copies the class slice, so both policies
 	// can share it. A fixed fleet (Min == Max): the experiment isolates
-	// dispatch, so both policies rent the identical hardware all run.
+	// dispatch, so both policies rent the identical hardware all run. The
+	// two probes are independent simulations — run them on the worker pool,
+	// sharing each backend's costing table with the policy runs below.
 	tdxBE := chunkedBackend(tee.TDX())
 	cgpuBE := gpuServeBackend(tee.CGPU())
-	tdxCap, err := autoscale.ProbeCapacity(tdxBE, scfg)
-	if err != nil {
-		return nil, err
-	}
-	cgpuCap, err := autoscale.ProbeCapacity(cgpuBE, scfg)
+	bes := []*serve.Backend{&tdxBE, &cgpuBE}
+	caps := make([]float64, len(bes))
+	err = parallelFor(o.workers(), len(bes), func(i int) error {
+		coster, err := serve.NewStepCoster(*bes[i], scfg)
+		if err != nil {
+			return err
+		}
+		bes[i].Coster = coster
+		cap, err := autoscale.ProbeCapacity(*bes[i], scfg)
+		if err != nil {
+			return err
+		}
+		caps[i] = cap
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	classes := []autoscale.Class{
-		{Name: "tdx", Backend: tdxBE, HourlyUSD: tdxHourly, Min: 2, Max: 2, CapacityReqPerSec: tdxCap},
-		{Name: "cgpu", Backend: cgpuBE, HourlyUSD: prices.CGPUHour, Min: 1, Max: 1, CapacityReqPerSec: cgpuCap},
+		{Name: "tdx", Backend: tdxBE, HourlyUSD: tdxHourly, Min: 2, Max: 2, CapacityReqPerSec: caps[0]},
+		{Name: "cgpu", Backend: cgpuBE, HourlyUSD: prices.CGPUHour, Min: 1, Max: 1, CapacityReqPerSec: caps[1]},
 	}
 
 	type outcome struct {
 		att, goodput, usd, ttftP99 float64
 		share                      [2]float64
 	}
-	run := func(d autoscale.Dispatch) (outcome, error) {
-		rep, err := autoscale.Run(classes, autoscale.Config{Serve: scfg, Dispatch: d, IntervalSec: 10})
+	// Both dispatch policies simulate the identical rented fleet on
+	// independent engines: evaluate them concurrently, merge in policy
+	// order.
+	dispatches := []autoscale.Dispatch{autoscale.Uniform, autoscale.CostAware}
+	outs := make([]outcome, len(dispatches))
+	err = parallelFor(o.workers(), len(dispatches), func(i int) error {
+		rep, err := autoscale.Run(classes, autoscale.Config{Serve: scfg, Dispatch: dispatches[i], IntervalSec: 10})
 		if err != nil {
-			return outcome{}, err
+			return err
 		}
 		total := rep.Usage[0].Dispatched + rep.Usage[1].Dispatched
 		out := outcome{
@@ -115,6 +132,14 @@ func runHetero(o Options) (*Result, error) {
 			out.share[0] = float64(rep.Usage[0].Dispatched) / float64(total)
 			out.share[1] = float64(rep.Usage[1].Dispatched) / float64(total)
 		}
+		outs[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, d := range dispatches {
+		out := outs[i]
 		res.Rows = append(res.Rows, []string{
 			d.String(),
 			fmt.Sprintf("%.0f%%", out.att*100),
@@ -124,17 +149,8 @@ func runHetero(o Options) (*Result, error) {
 			fmt.Sprintf("%.0f%%", out.share[1]*100),
 			fmt.Sprintf("%.2f", out.ttftP99),
 		})
-		return out, nil
 	}
-
-	uni, err := run(autoscale.Uniform)
-	if err != nil {
-		return nil, err
-	}
-	ca, err := run(autoscale.CostAware)
-	if err != nil {
-		return nil, err
-	}
+	uni, ca := outs[0], outs[1]
 
 	res.Checks = append(res.Checks, Check{
 		Name:   "cost-aware SLO attainment at least matches uniform",
@@ -192,6 +208,14 @@ func runAutoscale(o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Share one costing table across the probe and the whole policy sweep:
+	// every cell simulates the same backend and workload shape, so the
+	// sweep's later cells run almost entirely on table hits.
+	coster, err := serve.NewStepCoster(tdxBE, scfg)
+	if err != nil {
+		return nil, err
+	}
+	tdxBE.Coster = coster
 	capacity, err := autoscale.ProbeCapacity(tdxBE, scfg)
 	if err != nil {
 		return nil, err
@@ -219,6 +243,24 @@ func runAutoscale(o Options) (*Result, error) {
 		}}, autoscale.Config{Serve: scfg, IntervalSec: 5, TargetUtil: sw.util})
 	}
 
+	// The (cold-start × policy) sweep cells are independent autoscaling
+	// simulations: evaluate the whole grid on the worker pool, then fold
+	// rows and winners in sweep order — identical output at any worker
+	// count.
+	colds := []float64{0, coldStart}
+	reports := make([]*autoscale.Report, len(colds)*len(sweeps))
+	err = parallelFor(o.workers(), len(reports), func(i int) error {
+		rep, err := run(colds[i/len(sweeps)], sweeps[i%len(sweeps)])
+		if err != nil {
+			return err
+		}
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	// For each cold-start setting, the cheapest policy (fewest replica-
 	// hours) that holds the SLO target. Equal-policy attainments are kept
 	// for the degradation check.
@@ -229,14 +271,11 @@ func runAutoscale(o Options) (*Result, error) {
 	}
 	attainAt := map[bool]float64{} // equal-policy reference: {1, 0.6}
 	bests := map[bool]best{}
-	for _, cold := range []float64{0, coldStart} {
+	for ci, cold := range colds {
 		isCold := cold > 0
 		b := best{hours: math.Inf(1)}
-		for _, sw := range sweeps {
-			rep, err := run(cold, sw)
-			if err != nil {
-				return nil, err
-			}
+		for si, sw := range sweeps {
+			rep := reports[ci*len(sweeps)+si]
 			att := rep.SLOAttainment()
 			if sw.minFloor == 1 && sw.util == 0.6 {
 				attainAt[isCold] = att

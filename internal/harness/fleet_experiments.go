@@ -209,14 +209,32 @@ func runFleet(o Options) (*Result, error) {
 		TTFTSLOSec:    4, TPOTSLOSec: 0.5,
 	}
 	policies := []serve.LBPolicy{serve.RoundRobin, serve.LeastLoaded, serve.PrefixAffinity}
+	// The policy runs are independent simulations over one backend:
+	// evaluate them on the worker pool sharing one costing table, merge in
+	// policy order.
+	be := chunkedBackend(tee.TDX())
+	coster, err := serve.NewStepCoster(be, cfg)
+	if err != nil {
+		return nil, err
+	}
+	be.Coster = coster
+	frs := make([]*serve.FleetReport, len(policies))
+	err = parallelFor(o.workers(), len(policies), func(i int) error {
+		fr, err := serve.RunFleet(be, cfg, serve.FleetConfig{Replicas: 4, Policy: policies[i]})
+		if err != nil {
+			return err
+		}
+		frs[i] = fr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	goodputs := make([]float64, len(policies))
 	hits := make([]int, len(policies))
 	ttftP50 := make([]float64, len(policies))
 	for i, pol := range policies {
-		fr, err := serve.RunFleet(chunkedBackend(tee.TDX()), cfg, serve.FleetConfig{Replicas: 4, Policy: pol})
-		if err != nil {
-			return nil, err
-		}
+		fr := frs[i]
 		agg := fr.Aggregate
 		goodputs[i] = agg.GoodputTokensPerSec
 		hits[i] = agg.PrefixCacheHitTokens
@@ -249,7 +267,9 @@ func runFleet(o Options) (*Result, error) {
 
 	// Fleet sizing by simulation: smallest fleet whose simulated attainment
 	// reaches 95% at the offered rate, replica interference included.
-	n, sized, err := serve.SizeFleetForSLO(chunkedBackend(tee.TDX()), cfg, serve.PrefixAffinity, 0.95, 8)
+	// Candidate sizes are speculated on the worker pool; the answer is
+	// byte-identical to the serial search.
+	n, sized, err := serve.SizeFleetForSLOParallel(be, cfg, serve.PrefixAffinity, 0.95, 8, o.workers())
 	if err != nil {
 		return nil, err
 	}

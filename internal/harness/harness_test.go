@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -84,5 +85,32 @@ func TestChecksHelpers(t *testing.T) {
 	}
 	if c := ordering("o", []string{"a", "b"}, []float64{1, 2}); c.Pass {
 		t.Error("ascending ordering passed")
+	}
+}
+
+// TestSweepExperimentsParallelMatchSerial: the experiments whose sweeps run
+// on the worker pool must render the identical Result at workers=1 and
+// workers=NumCPU — rows, checks and notes byte for byte.
+func TestSweepExperimentsParallelMatchSerial(t *testing.T) {
+	for _, id := range []string{"serving", "fleet", "hetero", "autoscale"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, err := Lookup(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := e.Run(Options{Seed: 1, Quick: true, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := e.Run(Options{Seed: 1, Quick: true, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Fatalf("parallel run differs from serial:\nserial:\n%s\nparallel:\n%s",
+					serial.Render(), parallel.Render())
+			}
+		})
 	}
 }

@@ -44,23 +44,53 @@ func runServing(o Options) (*Result, error) {
 		return nil, err
 	}
 
+	// The (platform × rate) grid cells are independent simulations: evaluate
+	// them on the worker pool, each platform's cells sharing one memoized
+	// step-costing table, then merge in grid order — the rendered table is
+	// identical at any worker count.
+	cfgFor := func(rate float64) serve.Config {
+		return serve.Config{
+			Workload: trace.Workload{Model: mustModel("llama2-7b"), Kind: dtype.BF16, InputLen: 128, OutputLen: outLen},
+			Rate:     rate,
+			Requests: requests,
+			Seed:     o.Seed,
+		}
+	}
+	backends := make([]serve.Backend, len(plats))
+	for pi, p := range plats {
+		be := serve.Backend{CPU: perf.CPURun{CPU: hw.EMR1(), Platform: p, Sockets: 1, AMX: true}}
+		coster, err := serve.NewStepCoster(be, cfgFor(servingRates[0]))
+		if err != nil {
+			return nil, err
+		}
+		be.Coster = coster
+		backends[pi] = be
+	}
+	reports := make([][]*serve.Report, len(plats))
+	for pi := range reports {
+		reports[pi] = make([]*serve.Report, len(servingRates))
+	}
+	err = parallelFor(o.workers(), len(plats)*len(servingRates), func(i int) error {
+		pi, ri := i/len(servingRates), i%len(servingRates)
+		rep, err := serve.Run(backends[pi], cfgFor(servingRates[ri]))
+		if err != nil {
+			return err
+		}
+		reports[pi][ri] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	// goodputs[platform][rate index]; ttftP99 and replicas likewise.
 	goodputs := make([][]float64, len(plats))
 	ttftP99 := make([][]float64, len(plats))
 	replicas := make([][]int, len(plats))
 	tputs := make([][]float64, len(plats))
 	for pi, p := range plats {
-		be := serve.Backend{CPU: perf.CPURun{CPU: hw.EMR1(), Platform: p, Sockets: 1, AMX: true}}
-		for _, rate := range servingRates {
-			rep, err := serve.Run(be, serve.Config{
-				Workload: trace.Workload{Model: mustModel("llama2-7b"), Kind: dtype.BF16, InputLen: 128, OutputLen: outLen},
-				Rate:     rate,
-				Requests: requests,
-				Seed:     o.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
+		for ri, rate := range servingRates {
+			rep := reports[pi][ri]
 			goodputs[pi] = append(goodputs[pi], rep.GoodputTokensPerSec)
 			ttftP99[pi] = append(ttftP99[pi], rep.TTFT.P99)
 			tputs[pi] = append(tputs[pi], rep.TokensPerSec)

@@ -1,0 +1,48 @@
+package par
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForDeterministicErrors: the pool reports the lowest-index error
+// whatever the completion order.
+func TestForDeterministicErrors(t *testing.T) {
+	for _, workers := range []int{1, 4, 100} {
+		err := For(workers, 8, func(i int) error {
+			if i%3 == 2 {
+				return fmt.Errorf("cell %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "cell 2" {
+			t.Fatalf("workers=%d: got %v, want cell 2", workers, err)
+		}
+		if err := For(workers, 5, func(int) error { return nil }); err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+	}
+}
+
+// TestForRunsEveryJobOnce: every index runs exactly once at any width,
+// including n = 0 and workers wider than n.
+func TestForRunsEveryJobOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		var counts [13]int32
+		if err := For(workers, len(counts), func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+		if err := For(workers, 0, func(int) error { return nil }); err != nil {
+			t.Fatalf("workers=%d: n=0 errored: %v", workers, err)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package perf
+
+import (
+	"fmt"
+	"sync"
+
+	"cllm/internal/dtype"
+	"cllm/internal/model"
+	"cllm/internal/trace"
+)
+
+// StepCoster is a memoized costing layer over CPUStepTime/GPUStepTime for
+// the serving scheduler's hot loop. A continuous-batching simulation costs
+// one decode step and up to one batched prefill-chunk step per iteration;
+// sweeps (fleet sizing, autoscaling policy grids, repeated benchmark runs)
+// re-cost the same step shapes millions of times. The coster keys each step
+// by its shape — (batch, context, shared tokens) for decode, (batch, chunk
+// tokens, history) for prefill chunks — and serves repeats from a table
+// instead of rebuilding the operator trace and walking the roofline op by
+// op. The miss path reuses one operator-slice scratch buffer
+// (trace.DecodeStepInto), so even cold shapes cost no per-step allocation
+// beyond the map entry.
+//
+// Bucket controls shape quantization: context and history (and shared
+// tokens) are mapped to their bucket's midpoint before lookup. Bucket 1 is
+// exact — every shape is costed at its true value through the same code
+// path as CPUStepTime/GPUStepTime, so results are bit-identical to the
+// unmemoized model. Bucket b > 1 trades accuracy for hit rate: the modeled
+// step time is monotone in context, so the relative error of costing a
+// context at its bucket midpoint is bounded by the step time's relative
+// span across the bucket — at most t(ctx+b)/t(ctx)−1, which shrinks as
+// ctx/b grows because only the attention terms scale with context (the
+// property test asserts < 5% at ctx ≥ 8×bucket). Chunk tokens are never
+// bucketed: the chunk is the dominant term of a prefill step's cost.
+//
+// A StepCoster is safe for concurrent use (parallel fleet-sizing and
+// autoscale sweeps share one across workers); identical keys always memoize
+// identical float64s, so sharing cannot perturb determinism.
+type StepCoster struct {
+	isGPU  bool
+	cpu    CPURun // normalized once; Workload swapped per query
+	gpu    GPURun
+	bucket int
+	model  trace.Workload // Model/Kind template for query workloads
+
+	mu     sync.RWMutex
+	decode map[costKey]float64
+	chunk  map[costKey]float64
+	ops    []trace.Op // miss-path scratch, guarded by mu (write lock)
+}
+
+// costKey identifies one step shape after bucketing.
+type costKey struct{ batch, a, b int }
+
+// maxCostEntries bounds each memo table; a sweep that somehow produces more
+// distinct shapes than this resets the table rather than growing without
+// bound (the model context length caps realistic shape counts far below it).
+const maxCostEntries = 1 << 17
+
+// NewCPUStepCoster builds a memoized step coster for a CPU deployment.
+// cfg.Workload supplies the model and datatype; its batch/length fields are
+// ignored (queries carry their own shapes). bucket <= 1 means exact.
+func NewCPUStepCoster(cfg CPURun, bucket int) (*StepCoster, error) {
+	probe := cfg
+	probe.Workload = queryWorkload(cfg.Workload, 1, 1)
+	if err := probe.normalize(); err != nil {
+		return nil, err
+	}
+	return &StepCoster{
+		cpu:    probe,
+		bucket: normBucket(bucket),
+		model:  probe.Workload,
+		decode: make(map[costKey]float64),
+		chunk:  make(map[costKey]float64),
+	}, nil
+}
+
+// NewGPUStepCoster builds a memoized step coster for a GPU deployment.
+func NewGPUStepCoster(cfg GPURun, bucket int) (*StepCoster, error) {
+	probe := cfg
+	probe.Workload = queryWorkload(cfg.Workload, 1, 1)
+	if err := probe.Workload.Validate(); err != nil {
+		return nil, err
+	}
+	return &StepCoster{
+		isGPU:  true,
+		gpu:    probe,
+		bucket: normBucket(bucket),
+		model:  probe.Workload,
+		decode: make(map[costKey]float64),
+		chunk:  make(map[costKey]float64),
+	}, nil
+}
+
+// Bucket reports the quantization width the coster was built with.
+func (c *StepCoster) Bucket() int { return c.bucket }
+
+// CompatibleWith reports whether the coster's memo keys mean the same
+// thing under the given model, datatype and bucket width — the three
+// inputs that shape every cached value. Callers sharing a coster across
+// runs must hold this invariant; the serving scheduler enforces it so a
+// table built for one model can never silently price another.
+func (c *StepCoster) CompatibleWith(m model.Config, kind dtype.Kind, bucket int) bool {
+	return c.model.Model == m && c.model.Kind == kind && c.bucket == normBucket(bucket)
+}
+
+func normBucket(b int) int {
+	if b < 1 {
+		return 1
+	}
+	return b
+}
+
+// queryWorkload shapes one step's workload on the coster's model template.
+func queryWorkload(tmpl trace.Workload, batch, inputLen int) trace.Workload {
+	return trace.Workload{
+		Model: tmpl.Model, Kind: tmpl.Kind,
+		Batch: batch, Beam: 1, InputLen: inputLen, OutputLen: 1,
+	}
+}
+
+// bucketOf maps a non-negative token count to its bucket's midpoint; width
+// 1 is the identity. Values inside the first bucket are kept exact: there
+// the midpoint's absolute offset is a large *relative* error (and 0 must
+// stay 0 — no phantom shared tokens or cached history when a feature is
+// simply off), while the shapes bucketing exists to collapse — long
+// contexts and histories — all live far above the width.
+func bucketOf(v, width int) int {
+	if width <= 1 || v < width {
+		return v
+	}
+	return (v/width)*width + (width-1)/2
+}
+
+// DecodeTime costs one decode step over a batch whose mean per-row context
+// is meanCtx tokens, of which sharedTokens are repeat reads of shared
+// prefix blocks (bandwidth, not resident working set). It mirrors the
+// clamping the serving scheduler applies: context is held inside
+// [1, ContextLen-1] so one more token always fits.
+func (c *StepCoster) DecodeTime(batch, meanCtx, sharedTokens int) (float64, error) {
+	if batch < 1 {
+		return 0, fmt.Errorf("perf: decode batch %d must be positive", batch)
+	}
+	if meanCtx < 1 {
+		meanCtx = 1
+	}
+	if max := c.model.Model.ContextLen - 1; meanCtx > max {
+		meanCtx = max
+	}
+	if sharedTokens < 0 {
+		sharedTokens = 0
+	}
+	if c.bucket > 1 {
+		meanCtx = bucketOf(meanCtx, c.bucket)
+		if meanCtx < 1 {
+			meanCtx = 1
+		}
+		if max := c.model.Model.ContextLen - 1; meanCtx > max {
+			meanCtx = max
+		}
+		sharedTokens = bucketOf(sharedTokens, c.bucket)
+		if sharedTokens > meanCtx*batch {
+			sharedTokens = meanCtx * batch
+		}
+	}
+	key := costKey{batch: batch, a: meanCtx, b: sharedTokens}
+	c.mu.RLock()
+	t, ok := c.decode[key]
+	c.mu.RUnlock()
+	if ok {
+		return t, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.decode[key]; ok {
+		return t, nil
+	}
+	wl := queryWorkload(c.model, batch, meanCtx)
+	st, err := trace.DecodeStepInto(wl, meanCtx, c.ops)
+	if err != nil {
+		return 0, err
+	}
+	c.ops = st.Ops[:0]
+	st.SharedBytes = float64(sharedTokens) * float64(wl.Model.KVCacheBytesPerToken(wl.Kind.Size()))
+	t = c.stepTime(wl, st)
+	if len(c.decode) >= maxCostEntries {
+		c.decode = make(map[costKey]float64)
+	}
+	c.decode[key] = t
+	return t, nil
+}
+
+// ChunkTime costs one batched prefill-chunk step: batch rows each computing
+// chunkTokens new prompt tokens on top of hist cached ones. Clamping
+// mirrors the serving scheduler: chunk in [1, ContextLen-1], history in
+// [0, ContextLen-1-chunk]. Only the history is bucketed.
+func (c *StepCoster) ChunkTime(batch, chunkTokens, hist int) (float64, error) {
+	if batch < 1 {
+		return 0, fmt.Errorf("perf: chunk batch %d must be positive", batch)
+	}
+	if chunkTokens < 1 {
+		chunkTokens = 1
+	}
+	if max := c.model.Model.ContextLen - 1; chunkTokens > max {
+		chunkTokens = max
+	}
+	if hist < 0 {
+		hist = 0
+	}
+	if max := c.model.Model.ContextLen - 1 - chunkTokens; hist > max {
+		hist = max
+	}
+	if c.bucket > 1 {
+		hist = bucketOf(hist, c.bucket)
+		if max := c.model.Model.ContextLen - 1 - chunkTokens; hist > max {
+			hist = max
+		}
+	}
+	key := costKey{batch: batch, a: chunkTokens, b: hist}
+	c.mu.RLock()
+	t, ok := c.chunk[key]
+	c.mu.RUnlock()
+	if ok {
+		return t, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.chunk[key]; ok {
+		return t, nil
+	}
+	wl := queryWorkload(c.model, batch, chunkTokens)
+	st, err := trace.PrefillChunkStepInto(wl, hist, c.ops)
+	if err != nil {
+		return 0, err
+	}
+	c.ops = st.Ops[:0]
+	t = c.stepTime(wl, st)
+	if len(c.chunk) >= maxCostEntries {
+		c.chunk = make(map[costKey]float64)
+	}
+	c.chunk[key] = t
+	return t, nil
+}
+
+// stepTime routes one built step trace through the backend's cost model,
+// with the query workload installed. The trace's ops alias the coster's
+// scratch buffer; the cost models read them synchronously and never retain
+// the slice.
+func (c *StepCoster) stepTime(wl trace.Workload, st trace.StepTrace) float64 {
+	if c.isGPU {
+		cfg := c.gpu
+		cfg.Workload = wl
+		return gpuStepTime(cfg, st)
+	}
+	cfg := c.cpu
+	cfg.Workload = wl
+	return cpuStepTime(cfg, st)
+}

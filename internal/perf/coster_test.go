@@ -1,0 +1,318 @@
+package perf
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cllm/internal/dtype"
+	"cllm/internal/hw"
+	"cllm/internal/model"
+	"cllm/internal/tee"
+	"cllm/internal/trace"
+)
+
+func costerCPURun(t *testing.T) CPURun {
+	t.Helper()
+	m, err := model.Lookup("llama2-7b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return CPURun{
+		CPU: hw.EMR1(), Platform: tee.TDX(), Sockets: 1, AMX: true,
+		Workload: trace.Workload{Model: m, Kind: dtype.BF16},
+	}
+}
+
+// exactDecodeTime reproduces the serving scheduler's pre-coster costing
+// path verbatim: build the step trace, flag shared bytes, walk the
+// roofline. The coster at bucket 1 must match it bit for bit.
+func exactDecodeTime(t *testing.T, cfg CPURun, batch, meanCtx, shared int) float64 {
+	t.Helper()
+	wl := trace.Workload{Model: cfg.Workload.Model, Kind: cfg.Workload.Kind,
+		Batch: batch, Beam: 1, InputLen: meanCtx, OutputLen: 1}
+	st, err := trace.DecodeStep(wl, meanCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SharedBytes = float64(shared) * float64(wl.Model.KVCacheBytesPerToken(wl.Kind.Size()))
+	run := cfg
+	run.Workload = wl
+	got, err := CPUStepTime(run, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestStepCosterExactAtBucketOne: with bucket 1 the memoized coster is the
+// identity over the unmemoized cost model — bit-identical float64s for
+// randomized decode and chunk shapes, on first computation and on table
+// hits.
+func TestStepCosterExactAtBucketOne(t *testing.T) {
+	cfg := costerCPURun(t)
+	c, err := NewCPUStepCoster(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		batch := rng.Intn(32) + 1
+		ctx := rng.Intn(3500) + 1
+		shared := 0
+		if rng.Intn(2) == 0 {
+			shared = rng.Intn(ctx)
+		}
+		want := exactDecodeTime(t, cfg, batch, ctx, shared)
+		for pass := 0; pass < 2; pass++ { // miss then hit
+			got, err := c.DecodeTime(batch, ctx, shared)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("DecodeTime(%d,%d,%d) pass %d = %v, want exactly %v", batch, ctx, shared, pass, got, want)
+			}
+		}
+	}
+	for i := 0; i < 200; i++ {
+		batch := rng.Intn(16) + 1
+		chunk := rng.Intn(1024) + 1
+		hist := rng.Intn(1024)
+		wl := trace.Workload{Model: cfg.Workload.Model, Kind: cfg.Workload.Kind,
+			Batch: batch, Beam: 1, InputLen: chunk, OutputLen: 1}
+		run := cfg
+		run.Workload = wl
+		want, err := CPUPrefillChunkTime(run, hist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pass := 0; pass < 2; pass++ {
+			got, err := c.ChunkTime(batch, chunk, hist)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("ChunkTime(%d,%d,%d) pass %d = %v, want exactly %v", batch, chunk, hist, pass, got, want)
+			}
+		}
+	}
+}
+
+// TestStepCosterExactAtBucketOneGPU covers the GPU path's identity.
+func TestStepCosterExactAtBucketOneGPU(t *testing.T) {
+	m, err := model.Lookup("llama2-7b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := GPURun{GPU: hw.H100NVL(), Platform: tee.CGPU(),
+		Workload: trace.Workload{Model: m, Kind: dtype.BF16}}
+	c, err := NewGPUStepCoster(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		batch := rng.Intn(32) + 1
+		ctx := rng.Intn(3500) + 1
+		wl := trace.Workload{Model: m, Kind: dtype.BF16, Batch: batch, Beam: 1, InputLen: ctx, OutputLen: 1}
+		st, err := trace.DecodeStep(wl, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := cfg
+		run.Workload = wl
+		want, err := GPUStepTime(run, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.DecodeTime(batch, ctx, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("GPU DecodeTime(%d,%d) = %v, want exactly %v", batch, ctx, got, want)
+		}
+	}
+}
+
+// TestStepCosterClampsLikeScheduler: out-of-range shapes are clamped the
+// way the serving scheduler clamped them before costing.
+func TestStepCosterClampsLikeScheduler(t *testing.T) {
+	cfg := costerCPURun(t)
+	c, err := NewCPUStepCoster(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := c.DecodeTime(2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := c.DecodeTime(2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low != one {
+		t.Fatalf("ctx 0 should clamp to 1: %v vs %v", low, one)
+	}
+	maxCtx := cfg.Workload.Model.ContextLen - 1
+	over, err := c.DecodeTime(2, maxCtx+500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, err := c.DecodeTime(2, maxCtx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over != at {
+		t.Fatalf("ctx past window should clamp to %d: %v vs %v", maxCtx, over, at)
+	}
+	if _, err := c.DecodeTime(0, 64, 0); err == nil {
+		t.Fatal("batch 0 should error")
+	}
+}
+
+// TestStepCosterBucketedErrorBound: the documented accuracy contract —
+// costing a context at its bucket midpoint keeps the relative error of the
+// modeled decode step time under 5% once ctx >= 8×bucket (only the
+// attention terms scale with context, so the error shrinks as ctx/bucket
+// grows).
+func TestStepCosterBucketedErrorBound(t *testing.T) {
+	cfg := costerCPURun(t)
+	const bucket = 32
+	c, err := NewCPUStepCoster(cfg, bucket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Bucket() != bucket {
+		t.Fatalf("Bucket() = %d, want %d", c.Bucket(), bucket)
+	}
+	rng := rand.New(rand.NewSource(13))
+	worst := 0.0
+	for i := 0; i < 300; i++ {
+		batch := rng.Intn(32) + 1
+		ctx := 8*bucket + rng.Intn(3000)
+		if ctx > cfg.Workload.Model.ContextLen-1 {
+			ctx = cfg.Workload.Model.ContextLen - 1
+		}
+		exact := exactDecodeTime(t, cfg, batch, ctx, 0)
+		got, err := c.DecodeTime(batch, ctx, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(got-exact) / exact
+		if rel > worst {
+			worst = rel
+		}
+		if rel > 0.05 {
+			t.Fatalf("bucket %d, ctx %d, batch %d: relative error %.3f exceeds 5%% (got %v, exact %v)",
+				bucket, ctx, batch, rel, got, exact)
+		}
+	}
+	t.Logf("worst relative error at bucket %d: %.4f", bucket, worst)
+}
+
+// TestStepCosterConcurrentDeterministic: hammering one coster from many
+// goroutines yields the same values a fresh serial coster computes — the
+// memo can only return what the pure cost model produced.
+func TestStepCosterConcurrentDeterministic(t *testing.T) {
+	cfg := costerCPURun(t)
+	shared, err := NewCPUStepCoster(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := NewCPUStepCoster(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type q struct{ batch, ctx int }
+	queries := make([]q, 64)
+	rng := rand.New(rand.NewSource(17))
+	for i := range queries {
+		queries[i] = q{batch: rng.Intn(8) + 1, ctx: rng.Intn(1024) + 1}
+	}
+	var wg sync.WaitGroup
+	got := make([][]float64, 8)
+	for w := 0; w < len(got); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]float64, len(queries))
+			for i, qq := range queries {
+				v, err := shared.DecodeTime(qq.batch, qq.ctx, 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				out[i] = v
+			}
+			got[w] = out
+		}(w)
+	}
+	wg.Wait()
+	for i, qq := range queries {
+		want, err := serial.DecodeTime(qq.batch, qq.ctx, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w := range got {
+			if got[w][i] != want {
+				t.Fatalf("worker %d query %d: %v != serial %v", w, i, got[w][i], want)
+			}
+		}
+	}
+}
+
+// TestStepCosterBucketKeepsSmallValuesExact: values inside the first
+// bucket — above all, zero shared tokens and zero cached history — must
+// pass through bucketing unchanged, so a bucketed coster with a feature
+// off costs exactly like the unbucketed model does for those shapes.
+func TestStepCosterBucketKeepsSmallValuesExact(t *testing.T) {
+	cfg := costerCPURun(t)
+	const bucket = 32
+	c, err := NewCPUStepCoster(cfg, bucket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < bucket; v++ {
+		ctx := v
+		if ctx < 1 {
+			ctx = 1 // DecodeTime clamps ctx to >= 1 before bucketing
+		}
+		want := exactDecodeTime(t, cfg, 2, ctx, 0)
+		got, err := c.DecodeTime(2, v, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("bucketed DecodeTime(2,%d,0) = %v, want exact %v (first bucket must be identity)", v, got, want)
+		}
+	}
+	// sharedTokens = 0 with a large context must not grow phantom shared
+	// bytes: the bucketed cost with shared=0 equals the exact cost at the
+	// bucketed context with shared=0.
+	ctx := 16 * bucket
+	want := exactDecodeTime(t, cfg, 4, bucketOf(ctx, bucket), 0)
+	got, err := c.DecodeTime(4, ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("shared=0 grew phantom shared tokens: %v vs %v", got, want)
+	}
+	// Zero cached history likewise stays zero for chunk costing.
+	wl := trace.Workload{Model: cfg.Workload.Model, Kind: cfg.Workload.Kind, Batch: 2, Beam: 1, InputLen: 128, OutputLen: 1}
+	run := cfg
+	run.Workload = wl
+	wantChunk, err := CPUPrefillChunkTime(run, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotChunk, err := c.ChunkTime(2, 128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotChunk != wantChunk {
+		t.Fatalf("hist=0 chunk cost %v, want exact %v", gotChunk, wantChunk)
+	}
+}

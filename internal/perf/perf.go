@@ -187,17 +187,23 @@ func spanFactor(cfg CPURun) float64 {
 	return f
 }
 
-// cpuOpTimes returns the modeled duration of every operator in the step.
-func cpuOpTimes(cfg CPURun, st trace.StepTrace) []float64 {
+// cpuStepParams holds the step-level factors shared by every operator of
+// one step: roofline inputs plus the TLB/EPC penalties derived from the
+// step's resident working set. Computing them once lets the per-op cost be
+// evaluated without allocating (cpuStepTime) or materialized per op
+// (cpuOpTimes) from the same arithmetic.
+type cpuStepParams struct {
+	flops, bw, remote, upi float64
+	tlb, epcFactor         float64
+	perOp                  float64
+}
+
+func newCPUStepParams(cfg CPURun, st trace.StepTrace) cpuStepParams {
 	p := cfg.Platform
 	flops := cfg.CPU.SocketFlops(cfg.Workload.Kind, cfg.AMX, cfg.CoresPerSocket) * float64(cfg.Sockets) * cfg.BackendEfficiency
 	if st.Phase == trace.Prefill {
 		flops *= hw.CPUPrefillEfficiency
 	}
-	bw := effectiveMemBW(cfg)
-	remote := mem.RemoteFraction(p.NUMA, cfg.Sockets) * spanFactor(cfg)
-	upi := cfg.CPU.UPIBandwidth * p.UPIFactor()
-
 	// Step-level working set drives TLB pressure: each step streams the
 	// weights plus the KV cache, evicting translations continuously.
 	// Cross-row re-reads of shared prefix pages (st.SharedBytes) are
@@ -207,36 +213,55 @@ func cpuOpTimes(cfg CPURun, st trace.StepTrace) []float64 {
 	if ws < 0 {
 		ws = 0
 	}
-	tlb := mem.TLBPenalty(ws, p.Pages, cfg.CPU.DTLBEntries, p.PageWalkAmp)
-	epcFactor := p.EPC.PagingPenalty(ws)
+	return cpuStepParams{
+		flops:     flops,
+		bw:        effectiveMemBW(cfg),
+		remote:    mem.RemoteFraction(p.NUMA, cfg.Sockets) * spanFactor(cfg),
+		upi:       cfg.CPU.UPIBandwidth * p.UPIFactor(),
+		tlb:       mem.TLBPenalty(ws, p.Pages, cfg.CPU.DTLBEntries, p.PageWalkAmp),
+		epcFactor: p.EPC.PagingPenalty(ws),
+		perOp:     hw.CPUOpDispatchSec + p.PerOpCostSec,
+	}
+}
 
+// opTime costs one operator under the step's shared factors.
+func (sp cpuStepParams) opTime(op trace.Op) float64 {
+	computeT := 0.0
+	if sp.flops > 0 {
+		computeT = op.FLOPs / sp.flops
+	}
+	bytes := op.Bytes()
+	memT := bytes * (1 - sp.remote) / sp.bw
+	if sp.remote > 0 && sp.upi > 0 {
+		memT += bytes * sp.remote / sp.upi
+	}
+	memT *= (1 + sp.tlb) * sp.epcFactor
+	opT := computeT
+	if memT > opT {
+		opT = memT
+	}
+	return opT + sp.perOp
+}
+
+// cpuOpTimes returns the modeled duration of every operator in the step.
+func cpuOpTimes(cfg CPURun, st trace.StepTrace) []float64 {
+	sp := newCPUStepParams(cfg, st)
 	out := make([]float64, len(st.Ops))
 	for i, op := range st.Ops {
-		computeT := 0.0
-		if flops > 0 {
-			computeT = op.FLOPs / flops
-		}
-		bytes := op.Bytes()
-		memT := bytes * (1 - remote) / bw
-		if remote > 0 && upi > 0 {
-			memT += bytes * remote / upi
-		}
-		memT *= (1 + tlb) * epcFactor
-		opT := computeT
-		if memT > opT {
-			opT = memT
-		}
-		out[i] = opT + hw.CPUOpDispatchSec + p.PerOpCostSec
+		out[i] = sp.opTime(op)
 	}
 	return out
 }
 
-// cpuStepTime costs one step trace on the CPU configuration.
+// cpuStepTime costs one step trace on the CPU configuration. It is the
+// serving scheduler's innermost loop (once per operator per iteration), so
+// it sums op times directly instead of materializing the cpuOpTimes slice.
 func cpuStepTime(cfg CPURun, st trace.StepTrace) float64 {
 	p := cfg.Platform
+	sp := newCPUStepParams(cfg, st)
 	var total float64
-	for _, t := range cpuOpTimes(cfg, st) {
-		total += t
+	for _, op := range st.Ops {
+		total += sp.opTime(op)
 	}
 	// Per-sequence framework overhead (sampling, cache management).
 	total += hw.CPUPerSeqStepCost * float64(cfg.Workload.Rows())

@@ -1,0 +1,69 @@
+package serve
+
+// reqDeque is a ring-buffer deque of request states: the scheduler's wait
+// queue. Arrivals push at the back, admission pops from the front, and
+// preemption pushes the victim back at the front — all O(1). The previous
+// slice-based queue paid an O(n) copy on every preemption
+// (append([]*reqState{r}, queue...)) and leaked head capacity on every
+// admission (queue = queue[1:]), both of which scale with backlog depth in
+// exactly the overloaded runs the simulator exists to measure.
+type reqDeque struct {
+	buf  []*reqState
+	head int
+	n    int
+}
+
+// Len returns the number of queued requests.
+func (d *reqDeque) Len() int { return d.n }
+
+// Front returns the oldest queued request without removing it; nil when
+// empty.
+func (d *reqDeque) Front() *reqState {
+	if d.n == 0 {
+		return nil
+	}
+	return d.buf[d.head]
+}
+
+// PushBack appends a request at the tail.
+func (d *reqDeque) PushBack(r *reqState) {
+	d.grow()
+	d.buf[(d.head+d.n)%len(d.buf)] = r
+	d.n++
+}
+
+// PushFront prepends a request at the head (preempted requests rejoin here).
+func (d *reqDeque) PushFront(r *reqState) {
+	d.grow()
+	d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
+	d.buf[d.head] = r
+	d.n++
+}
+
+// PopFront removes and returns the oldest queued request; nil when empty.
+func (d *reqDeque) PopFront() *reqState {
+	if d.n == 0 {
+		return nil
+	}
+	r := d.buf[d.head]
+	d.buf[d.head] = nil // release for GC
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
+	return r
+}
+
+// grow doubles the ring when full, unwrapping it into the new buffer.
+func (d *reqDeque) grow() {
+	if d.n < len(d.buf) {
+		return
+	}
+	size := 2 * len(d.buf)
+	if size == 0 {
+		size = 8
+	}
+	buf := make([]*reqState, size)
+	for i := 0; i < d.n; i++ {
+		buf[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf, d.head = buf, 0
+}

@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"cllm/internal/dtype"
+	"cllm/internal/mem"
+	"cllm/internal/tee"
+	"cllm/internal/trace"
+)
+
+// TestReqDeque exercises the ring buffer through wraps and growth in both
+// directions.
+func TestReqDeque(t *testing.T) {
+	mk := func(id int) *reqState { return &reqState{req: Request{ID: id}} }
+	var d reqDeque
+	if d.Len() != 0 || d.Front() != nil || d.PopFront() != nil {
+		t.Fatal("empty deque misbehaves")
+	}
+	// Interleave pushes and pops so head walks around the ring while the
+	// buffer grows.
+	var want []int
+	for i := 0; i < 100; i++ {
+		d.PushBack(mk(i))
+		want = append(want, i)
+		if i%3 == 0 {
+			d.PushFront(mk(1000 + i))
+			want = append([]int{1000 + i}, want...)
+		}
+		if i%5 == 0 {
+			got := d.PopFront()
+			if got.req.ID != want[0] {
+				t.Fatalf("pop %d, want %d", got.req.ID, want[0])
+			}
+			want = want[1:]
+		}
+	}
+	if d.Len() != len(want) {
+		t.Fatalf("len %d, want %d", d.Len(), len(want))
+	}
+	if d.Front().req.ID != want[0] {
+		t.Fatalf("front %d, want %d", d.Front().req.ID, want[0])
+	}
+	for _, id := range want {
+		if got := d.PopFront().req.ID; got != id {
+			t.Fatalf("drain pop %d, want %d", got, id)
+		}
+	}
+	if d.Len() != 0 {
+		t.Fatalf("deque not drained: %d left", d.Len())
+	}
+}
+
+// preemptionHeavyConfig is a KV-starved deployment — the EPC caps the pool
+// at a few requests' worth of KV — that forces repeated youngest-victim
+// preemption under a fast open-loop burst.
+func preemptionHeavyConfig() (Backend, Config) {
+	m := tinyModel()
+	wl := trace.Workload{Model: m, Kind: dtype.BF16, InputLen: 64, OutputLen: 32}
+	p := tee.Baremetal()
+	p.Name = "tiny-enclave"
+	p.EPC = mem.EPC{
+		Size:             int64(trace.WeightFootprint(wl)) + 160*m.KVCacheBytesPerToken(2),
+		PageInCostFactor: 1,
+	}
+	cfg := Config{Workload: wl, Rate: 50, Requests: 32, Seed: 3, BlockTokens: 16, LengthJitter: -1}
+	return cpuBackend(p), cfg
+}
+
+// TestPreemptionKeepsFIFOAdmitOrder is the deque-switch regression test:
+// a preemption-heavy run must admit requests first-come-first-served —
+// preempted requests rejoin the queue front without reshuffling anyone's
+// first admission — and produce the identical audit trail on every run.
+func TestPreemptionKeepsFIFOAdmitOrder(t *testing.T) {
+	be, cfg := preemptionHeavyConfig()
+	rep, order, err := RunAudited(be, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Preemptions == 0 {
+		t.Fatal("config exercised no preemptions; regression test is vacuous")
+	}
+	// Synthetic Poisson arrivals get ascending IDs in arrival order, so
+	// FIFO first-admission means the audit trail is strictly ascending.
+	if !sort.IntsAreSorted([]int(order)) {
+		t.Fatalf("admission order not FIFO under preemption: %v", order)
+	}
+	rep2, order2, err := RunAudited(be, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order, order2) {
+		t.Fatalf("admit order not deterministic: %v vs %v", order, order2)
+	}
+	if !reflect.DeepEqual(rep, rep2) {
+		t.Fatal("preemption-heavy run not deterministic")
+	}
+}
+
+// TestSizeFleetForSLOParallelMatchesSerial: the speculative parallel sizing
+// must return the byte-identical size and report the serial search finds.
+func TestSizeFleetForSLOParallelMatchesSerial(t *testing.T) {
+	be := cpuBackend(tee.TDX())
+	cfg := tinyConfig(12, 32)
+	cfg.TTFTSLOSec, cfg.TPOTSLOSec = 2, 0.5
+	nSerial, repSerial, err := SizeFleetForSLO(be, cfg, LeastLoaded, 0.9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nPar, repPar, err := SizeFleetForSLOParallel(be, cfg, LeastLoaded, 0.9, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nSerial != nPar {
+		t.Fatalf("parallel sizing picked %d replicas, serial %d", nPar, nSerial)
+	}
+	if !reflect.DeepEqual(repSerial, repPar) {
+		t.Fatalf("parallel fleet report differs from serial:\n%+v\nvs\n%+v", repPar.Aggregate, repSerial.Aggregate)
+	}
+}
+
+// TestSharedCosterDoesNotPerturbRuns: a run costing through a pre-warmed
+// shared table equals a run building its own — memoization is invisible in
+// the results.
+func TestSharedCosterDoesNotPerturbRuns(t *testing.T) {
+	be := cpuBackend(tee.TDX())
+	cfg := tinyConfig(10, 24)
+	fresh, err := Run(be, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coster, err := NewStepCoster(be, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be.Coster = coster
+	warm1, err := Run(be, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm2, err := Run(be, cfg) // second run hits the table everywhere
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, warm1) || !reflect.DeepEqual(fresh, warm2) {
+		t.Fatal("shared costing table changed run results")
+	}
+}
+
+// TestCostBucketApproximatesExact: a coarsely bucketed run still completes
+// the offered load with per-request latencies near the exact run's — the
+// bucketing knob trades bounded accuracy, not correctness.
+func TestCostBucketApproximatesExact(t *testing.T) {
+	be := cpuBackend(tee.TDX())
+	exactCfg := tinyConfig(10, 24)
+	bucketCfg := exactCfg
+	bucketCfg.CostBucket = 32
+	exact, err := Run(be, exactCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bucketed, err := Run(be, bucketCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bucketed.Completed != exact.Completed || bucketed.Dropped != exact.Dropped {
+		t.Fatalf("bucketed run changed outcomes: %d/%d vs %d/%d completed/dropped",
+			bucketed.Completed, bucketed.Dropped, exact.Completed, exact.Dropped)
+	}
+	if exact.TTFT.Mean <= 0 {
+		t.Fatal("degenerate exact run")
+	}
+	rel := (bucketed.TTFT.Mean - exact.TTFT.Mean) / exact.TTFT.Mean
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 0.10 {
+		t.Fatalf("bucketed mean TTFT off by %.1f%% (bucketed %.4fs, exact %.4fs)", rel*100, bucketed.TTFT.Mean, exact.TTFT.Mean)
+	}
+}
+
+// TestSizeFleetForSLOPreservesJitterSentinel: sizing must not normalize
+// the caller's config before handing it to RunFleet — normalize is not
+// idempotent for sentinel values (LengthJitter < 0 means "disabled"; one
+// pass maps it to 0, a second would map 0 to the 0.25 default). The sized
+// report must equal running the chosen fleet directly.
+func TestSizeFleetForSLOPreservesJitterSentinel(t *testing.T) {
+	be := cpuBackend(tee.Baremetal())
+	cfg := tinyConfig(8, 24)
+	cfg.LengthJitter = -1 // fixed-length requests
+	n, sized, err := SizeFleetForSLO(be, cfg, LeastLoaded, 0.9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := RunFleet(be, cfg, FleetConfig{Replicas: n, Policy: LeastLoaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sized, direct) {
+		t.Fatalf("sized report differs from direct run of %d replicas — config was mutated before RunFleet", n)
+	}
+}
+
+// TestMismatchedCosterRejected: a shared costing table built for a
+// different model must fail the run loudly instead of silently pricing it
+// with the wrong operator traces.
+func TestMismatchedCosterRejected(t *testing.T) {
+	be := cpuBackend(tee.Baremetal())
+	tinyCfg := tinyConfig(10, 8)
+	coster, err := NewStepCoster(be, tinyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be.Coster = coster
+	if _, err := Run(be, tinyCfg); err != nil {
+		t.Fatalf("matching coster rejected: %v", err)
+	}
+	bigCfg := tinyCfg
+	bigCfg.Workload.Model = mustLookup(t, "llama2-7b")
+	if _, err := Run(be, bigCfg); err == nil {
+		t.Fatal("mismatched coster accepted — run would be priced with the wrong model's traces")
+	}
+	bucketCfg := tinyCfg
+	bucketCfg.CostBucket = 32
+	if _, err := Run(be, bucketCfg); err == nil {
+		t.Fatal("mismatched cost bucket accepted")
+	}
+}

@@ -3,9 +3,12 @@ package serve
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
+	"sync"
 
 	"cllm/internal/cloud"
+	"cllm/internal/par"
 	"cllm/internal/sim"
 )
 
@@ -114,6 +117,16 @@ func RunFleet(be Backend, cfg Config, fc FleetConfig) (*FleetReport, error) {
 	}
 	if !be.IsGPU && be.CPU.Sockets <= 0 {
 		be.CPU.Sockets = 1
+	}
+	if be.Coster == nil {
+		// All replicas run the same backend and model: share one costing
+		// table so an iteration shape costed on one replica is a table hit
+		// on every other.
+		coster, err := NewStepCoster(be, cfg)
+		if err != nil {
+			return nil, err
+		}
+		be.Coster = coster
 	}
 	eng := sim.NewEngine()
 	reps := make([]*scheduler, fc.Replicas)
@@ -288,47 +301,74 @@ func MergeReports(offeredRate float64, reps []*Report) *Report {
 // report. This answers the sizing question by simulation — replica
 // interference, dispatch skew and prefix-cache locality included — where
 // cloud.ReplicasForRate only extrapolates from one replica's rate. It
-// fails if even maxReplicas cannot reach the target.
+// fails if even maxReplicas cannot reach the target. It evaluates
+// candidates serially; SizeFleetForSLOParallel spreads them over a worker
+// pool with a byte-identical result.
+func SizeFleetForSLO(be Backend, cfg Config, policy LBPolicy, target float64, maxReplicas int) (int, *FleetReport, error) {
+	return SizeFleetForSLOParallel(be, cfg, policy, target, maxReplicas, 1)
+}
+
+// SizeFleetForSLOParallel is SizeFleetForSLO evaluating candidate fleet
+// sizes on up to workers concurrent goroutines (workers <= 0 means
+// runtime.NumCPU(); 1 is the serial path).
 //
 // Attainment is treated as monotone in the fleet size (more replicas never
 // hurt a load-balanced fleet), so the search probes exponentially
 // (1, 2, 4, ...) until a passing size brackets the answer, then binary
 // searches the bracket — O(log maxReplicas) simulations instead of the
-// linear scan, which is what keeps sizing sweeps over workload scenarios
-// affordable.
-func SizeFleetForSLO(be Backend, cfg Config, policy LBPolicy, target float64, maxReplicas int) (int, *FleetReport, error) {
+// linear scan. Parallelism only *prefetches*: candidate runs are memoized
+// and the serial search logic replays over the memo, so the chosen size,
+// the returned report and any error are byte-identical to workers=1 —
+// every candidate simulation is independently seeded from cfg.Seed and
+// RunFleet is deterministic. The speculative ladder and bracket interior
+// cost extra simulations but collapse the sweep's wall clock to about two
+// waves; all candidates share one memoized step-costing table, so most of
+// each speculative run's iteration shapes are table hits.
+func SizeFleetForSLOParallel(be Backend, cfg Config, policy LBPolicy, target float64, maxReplicas, workers int) (int, *FleetReport, error) {
 	if target <= 0 || target > 1 {
 		return 0, nil, fmt.Errorf("serve: SLO attainment target %g outside (0, 1]", target)
 	}
 	if maxReplicas <= 0 {
 		maxReplicas = 16
 	}
-	// best is always the report of the smallest passing size found so far
-	// (the current hi); failing runs are discarded immediately.
-	var best *FleetReport
-	passes := func(n int) (bool, error) {
-		rep, err := RunFleet(be, cfg, FleetConfig{Replicas: n, Policy: policy})
-		if err != nil {
-			return false, err
-		}
-		if rep.SLOAttainment() >= target {
-			best = rep
-			return true, nil
-		}
-		return false, nil
+	if workers <= 0 {
+		workers = runtime.NumCPU()
 	}
+	// Do NOT normalize cfg here: each RunFleet candidate normalizes its own
+	// copy, and normalizing twice is not idempotent for sentinel values
+	// (LengthJitter < 0 means "disabled", which one pass maps to 0 and a
+	// second pass would map to the 0.25 default). NewStepCoster needs only
+	// the model/datatype/bucket fields, which normalization never touches.
+	if be.Coster == nil {
+		coster, err := NewStepCoster(be, cfg)
+		if err != nil {
+			return 0, nil, err
+		}
+		be.Coster = coster
+	}
+	ev := &fleetEvaluator{be: be, cfg: cfg, policy: policy, workers: workers, memo: map[int]sizeOutcome{}}
 
-	// Exponential probe: first passing size, doubling up to maxReplicas.
-	lo, hi := 0, 0 // largest known-failing, smallest known-passing
+	// Exponential probe ladder: first passing size, doubling up to
+	// maxReplicas. The whole ladder is speculated concurrently; the serial
+	// consumption below decides bracket and errors exactly as workers=1.
+	ladder := make([]int, 0, 8)
 	for n := 1; ; n *= 2 {
 		if n > maxReplicas {
 			n = maxReplicas
 		}
-		ok, err := passes(n)
+		ladder = append(ladder, n)
+		if n == maxReplicas {
+			break
+		}
+	}
+	ev.prefetch(ladder)
+	lo, hi := 0, 0 // largest known-failing, smallest known-passing
+	for _, n := range ladder {
+		rep, err := ev.eval(n)
 		if err != nil {
 			return 0, nil, err
 		}
-		if ok {
+		if rep.SLOAttainment() >= target {
 			hi = n
 			break
 		}
@@ -338,18 +378,108 @@ func SizeFleetForSLO(be Backend, cfg Config, policy LBPolicy, target float64, ma
 		}
 	}
 
-	// Binary search (lo, hi]: lo fails, hi passes.
+	// Binary search (lo, hi]: lo fails, hi passes. Speculate the top levels
+	// of the midpoint tree — every candidate the search can reach in its
+	// first few probes — but never more than ~2×workers of them: the search
+	// only visits O(log(hi-lo)) sizes, so flooding the whole interior would
+	// burn far more simulations than the serial path for wide brackets.
+	if hi-lo > 2 && workers > 1 {
+		type bracket struct{ lo, hi int }
+		frontier := []bracket{{lo, hi}}
+		var cands []int
+		for len(frontier) > 0 && len(cands) < 2*workers {
+			next := frontier[:0:0]
+			for _, b := range frontier {
+				if b.hi-b.lo <= 1 {
+					continue
+				}
+				mid := b.lo + (b.hi-b.lo)/2
+				cands = append(cands, mid)
+				next = append(next, bracket{b.lo, mid}, bracket{mid, b.hi})
+			}
+			frontier = next
+		}
+		ev.prefetch(cands)
+	}
 	for hi-lo > 1 {
 		mid := lo + (hi-lo)/2
-		ok, err := passes(mid)
+		rep, err := ev.eval(mid)
 		if err != nil {
 			return 0, nil, err
 		}
-		if ok {
+		if rep.SLOAttainment() >= target {
 			hi = mid
 		} else {
 			lo = mid
 		}
 	}
-	return hi, best, nil
+	rep, err := ev.eval(hi)
+	if err != nil {
+		return 0, nil, err
+	}
+	return hi, rep, nil
+}
+
+// sizeOutcome is one memoized candidate evaluation.
+type sizeOutcome struct {
+	rep *FleetReport
+	err error
+}
+
+// fleetEvaluator memoizes RunFleet per candidate size so the search logic
+// can replay serially over results computed in any (possibly concurrent)
+// order.
+type fleetEvaluator struct {
+	be      Backend
+	cfg     Config
+	policy  LBPolicy
+	workers int
+
+	mu   sync.Mutex
+	memo map[int]sizeOutcome
+}
+
+func (e *fleetEvaluator) run(n int) sizeOutcome {
+	rep, err := RunFleet(e.be, e.cfg, FleetConfig{Replicas: n, Policy: e.policy})
+	return sizeOutcome{rep: rep, err: err}
+}
+
+// eval returns the candidate's outcome, computing it on demand.
+func (e *fleetEvaluator) eval(n int) (*FleetReport, error) {
+	e.mu.Lock()
+	out, ok := e.memo[n]
+	e.mu.Unlock()
+	if !ok {
+		out = e.run(n)
+		e.mu.Lock()
+		e.memo[n] = out
+		e.mu.Unlock()
+	}
+	return out.rep, out.err
+}
+
+// prefetch speculatively evaluates candidates on the worker pool. A no-op
+// when serial — the lazy eval path then matches the classic algorithm's
+// work exactly. First store wins on a racing duplicate; both goroutines
+// compute identical outcomes, so the choice is immaterial.
+func (e *fleetEvaluator) prefetch(ns []int) {
+	if e.workers <= 1 {
+		return
+	}
+	_ = par.For(e.workers, len(ns), func(j int) error {
+		n := ns[j]
+		e.mu.Lock()
+		_, done := e.memo[n]
+		e.mu.Unlock()
+		if done {
+			return nil
+		}
+		out := e.run(n)
+		e.mu.Lock()
+		if _, done := e.memo[n]; !done {
+			e.memo[n] = out
+		}
+		e.mu.Unlock()
+		return nil
+	})
 }

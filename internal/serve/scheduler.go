@@ -8,7 +8,6 @@ import (
 	"cllm/internal/hw"
 	"cllm/internal/perf"
 	"cllm/internal/sim"
-	"cllm/internal/trace"
 )
 
 // phase is a request's lifecycle state.
@@ -63,15 +62,24 @@ type chunkWork struct {
 // exhaustion preempts the youngest sequence. Several schedulers can share
 // one engine (see RunFleet); each owns its queue, KV pool and noise stream.
 type scheduler struct {
-	cfg   Config
-	be    Backend
-	eng   *sim.Engine
-	noise *sim.Noise
-	kv    *BlockManager
+	cfg    Config
+	be     Backend
+	eng    *sim.Engine
+	noise  *sim.Noise
+	kv     *BlockManager
+	coster *perf.StepCoster
 
-	queue     []*reqState // FIFO; preempted requests rejoin at the front
+	queue     reqDeque    // FIFO; preempted requests rejoin at the front
 	running   []*reqState // admission order (index 0 = oldest)
 	iterating bool
+
+	// Per-iteration scratch, reused across iterations: the iterating flag
+	// guarantees at most one round is in flight per scheduler, so the slices
+	// built by iterate are stable until finishIteration consumes them.
+	chunks   []chunkWork
+	decoding []*reqState
+	idBuf    []int
+	finishFn func(*sim.Engine) // cached closure; one alloc per scheduler, not per round
 
 	admitCount  int
 	admitOrder  []int // request IDs in admission order (test audit)
@@ -85,7 +93,8 @@ type scheduler struct {
 
 // newScheduler builds one replica's scheduler on the given engine. cfg must
 // already be normalized and the backend socket-defaulted; the noise stream
-// is owned by this replica.
+// is owned by this replica. The step coster is be.Coster when the caller
+// shares one across replicas (RunFleet, fleet sizing), otherwise private.
 func newScheduler(be Backend, cfg Config, eng *sim.Engine, noise *sim.Noise) (*scheduler, error) {
 	kvBudget, err := be.KVBudgetBytes(cfg.Workload)
 	if err != nil {
@@ -96,18 +105,32 @@ func newScheduler(be Backend, cfg Config, eng *sim.Engine, noise *sim.Noise) (*s
 	if err != nil {
 		return nil, err
 	}
-	return &scheduler{cfg: cfg, be: be, eng: eng, noise: noise, kv: kv}, nil
+	coster := be.Coster
+	if coster == nil {
+		coster, err = NewStepCoster(be, cfg)
+		if err != nil {
+			return nil, err
+		}
+	} else if !coster.CompatibleWith(cfg.Workload.Model, cfg.Workload.Kind, cfg.CostBucket) {
+		// A shared table built for another model/datatype/bucket would
+		// silently price this run with the wrong operator traces.
+		return nil, fmt.Errorf("serve: shared step coster was built for a different model/datatype/cost-bucket than %s/%s/bucket %d",
+			cfg.Workload.Model.Name, cfg.Workload.Kind, cfg.CostBucket)
+	}
+	s := &scheduler{cfg: cfg, be: be, eng: eng, noise: noise, kv: kv, coster: coster}
+	s.finishFn = func(*sim.Engine) { s.finishIteration() }
+	return s, nil
 }
 
 // submit enqueues an arrived request and wakes the iteration loop.
 func (s *scheduler) submit(st *reqState) {
-	s.queue = append(s.queue, st)
+	s.queue.PushBack(st)
 	s.kick()
 }
 
 // outstanding is the replica's current load: queued plus running requests.
 // Load balancers use it for least-loaded dispatch.
-func (s *scheduler) outstanding() int { return len(s.queue) + len(s.running) }
+func (s *scheduler) outstanding() int { return s.queue.Len() + len(s.running) }
 
 // Run executes one serving simulation.
 func Run(be Backend, cfg Config) (*Report, error) {
@@ -261,7 +284,7 @@ func (s *scheduler) kick() {
 	if s.iterating {
 		return
 	}
-	if len(s.running) == 0 && len(s.queue) == 0 {
+	if len(s.running) == 0 && s.queue.Len() == 0 {
 		return
 	}
 	s.iterating = true
@@ -284,7 +307,7 @@ func (s *scheduler) iterate() {
 	// (unlimited) prefills.
 	budget := s.cfg.ChunkTokens
 	chunked := budget > 0
-	var chunks []chunkWork
+	chunks := s.chunks[:0]
 
 	// 1. Prefill continuation pass (oldest first). A sequence that cannot
 	// grow its cache preempts the youngest running sequence, possibly
@@ -333,7 +356,7 @@ func (s *scheduler) iterate() {
 	// running sequence (vLLM's recompute policy): release its blocks and
 	// requeue it at the front, where it will re-prefill its full context
 	// later (shared prefix blocks may still be cached then).
-	decoding := make([]*reqState, 0, len(s.running))
+	decoding := s.decoding[:0]
 	for i := 0; i < len(s.running); {
 		r := s.running[i]
 		if r.prefilling() {
@@ -358,11 +381,11 @@ func (s *scheduler) iterate() {
 	// 3. Admission pass (FIFO): fill remaining batch slots while chunk
 	// budget and the pool allow. A request that cannot fit even an empty
 	// pool is dropped — no amount of waiting makes the enclave bigger.
-	for len(s.queue) > 0 && len(s.running) < s.cfg.MaxBatch {
-		head := s.queue[0]
+	for s.queue.Len() > 0 && len(s.running) < s.cfg.MaxBatch {
+		head := s.queue.Front()
 		target := head.ctxTokens() // prompt plus pre-preemption tokens to re-prefill
 		if s.kv.BlocksFor(target+1) > s.kv.TotalBlocks() {
-			s.queue = s.queue[1:]
+			s.queue.PopFront()
 			head.phase = phaseDropped
 			s.dropped = append(s.dropped, head)
 			continue
@@ -383,6 +406,7 @@ func (s *scheduler) iterate() {
 			if err != nil {
 				s.err = err
 				s.iterating = false
+				s.chunks, s.decoding = chunks, decoding
 				return
 			}
 			cached = c
@@ -400,7 +424,7 @@ func (s *scheduler) iterate() {
 			break
 		}
 		s.kv.creditPrefixStats(head.req.ID, cached)
-		s.queue = s.queue[1:]
+		s.queue.PopFront()
 		if head.phase == phaseWaiting && head.preemptions == 0 {
 			head.admittedAt = now
 			head.admitSeq = s.admitCount
@@ -423,6 +447,7 @@ func (s *scheduler) iterate() {
 		// blocks are free (cached blocks evict on demand), so a non-fitting
 		// queue head was dropped above — no livelock.
 		s.iterating = false
+		s.chunks, s.decoding = chunks, decoding
 		return
 	}
 
@@ -433,10 +458,11 @@ func (s *scheduler) iterate() {
 	// one decode step share the round. (Stalled decodes keep their grown
 	// block for the next round.)
 	if !chunked && len(chunks) > 0 {
-		decoding = nil
+		decoding = decoding[:0]
 	}
 
 	dur, err := s.iterationTime(decoding, chunks)
+	s.chunks, s.decoding = chunks, decoding
 	if err != nil {
 		// A costing failure is a configuration bug (e.g. more sockets than
 		// the CPU has); halt the loop and fail the whole run.
@@ -445,9 +471,7 @@ func (s *scheduler) iterate() {
 		return
 	}
 	dur = s.noise.Sample(dur, s.be.protected())
-	s.eng.Schedule(sim.Time(dur), func(*sim.Engine) {
-		s.finishIteration(decoding, chunks)
-	})
+	s.eng.Schedule(sim.Time(dur), s.finishFn)
 }
 
 // dropChunk cancels a preempted sequence's chunk work for this iteration.
@@ -461,11 +485,19 @@ func dropChunk(chunks []chunkWork, victim *reqState) []chunkWork {
 }
 
 // preempt releases a running sequence's cache and requeues it at the front.
+// The victim is always the youngest running sequence (vLLM's recompute
+// policy), i.e. the tail of the admission-ordered running slice — an O(1)
+// pop; the scan below is a safety net for any other caller.
 func (s *scheduler) preempt(r *reqState) {
-	for i, cand := range s.running {
-		if cand == r {
-			s.running = append(s.running[:i], s.running[i+1:]...)
-			break
+	if n := len(s.running); n > 0 && s.running[n-1] == r {
+		s.running[n-1] = nil // release for GC; append will overwrite
+		s.running = s.running[:n-1]
+	} else {
+		for i, cand := range s.running {
+			if cand == r {
+				s.running = append(s.running[:i], s.running[i+1:]...)
+				break
+			}
 		}
 	}
 	s.kv.Release(r.req.ID)
@@ -474,7 +506,7 @@ func (s *scheduler) preempt(r *reqState) {
 	r.prefillTarget = 0
 	r.preemptions++
 	s.preemptions++
-	s.queue = append([]*reqState{r}, s.queue...)
+	s.queue.PushFront(r)
 }
 
 // iterationTime costs one scheduling round with the mechanistic roofline:
@@ -510,77 +542,40 @@ func (s *scheduler) iterationTime(decoding []*reqState, chunks []chunkWork) (flo
 	return total, nil
 }
 
-// decodeTime costs one decode step over the running batch. KV traffic is
-// linear in total context, so costing at the mean context length is exact
-// for the memory-bound path. When prefix sharing is on, repeat reads of
-// shared blocks are flagged so the roofline's TLB/enclave working set
-// counts each shared page once.
+// decodeTime costs one decode step over the running batch via the memoized
+// step coster. KV traffic is linear in total context, so costing at the
+// mean context length is exact for the memory-bound path. When prefix
+// sharing is on, repeat reads of shared blocks are flagged so the
+// roofline's TLB/enclave working set counts each shared page once.
 func (s *scheduler) decodeTime(decoding []*reqState) (float64, error) {
 	ctx := 0
-	ids := make([]int, len(decoding))
-	for i, r := range decoding {
+	for _, r := range decoding {
 		ctx += r.ctxTokens()
-		ids[i] = r.req.ID
 	}
 	meanCtx := (ctx + len(decoding) - 1) / len(decoding)
-	if meanCtx < 1 {
-		meanCtx = 1
+	shared := 0
+	if s.cfg.PrefixSharing {
+		ids := s.idBuf[:0]
+		for _, r := range decoding {
+			ids = append(ids, r.req.ID)
+		}
+		s.idBuf = ids
+		shared = s.kv.DedupSavedTokens(ids)
 	}
-	if max := s.cfg.Workload.Model.ContextLen - 1; meanCtx > max {
-		meanCtx = max
-	}
-	wl := trace.Workload{
-		Model: s.cfg.Workload.Model, Kind: s.cfg.Workload.Kind,
-		Batch: len(decoding), Beam: 1, InputLen: meanCtx, OutputLen: 1,
-	}
-	st, err := trace.DecodeStep(wl, meanCtx)
-	if err != nil {
-		return 0, err
-	}
-	bytesPerToken := s.cfg.Workload.Model.KVCacheBytesPerToken(s.cfg.Workload.Kind.Size())
-	st.SharedBytes = float64(s.kv.DedupSavedTokens(ids)) * float64(bytesPerToken)
-	if s.be.IsGPU {
-		cfg := s.be.GPU
-		cfg.Workload = wl
-		return perf.GPUStepTime(cfg, st)
-	}
-	cfg := s.be.CPU
-	cfg.Workload = wl
-	return perf.CPUStepTime(cfg, st)
+	return s.coster.DecodeTime(len(decoding), meanCtx, shared)
 }
 
 // chunkTime costs a batched prefill-chunk step: batch rows each computing
 // chunk new prompt tokens over hist cached ones.
 func (s *scheduler) chunkTime(batch, chunk, hist int) (float64, error) {
-	if chunk < 1 {
-		chunk = 1
-	}
-	if max := s.cfg.Workload.Model.ContextLen - 1; chunk > max {
-		chunk = max
-	}
-	if hist < 0 {
-		hist = 0
-	}
-	if max := s.cfg.Workload.Model.ContextLen - 1 - chunk; hist > max {
-		hist = max
-	}
-	wl := trace.Workload{
-		Model: s.cfg.Workload.Model, Kind: s.cfg.Workload.Kind,
-		Batch: batch, Beam: 1, InputLen: chunk, OutputLen: 1,
-	}
-	if s.be.IsGPU {
-		cfg := s.be.GPU
-		cfg.Workload = wl
-		return perf.GPUPrefillChunkTime(cfg, hist)
-	}
-	cfg := s.be.CPU
-	cfg.Workload = wl
-	return perf.CPUPrefillChunkTime(cfg, hist)
+	return s.coster.ChunkTime(batch, chunk, hist)
 }
 
 // finishIteration commits the round's prefill progress and token
-// production at its end time.
-func (s *scheduler) finishIteration(decoding []*reqState, chunks []chunkWork) {
+// production at its end time. It consumes the scratch slices iterate left
+// on the scheduler — at most one round is ever in flight.
+func (s *scheduler) finishIteration() {
+	decoding, chunks := s.decoding, s.chunks
 	now := float64(s.eng.Now())
 	produce := func(r *reqState) {
 		r.generated++
@@ -652,7 +647,10 @@ func (s *scheduler) report(states []*reqState) *Report {
 	makespan := float64(s.eng.Now())
 	rep.MakespanSec = makespan
 
-	var ttfts, tpots, lats []float64
+	rep.Requests = make([]RequestMetrics, 0, len(states))
+	ttfts := make([]float64, 0, len(states))
+	tpots := make([]float64, 0, len(states))
+	lats := make([]float64, 0, len(states))
 	goodTokens, goodReqs := 0, 0
 	for _, st := range states {
 		rep.TotalTokens += st.generated
@@ -733,11 +731,13 @@ func RunAudited(be Backend, cfg Config) (*Report, AdmitOrder, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	s.admitOrder = make([]int, 0, len(arrivals))
 	states := make([]*reqState, len(arrivals))
+	stateBlock := make([]reqState, len(arrivals)) // one allocation, not one per request
 	lastArrival := 0.0
 	for i, req := range arrivals {
-		req := req
-		st := &reqState{req: req}
+		st := &stateBlock[i]
+		st.req = req
 		states[i] = st
 		if req.ArrivalSec > lastArrival {
 			lastArrival = req.ArrivalSec

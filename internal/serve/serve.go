@@ -48,6 +48,35 @@ type Backend struct {
 	IsGPU bool
 	CPU   perf.CPURun
 	GPU   perf.GPURun
+	// Coster optionally shares a memoized step-costing table across runs:
+	// repeated sweeps over the same backend and model (fleet sizing,
+	// autoscale policy grids, benchmark loops) then re-cost identical
+	// iteration shapes from the table instead of walking the roofline op by
+	// op. Nil means each run builds its own (see NewStepCoster). The coster
+	// must have been built for this backend and the run's model/datatype/
+	// cost-bucket; it is safe for concurrent use and never changes results —
+	// memoized keys return bit-identical float64s.
+	Coster *perf.StepCoster
+}
+
+// NewStepCoster builds the memoized per-step costing table for a backend
+// under cfg's model, datatype and CostBucket. Run/RunFleet build one
+// automatically when be.Coster is nil; callers that sweep many runs over
+// one backend (SizeFleetForSLO, autoscalers, benchmark harnesses) should
+// build it once and share it via Backend.Coster.
+func NewStepCoster(be Backend, cfg Config) (*perf.StepCoster, error) {
+	wl := trace.Workload{Model: cfg.Workload.Model, Kind: cfg.Workload.Kind}
+	if be.IsGPU {
+		g := be.GPU
+		g.Workload = wl
+		return perf.NewGPUStepCoster(g, cfg.CostBucket)
+	}
+	c := be.CPU
+	if c.Sockets <= 0 {
+		c.Sockets = 1
+	}
+	c.Workload = wl
+	return perf.NewCPUStepCoster(c, cfg.CostBucket)
 }
 
 // platformName returns the TEE platform label of the backend.
@@ -135,6 +164,12 @@ type Config struct {
 	// LengthJitter varies synthetic lengths uniformly within ±fraction of
 	// the mean (default 0.25; negative disables, 0 means default).
 	LengthJitter float64
+	// CostBucket is the step-costing quantization width in tokens (see
+	// perf.StepCoster): context and history are costed at their bucket's
+	// midpoint, trading modeled-time accuracy (error shrinks as ctx/bucket
+	// grows) for memo-table hit rate in large sweeps. Default 1 = exact —
+	// results are bit-identical to the unmemoized cost model.
+	CostBucket int
 	// TTFTSLOSec and TPOTSLOSec are the SLO targets (defaults 5s / 0.5s).
 	TTFTSLOSec float64
 	TPOTSLOSec float64
@@ -195,6 +230,9 @@ func (c *Config) normalize() error {
 	}
 	if c.ChunkTokens < 0 {
 		c.ChunkTokens = 0
+	}
+	if c.CostBucket < 1 {
+		c.CostBucket = 1
 	}
 	if c.PrefixGroups < 0 {
 		c.PrefixGroups = 0

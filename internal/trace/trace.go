@@ -182,13 +182,22 @@ func (s StepTrace) TotalBytes() float64 {
 // DecodeStep builds the operator trace of one decode step with ctxLen tokens
 // of visible history per sequence row.
 func DecodeStep(w Workload, ctxLen int) (StepTrace, error) {
+	return DecodeStepInto(w, ctxLen, nil)
+}
+
+// DecodeStepInto is DecodeStep reusing ops' backing array for the trace's
+// operator list (ops may be nil). Hot paths that cost many step shapes in a
+// loop (perf.StepCoster) use it to avoid reallocating the ~6×layers operator
+// slice per step; the returned trace aliases ops, so the caller must not
+// reuse the buffer while the trace is live.
+func DecodeStepInto(w Workload, ctxLen int, ops []Op) (StepTrace, error) {
 	if err := w.Validate(); err != nil {
 		return StepTrace{}, err
 	}
 	if ctxLen <= 0 || ctxLen > w.Model.ContextLen {
 		return StepTrace{}, fmt.Errorf("trace: ctxLen %d out of range", ctxLen)
 	}
-	return buildStep(w, Decode, 1, ctxLen), nil
+	return buildStepInto(w, Decode, 1, ctxLen, ops), nil
 }
 
 // PrefillStep builds the operator trace of the prompt pass.
@@ -208,6 +217,12 @@ func PrefillStep(w Workload) (StepTrace, error) {
 // this is what makes late chunks of a long prompt more memory-bound than
 // early ones, and what a prefix-cache hit avoids entirely.
 func PrefillChunkStep(w Workload, hist int) (StepTrace, error) {
+	return PrefillChunkStepInto(w, hist, nil)
+}
+
+// PrefillChunkStepInto is PrefillChunkStep reusing ops' backing array (see
+// DecodeStepInto for the aliasing contract).
+func PrefillChunkStepInto(w Workload, hist int, ops []Op) (StepTrace, error) {
 	if err := w.Validate(); err != nil {
 		return StepTrace{}, err
 	}
@@ -215,12 +230,19 @@ func PrefillChunkStep(w Workload, hist int) (StepTrace, error) {
 		return StepTrace{}, fmt.Errorf("trace: chunk history %d + chunk %d outside context %d",
 			hist, w.InputLen, w.Model.ContextLen)
 	}
-	return buildStep(w, Prefill, w.InputLen, hist), nil
+	return buildStepInto(w, Prefill, w.InputLen, hist, ops), nil
 }
 
 // buildStep constructs the trace for processing `chunk` new tokens per row
 // on top of `hist` cached tokens.
 func buildStep(w Workload, phase Phase, chunk, hist int) StepTrace {
+	return buildStepInto(w, phase, chunk, hist, nil)
+}
+
+// buildStepInto is buildStep appending into ops' backing array (ops may be
+// nil). The operator count is fixed by the layer count, so the slice is
+// sized exactly up front — the append chain below never reallocates.
+func buildStepInto(w Workload, phase Phase, chunk, hist int, ops []Op) StepTrace {
 	cfg := w.Model
 	h := float64(cfg.HiddenDim)
 	f := float64(cfg.FFDim)
@@ -242,7 +264,10 @@ func buildStep(w Workload, phase Phase, chunk, hist int) StepTrace {
 		attnSpan = rows * float64(chunk) * (float64(hist) + float64(chunk+1)/2)
 	}
 
-	st := StepTrace{Phase: phase}
+	if need := 2 + 6*cfg.Layers; cap(ops) < need {
+		ops = make([]Op, 0, need)
+	}
+	st := StepTrace{Phase: phase, Ops: ops[:0]}
 	if phase == Decode {
 		st.NewTokens = w.Batch
 	} else {

@@ -1,0 +1,63 @@
+#!/bin/sh
+# bench.sh — serving-simulator performance trajectory.
+#
+# Runs the serving-path benchmarks (scheduler hot loop plus the serving /
+# fleet / autoscale experiment sweeps) and distills them into BENCH_4.json
+# so future PRs have a perf baseline to compare against:
+#
+#   sh scripts/bench.sh            # writes BENCH_4.json in the repo root
+#   sh scripts/bench.sh out.json   # custom output path
+#
+# Schema: {"benchmarks": [{"name", "runs", "ns_per_op", "allocs_per_op",
+# "bytes_per_op", "metrics": {"simreq/s": ...}}]} — one entry per
+# benchmark, each field the mean over -count=3 runs.
+set -eu
+
+out=${1:-BENCH_4.json}
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'ServeScheduler|ServingCurves|FleetPolicies|Autoscaling' \
+	-benchmem -count=3 . | tee "$raw"
+
+awk -v out="$out" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	if (!(name in n)) names[++nn] = name
+	n[name]++
+	for (i = 2; i <= NF; i++) {
+		if ($(i) == "ns/op")          ns[name] += $(i - 1)
+		else if ($(i) == "allocs/op") allocs[name] += $(i - 1)
+		else if ($(i) == "B/op")      bytes[name] += $(i - 1)
+		else if ($(i) ~ /\//) {
+			custom[name, $(i)] += $(i - 1)
+			if (!((name, $(i)) in mseen)) {
+				mseen[name, $(i)] = 1
+				mcount[name]++
+				mname[name, mcount[name]] = $(i)
+			}
+		}
+	}
+}
+END {
+	printf "{\n  \"benchmarks\": [\n" > out
+	for (k = 1; k <= nn; k++) {
+		name = names[k]
+		printf "    {\"name\": \"%s\", \"runs\": %d, \"ns_per_op\": %.1f, \"allocs_per_op\": %.1f, \"bytes_per_op\": %.1f", \
+			name, n[name], ns[name] / n[name], allocs[name] / n[name], bytes[name] / n[name] >> out
+		if (name in mcount) {
+			printf ", \"metrics\": {" >> out
+			for (j = 1; j <= mcount[name]; j++) {
+				m = mname[name, j]
+				printf "%s\"%s\": %.1f", (j > 1 ? ", " : ""), m, custom[name, m] / n[name] >> out
+			}
+			printf "}" >> out
+		}
+		printf "}%s\n", (k < nn ? "," : "") >> out
+	}
+	printf "  ]\n}\n" >> out
+}' "$raw"
+
+echo "wrote $out:"
+cat "$out"
