@@ -92,6 +92,9 @@ type AutoscaleConfig struct {
 	// PrefixSharing enables each replica's block-level prefix cache; the
 	// scenario's shape mixes define the shared-prefix groups.
 	PrefixSharing bool
+	// PreemptPolicy selects each replica's preemption policy:
+	// "recompute" (default), "swap", or "auto" (see ServeConfig).
+	PreemptPolicy string
 	// Sockets selects the CPU deployment for CPU classes (default 1).
 	Sockets int
 	// CostBucket quantizes the memoized step costing (tokens; default 1 =
@@ -189,6 +192,11 @@ func Autoscale(cfg AutoscaleConfig) (*AutoscaleReport, error) {
 		}
 	}
 
+	preempt, err := serve.ParsePreemptPolicy(cfg.PreemptPolicy)
+	if err != nil {
+		return nil, err
+	}
+
 	wl := trace.Workload{Model: mcfg, Kind: kind}
 	scfg := serve.Config{
 		Workload:      wl,
@@ -199,6 +207,7 @@ func Autoscale(cfg AutoscaleConfig) (*AutoscaleReport, error) {
 		ChunkTokens:   cfg.ChunkTokens,
 		PrefixSharing: cfg.PrefixSharing,
 		CostBucket:    cfg.CostBucket,
+		PreemptPolicy: preempt,
 		TTFTSLOSec:    cfg.TTFTSLOSec, TPOTSLOSec: cfg.TPOTSLOSec,
 	}
 	classes := make([]autoscale.Class, len(cfg.Classes))

@@ -57,6 +57,7 @@ func BenchmarkPrefixCache(b *testing.B)      { benchExperiment(b, "prefix") }
 func BenchmarkFleetPolicies(b *testing.B)    { benchExperiment(b, "fleet") }
 func BenchmarkHeteroDispatch(b *testing.B)   { benchExperiment(b, "hetero") }
 func BenchmarkAutoscaling(b *testing.B)      { benchExperiment(b, "autoscale") }
+func BenchmarkPreemptPolicies(b *testing.B)  { benchExperiment(b, "preempt") }
 
 // BenchmarkServeScheduler measures the serving simulator itself: simulated
 // requests completed per wall-clock second of scheduler execution.
@@ -189,7 +190,7 @@ func TestBenchmarkCoverage(t *testing.T) {
 		"sev": true, "b100": true, "scaleout": true, "hybrid": true,
 		"spr": true, "ablation": true, "serving": true,
 		"chunked": true, "prefix": true, "fleet": true,
-		"hetero": true, "autoscale": true,
+		"hetero": true, "autoscale": true, "preempt": true,
 	}
 	for _, e := range Experiments() {
 		if !covered[e.ID] {

@@ -34,6 +34,7 @@ import (
 
 	"cllm"
 	"cllm/internal/harness"
+	"cllm/internal/serve"
 )
 
 func main() {
@@ -60,6 +61,7 @@ func main() {
 	targetUtil := flag.Float64("target-util", 0.7, "autoscaler target utilization (lower = more headroom)")
 	interval := flag.Float64("interval", 15, "autoscaler control period (seconds)")
 	costBucket := flag.Int("cost-bucket", 1, "step-costing quantization width in tokens (1 = exact; larger buckets trade bounded modeled-time error for memo hits in big sweeps)")
+	preempt := flag.String("preempt", "recompute", "preemption policy: recompute|swap|auto (swap parks KV in a host swap pool at the backend's swap bandwidth; auto picks the cheaper per preemption)")
 	format := flag.String("format", "table", "output format: table|csv|json")
 	sloTTFT := flag.Float64("slo-ttft", 5, "TTFT SLO (seconds)")
 	sloTPOT := flag.Float64("slo-tpot", 0.5, "TPOT SLO (seconds/token)")
@@ -91,8 +93,8 @@ func main() {
 			classes: *classes, dispatch: *dispatch, noColdStart: *noColdStart,
 			targetUtil: *targetUtil, interval: *interval, batch: *batch,
 			chunkSize: *chunkSize, prefixShare: *prefixShare,
-			costBucket: *costBucket,
-			sloTTFT:    *sloTTFT, sloTPOT: *sloTPOT, sockets: *sockets,
+			costBucket: *costBucket, preempt: *preempt,
+			sloTTFT: *sloTTFT, sloTPOT: *sloTPOT, sockets: *sockets,
 			seed: *seed, format: *format,
 		})
 		return
@@ -102,12 +104,28 @@ func main() {
 	if *scenario != "" {
 		load = "scenario " + *scenario
 	}
+	// The default recompute policy keeps the historical table schema (and
+	// byte-identical output); swap/auto runs add the policy to the title and
+	// a swaps column (out/in transfer counts). Decide off the parsed policy
+	// so spelling variants of recompute keep the historical schema too.
+	preemptPol, err := serve.ParsePreemptPolicy(*preempt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cllm-serve: %v\n", err)
+		os.Exit(1)
+	}
+	swapMode := preemptPol != serve.PreemptRecompute
+	title := fmt.Sprintf("%s (%s), %d requests per point, %s, chunk %d, share %v, %d replica(s) %s, SLO TTFT %.2gs TPOT %.2gs",
+		*modelName, *dt, *requests, load, *chunkSize, *prefixShare, *replicas, *lbPolicy, *sloTTFT, *sloTPOT)
+	header := []string{"platform", "rate(req/s)", "tput(tok/s)", "goodput", "SLO%", "TTFT p50(s)", "TTFT p99(s)", "TPOT(s)", "TPOT p99(s)", "p99 lat(s)", "prefix-hit(tok)", "preempt", "replicas", "$/Mtok@SLO"}
+	if swapMode {
+		title += ", preempt " + preemptPol.String()
+		header = append(header, "swaps(out/in)")
+	}
 	mults := []float64{0.25, 0.5, 1, 1.5, 2}
 	table := &harness.Result{
-		ID: "serve",
-		Title: fmt.Sprintf("%s (%s), %d requests per point, %s, chunk %d, share %v, %d replica(s) %s, SLO TTFT %.2gs TPOT %.2gs",
-			*modelName, *dt, *requests, load, *chunkSize, *prefixShare, *replicas, *lbPolicy, *sloTTFT, *sloTPOT),
-		Header: []string{"platform", "rate(req/s)", "tput(tok/s)", "goodput", "SLO%", "TTFT p50(s)", "TTFT p99(s)", "TPOT(s)", "TPOT p99(s)", "p99 lat(s)", "prefix-hit(tok)", "preempt", "replicas", "$/Mtok@SLO"},
+		ID:     "serve",
+		Title:  title,
+		Header: header,
 	}
 	for _, plat := range strings.Split(*platforms, ",") {
 		plat = strings.TrimSpace(plat)
@@ -133,6 +151,7 @@ func main() {
 				Replicas:      *replicas,
 				LBPolicy:      *lbPolicy,
 				CostBucket:    *costBucket,
+				PreemptPolicy: preemptPol.String(),
 				TTFTSLOSec:    *sloTTFT, TPOTSLOSec: *sloTPOT,
 			})
 			if err != nil {
@@ -144,7 +163,7 @@ func main() {
 				nRepl = fmt.Sprintf("%d", rep.ReplicasAtSLO)
 				cost = fmt.Sprintf("%.2f", rep.USDPerMTokAtSLO)
 			}
-			table.Rows = append(table.Rows, []string{
+			row := []string{
 				rep.Platform,
 				fmt.Sprintf("%.2f", rep.OfferedRate),
 				fmt.Sprintf("%.1f", rep.TokensPerSec),
@@ -159,7 +178,11 @@ func main() {
 				fmt.Sprintf("%d", rep.Preemptions),
 				nRepl,
 				cost,
-			})
+			}
+			if swapMode {
+				row = append(row, fmt.Sprintf("%d/%d", rep.SwapOuts, rep.SwapIns))
+			}
+			table.Rows = append(table.Rows, row)
 		}
 	}
 
@@ -190,6 +213,7 @@ type autoscaleArgs struct {
 	sloTTFT, sloTPOT            float64
 	requests, batch, sockets    int
 	chunkSize, costBucket       int
+	preempt                     string
 	prefixShare, noColdStart    bool
 	seed                        int64
 	format                      string
@@ -214,7 +238,8 @@ func runAutoscale(a autoscaleArgs) {
 		IntervalSec: a.interval, TargetUtil: a.targetUtil,
 		NoColdStart: a.noColdStart, MaxBatch: a.batch,
 		ChunkTokens: a.chunkSize, PrefixSharing: a.prefixShare,
-		Sockets: a.sockets, CostBucket: a.costBucket,
+		PreemptPolicy: a.preempt,
+		Sockets:       a.sockets, CostBucket: a.costBucket,
 		TTFTSLOSec: a.sloTTFT, TPOTSLOSec: a.sloTPOT,
 		Seed: a.seed,
 	})

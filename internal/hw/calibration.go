@@ -150,6 +150,15 @@ const (
 	// GPUPerSeqStepCost is vLLM's per-sequence sampling/scheduling cost.
 	GPUPerSeqStepCost = 20e-6
 
+	// HostSwapBytesPerSec is the DRAM copy bandwidth a serving process can
+	// devote to KV swap-to-host traffic while the inference loop keeps
+	// running: a couple of copy threads streaming pinned buffers, well below
+	// the socket's full STREAM rate (the model must keep decoding). CPU TEEs
+	// scale it by their memory-encryption bandwidth factor (the same inline
+	// engine that taxes every other DRAM access); GPUs cross PCIe instead
+	// (see tee.Platform.SwapBWFactor).
+	HostSwapBytesPerSec = 24e9
+
 	// NoiseBase is the baseline relative latency jitter of a bare-metal run.
 	NoiseBase = 0.008
 	// OutlierProb/OutlierScale parameterize TEE heavy-tail samples.

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"cllm/internal/dtype"
+	"cllm/internal/hw"
 	"cllm/internal/model"
 	"cllm/internal/trace"
 )
@@ -46,7 +47,8 @@ type StepCoster struct {
 	mu     sync.RWMutex
 	decode map[costKey]float64
 	chunk  map[costKey]float64
-	ops    []trace.Op // miss-path scratch, guarded by mu (write lock)
+	swap   map[int]float64 // bucketed token count → transfer seconds
+	ops    []trace.Op      // miss-path scratch, guarded by mu (write lock)
 }
 
 // costKey identifies one step shape after bucketing.
@@ -72,6 +74,7 @@ func NewCPUStepCoster(cfg CPURun, bucket int) (*StepCoster, error) {
 		model:  probe.Workload,
 		decode: make(map[costKey]float64),
 		chunk:  make(map[costKey]float64),
+		swap:   make(map[int]float64),
 	}, nil
 }
 
@@ -89,6 +92,7 @@ func NewGPUStepCoster(cfg GPURun, bucket int) (*StepCoster, error) {
 		model:  probe.Workload,
 		decode: make(map[costKey]float64),
 		chunk:  make(map[costKey]float64),
+		swap:   make(map[int]float64),
 	}, nil
 }
 
@@ -239,6 +243,59 @@ func (c *StepCoster) ChunkTime(batch, chunkTokens, hist int) (float64, error) {
 		c.chunk = make(map[costKey]float64)
 	}
 	c.chunk[key] = t
+	return t, nil
+}
+
+// SwapTime costs moving `tokens` KV-cache entries of one sequence between
+// the serving pool and the host swap pool — one direction of a
+// swap-to-host preemption (swap-out) or its resume (swap-in). The payload
+// is trace.KVSwapBytes; the rate is the platform's swap path: PCIe times
+// the bounce-buffer factor on GPUs (cGPU's dominant cost), a DRAM memcpy
+// behind the inline encryption engine on CPUs (near-native on TDX/SGX).
+// Each transfer also pays one dispatch: a DMA setup / kernel launch on
+// GPUs (encrypted command buffers under cGPU), an operator dispatch plus
+// the TEE per-op cost on CPUs. Token counts are bucketed like decode
+// contexts; zero tokens cost exactly zero.
+func (c *StepCoster) SwapTime(tokens int) (float64, error) {
+	if tokens < 0 {
+		return 0, fmt.Errorf("perf: swap of %d tokens", tokens)
+	}
+	if tokens == 0 {
+		return 0, nil
+	}
+	if c.bucket > 1 {
+		tokens = bucketOf(tokens, c.bucket)
+		if tokens < 1 {
+			tokens = 1
+		}
+	}
+	c.mu.RLock()
+	t, ok := c.swap[tokens]
+	c.mu.RUnlock()
+	if ok {
+		return t, nil
+	}
+	bytes := trace.KVSwapBytes(c.model, tokens)
+	var bw, setup float64
+	if c.isGPU {
+		p := c.gpu.Platform
+		bw = c.gpu.GPU.PCIeBandwidth * p.SwapBWFactor(true)
+		setup = c.gpu.GPU.KernelLaunchSec + p.KernelLaunchExtraSec
+	} else {
+		p := c.cpu.Platform
+		bw = hw.HostSwapBytesPerSec * p.SwapBWFactor(false)
+		setup = hw.CPUOpDispatchSec + p.PerOpCostSec
+	}
+	if bw <= 0 {
+		return 0, fmt.Errorf("perf: swap bandwidth is zero on %s", c.model.Model.Name)
+	}
+	t = bytes/bw + setup
+	c.mu.Lock()
+	if len(c.swap) >= maxCostEntries {
+		c.swap = make(map[int]float64)
+	}
+	c.swap[tokens] = t
+	c.mu.Unlock()
 	return t, nil
 }
 

@@ -316,3 +316,108 @@ func TestStepCosterBucketKeepsSmallValuesExact(t *testing.T) {
 		t.Fatalf("hist=0 chunk cost %v, want exact %v", gotChunk, wantChunk)
 	}
 }
+
+// TestStepCosterSwapTime: the transfer coster must match the hand-derived
+// bandwidth formula exactly, memoize deterministically, cost zero tokens as
+// exactly zero, and price the cGPU bounce-buffer path far above both the
+// unprotected-GPU PCIe path and the CPU TEE memcpy path.
+func TestStepCosterSwapTime(t *testing.T) {
+	cpuCfg := costerCPURun(t)
+	cpu, err := NewCPUStepCoster(cpuCfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := trace.Workload{Model: cpuCfg.Workload.Model, Kind: cpuCfg.Workload.Kind}
+	const tokens = 512
+	want := trace.KVSwapBytes(wl, tokens)/(hw.HostSwapBytesPerSec*tee.TDX().SwapBWFactor(false)) +
+		hw.CPUOpDispatchSec + tee.TDX().PerOpCostSec
+	for pass := 0; pass < 2; pass++ { // miss then hit
+		got, err := cpu.SwapTime(tokens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("SwapTime(%d) pass %d = %v, want exactly %v", tokens, pass, got, want)
+		}
+	}
+	if got, err := cpu.SwapTime(0); err != nil || got != 0 {
+		t.Fatalf("SwapTime(0) = %v, %v; want exactly 0", got, err)
+	}
+	if _, err := cpu.SwapTime(-1); err == nil {
+		t.Fatal("negative token count accepted")
+	}
+
+	gpuCfg := GPURun{GPU: hw.H100NVL(), Platform: tee.GPU(), Workload: wl}
+	gpu, err := NewGPUStepCoster(gpuCfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cgpuCfg := gpuCfg
+	cgpuCfg.Platform = tee.CGPU()
+	cgpu, err := NewGPUStepCoster(cgpuCfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gT, err := gpu.SwapTime(tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cgT, err := cgpu.SwapTime(tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cT, err := cpu.SwapTime(tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bounce buffer throttles cGPU swaps well below the clear-PCIe GPU
+	// path and the CPU TEE's near-native memcpy — the asymmetry the auto
+	// policy exploits.
+	if cgT < 8*gT || cgT < 3*cT {
+		t.Fatalf("cGPU swap %.6fs should dwarf GPU %.6fs and CPU TEE %.6fs", cgT, gT, cT)
+	}
+}
+
+// TestStepCosterSwapTimeBucketed: token counts bucket like decode contexts
+// (midpoint), and sub-bucket counts stay exact.
+func TestStepCosterSwapTimeBucketed(t *testing.T) {
+	cfg := costerCPURun(t)
+	exact, err := NewCPUStepCoster(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bucketed, err := NewCPUStepCoster(cfg, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := bucketed.SwapTime(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bucketed.SwapTime(1010) // same 32-wide bucket as 1000
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same-bucket token counts cost differently: %v vs %v", a, b)
+	}
+	e, err := exact.SwapTime(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(a-e) / e; rel > 0.05 {
+		t.Fatalf("bucketed swap time off by %.1f%%", rel*100)
+	}
+	// Sub-bucket counts are exact (first-bucket rule).
+	se, err := exact.SwapTime(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := bucketed.SwapTime(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se != sb {
+		t.Fatalf("sub-bucket swap time quantized: %v vs %v", sb, se)
+	}
+}

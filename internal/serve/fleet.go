@@ -269,6 +269,11 @@ func MergeReports(offeredRate float64, reps []*Report) *Report {
 		agg.PrefixCacheHitTokens += r.PrefixCacheHitTokens
 		agg.PrefixCacheMissTokens += r.PrefixCacheMissTokens
 		agg.EvictedBlocks += r.EvictedBlocks
+		agg.SwapOuts += r.SwapOuts
+		agg.SwapIns += r.SwapIns
+		agg.SwapPoolBlocks += r.SwapPoolBlocks
+		agg.PeakSwapBlocksInUse += r.PeakSwapBlocksInUse
+		agg.SwapBlocksAtEnd += r.SwapBlocksAtEnd
 		if r.MakespanSec > agg.MakespanSec {
 			agg.MakespanSec = r.MakespanSec
 		}

@@ -33,6 +33,15 @@ type BlockManager struct {
 	evicted    int
 	hitTokens  int
 	missTokens int
+
+	// Host swap pool (swap-to-host preemption): a bounded region of
+	// untrusted host memory holding preempted requests' KV copies. Swap
+	// blocks are accounted separately from the device pool — parking a
+	// victim frees its device blocks and occupies swap blocks instead.
+	swapTotal int
+	swapUsed  int
+	swapPeak  int
+	swapped   map[int]int // request ID → swap blocks parked
 }
 
 // blockKey identifies one shareable block by its chained content hash: the
@@ -96,7 +105,70 @@ func NewBlockManager(budgetBytes int64, blockTokens int, bytesPerToken int64, sh
 		held:          make(map[int]int),
 		pinned:        make(map[int][]*sharedBlock),
 		shared:        make(map[blockKey]*sharedBlock),
+		swapped:       make(map[int]int),
 	}, nil
+}
+
+// ConfigureSwapPool sizes the host swap pool in blocks. Zero (the default)
+// disables swapping: SwapOut then always fails and the scheduler falls
+// back to recompute.
+func (m *BlockManager) ConfigureSwapPool(blocks int) {
+	if blocks < 0 {
+		blocks = 0
+	}
+	m.swapTotal = blocks
+}
+
+// SwapPoolBlocks returns the host swap pool capacity.
+func (m *BlockManager) SwapPoolBlocks() int { return m.swapTotal }
+
+// SwappedBlocks returns the swap blocks currently parked.
+func (m *BlockManager) SwappedBlocks() int { return m.swapUsed }
+
+// PeakSwapBlocks returns the swap pool's occupancy high-water mark.
+func (m *BlockManager) PeakSwapBlocks() int { return m.swapPeak }
+
+// SwapOut parks a preempted request's computed KV entries in the host swap
+// pool and releases everything it holds in the device pool (private blocks
+// free, shared pins drop exactly as Release — computed prefix blocks stay
+// cached for other sharers). It is all-or-nothing: when the swap pool
+// cannot hold BlocksFor(tokens) more blocks it returns false and the
+// request's device holdings are untouched (the caller falls back to
+// recompute). The swap copy is self-contained: it covers all `tokens`
+// leading entries, including any span shared prefix blocks also cover, so
+// a later swap-in never depends on cache residency.
+func (m *BlockManager) SwapOut(reqID, tokens int) bool {
+	if tokens <= 0 {
+		return false
+	}
+	if m.swapped[reqID] > 0 {
+		return false // already parked; one swap copy per request
+	}
+	need := m.BlocksFor(tokens)
+	if m.swapUsed+need > m.swapTotal {
+		return false
+	}
+	m.Release(reqID)
+	m.swapUsed += need
+	m.swapped[reqID] = need
+	if m.swapUsed > m.swapPeak {
+		m.swapPeak = m.swapUsed
+	}
+	return true
+}
+
+// SwapIn releases a request's parked swap blocks (its KV copy has been
+// transferred back into device blocks the caller allocated) and returns
+// how many were freed. Dropping a swapped request uses the same call —
+// the pool does not care whether the copy was restored or discarded.
+func (m *BlockManager) SwapIn(reqID int) int {
+	n := m.swapped[reqID]
+	if n == 0 {
+		return 0
+	}
+	delete(m.swapped, reqID)
+	m.swapUsed -= n
+	return n
 }
 
 // TotalBlocks returns the pool size.
@@ -385,6 +457,25 @@ func (m *BlockManager) CheckConservation() error {
 	}
 	for key, n := range pinRefs {
 		return fmt.Errorf("serve: %d pins on unpublished block %v", n, key)
+	}
+	swapSum := 0
+	for id, n := range m.swapped {
+		if n <= 0 {
+			return fmt.Errorf("serve: request %d parks %d swap blocks", id, n)
+		}
+		swapSum += n
+		// A swapped request holds nothing in the device pool: SwapOut
+		// released its private blocks and shared pins atomically.
+		if m.held[id] != 0 || len(m.pinned[id]) != 0 {
+			return fmt.Errorf("serve: swapped request %d still holds %d private / %d pinned device blocks",
+				id, m.held[id], len(m.pinned[id]))
+		}
+	}
+	if swapSum != m.swapUsed {
+		return fmt.Errorf("serve: swap pool accounting broken: %d parked, %d used", swapSum, m.swapUsed)
+	}
+	if m.swapUsed > m.swapTotal {
+		return fmt.Errorf("serve: swap pool overcommitted: %d used of %d", m.swapUsed, m.swapTotal)
 	}
 	return nil
 }

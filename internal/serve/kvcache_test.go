@@ -258,6 +258,146 @@ func TestBlockRefcountConservationRandomized(t *testing.T) {
 	}
 }
 
+func TestSwapPoolAccounting(t *testing.T) {
+	// 10 device blocks, 4 swap blocks; 16 tokens × 4 bytes per block.
+	m, err := NewBlockManager(640, 16, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SwapOut before the pool is configured must fail (recompute fallback).
+	if !m.Grow(1, 40) {
+		t.Fatal("grow failed")
+	}
+	if m.SwapOut(1, 40) {
+		t.Fatal("swap-out succeeded with a zero-size pool")
+	}
+	m.ConfigureSwapPool(4)
+	if m.SwapPoolBlocks() != 4 {
+		t.Fatalf("pool %d, want 4", m.SwapPoolBlocks())
+	}
+
+	// Parking releases device holdings atomically, including shared pins.
+	h := prefixHash(3)
+	if _, err := m.AcquirePrefix(1, h, 32); err != nil {
+		t.Fatal(err)
+	}
+	m.MarkComputed(1, 32)
+	if !m.SwapOut(1, 40) { // 3 swap blocks
+		t.Fatal("swap-out rejected with room in the pool")
+	}
+	if m.SwappedBlocks() != 3 || m.PeakSwapBlocks() != 3 {
+		t.Fatalf("swap used/peak %d/%d, want 3/3", m.SwappedBlocks(), m.PeakSwapBlocks())
+	}
+	if m.InUse() != 0 || m.CachedBlocks() != 2 {
+		t.Fatalf("device pool after swap-out: in-use %d cached %d, want 0/2", m.InUse(), m.CachedBlocks())
+	}
+	if err := m.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	// Double-park is rejected; pool exhaustion is all-or-nothing.
+	if m.SwapOut(1, 16) {
+		t.Fatal("double swap-out accepted")
+	}
+	if !m.Grow(2, 40) {
+		t.Fatal("grow failed")
+	}
+	if m.SwapOut(2, 40) { // needs 3 more blocks, only 1 free in the pool
+		t.Fatal("over-capacity swap-out accepted")
+	}
+	if m.held[2] != 3 {
+		t.Fatalf("failed swap-out changed device holdings: %d", m.held[2])
+	}
+	// Restore frees the pool; a second restore is a no-op.
+	if n := m.SwapIn(1); n != 3 {
+		t.Fatalf("swap-in freed %d blocks, want 3", n)
+	}
+	if n := m.SwapIn(1); n != 0 {
+		t.Fatalf("double swap-in freed %d blocks", n)
+	}
+	if m.SwappedBlocks() != 0 || m.PeakSwapBlocks() != 3 {
+		t.Fatalf("swap used/peak %d/%d after restore", m.SwappedBlocks(), m.PeakSwapBlocks())
+	}
+	if err := m.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockRefcountConservationRandomizedWithSwap(t *testing.T) {
+	// The recompute randomized walk, with swap-out/swap-in interleaved:
+	// conservation must hold across park/restore/evict/share interleavings.
+	m, err := NewBlockManager(48*64, 16, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ConfigureSwapPool(24)
+	rng := rand.New(rand.NewSource(7))
+	type live struct {
+		id, prefixLen int
+		swapped       bool
+	}
+	var actives []live
+	nextID := 0
+	for i := 0; i < 4000; i++ {
+		switch op := rng.Intn(7); {
+		case op == 0 || len(actives) == 0:
+			id := nextID
+			nextID++
+			group := rng.Intn(4) + 1
+			pl := (rng.Intn(6) + 1) * 16
+			if _, err := m.AcquirePrefix(id, prefixHash(group), pl); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			actives = append(actives, live{id: id, prefixLen: pl})
+		case op == 1:
+			r := actives[rng.Intn(len(actives))]
+			if !r.swapped {
+				m.Grow(r.id, r.prefixLen+rng.Intn(128))
+			}
+		case op == 2:
+			r := actives[rng.Intn(len(actives))]
+			if !r.swapped {
+				m.MarkComputed(r.id, rng.Intn(r.prefixLen+1))
+			}
+		case op == 3: // park
+			k := rng.Intn(len(actives))
+			if !actives[k].swapped && m.SwapOut(actives[k].id, rng.Intn(160)+1) {
+				actives[k].swapped = true
+			}
+		case op == 4: // restore
+			k := rng.Intn(len(actives))
+			if actives[k].swapped {
+				m.SwapIn(actives[k].id)
+				actives[k].swapped = false
+			}
+		default: // release or drop
+			k := rng.Intn(len(actives))
+			if actives[k].swapped {
+				m.SwapIn(actives[k].id)
+			} else {
+				m.Release(actives[k].id)
+			}
+			actives = append(actives[:k], actives[k+1:]...)
+		}
+		if err := m.CheckConservation(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	for _, r := range actives {
+		if r.swapped {
+			m.SwapIn(r.id)
+		} else {
+			m.Release(r.id)
+		}
+	}
+	if err := m.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if m.InUse() != 0 || m.SwappedBlocks() != 0 {
+		t.Fatalf("blocks still active after releasing everything: %d device, %d swap",
+			m.InUse(), m.SwappedBlocks())
+	}
+}
+
 func TestBlockManagerRejectsHopelessBudget(t *testing.T) {
 	if _, err := NewBlockManager(63, 16, 4, false); err == nil {
 		t.Fatal("sub-block budget accepted")

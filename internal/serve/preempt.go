@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PreemptPolicy selects what happens to a sequence's KV cache when the
+// scheduler preempts it under pool exhaustion.
+type PreemptPolicy int
+
+const (
+	// PreemptRecompute releases the victim's blocks and re-prefills its
+	// whole context on re-admission (vLLM's default). Cheap on platforms
+	// with fast prefill compute, expensive where prefill is slow.
+	PreemptRecompute PreemptPolicy = iota
+	// PreemptSwap copies the victim's computed KV entries into a bounded
+	// host swap pool at the backend's swap bandwidth and copies them back
+	// on re-admission instead of recomputing. Falls back to recompute when
+	// the pool is full (or the victim has no computed entries yet).
+	PreemptSwap
+	// PreemptAuto picks, per preemption, whichever of swap and recompute
+	// the memoized cost model estimates cheaper for the victim's context —
+	// swap wins on CPU TEEs and long contexts (memcpy beats slow prefill),
+	// recompute wins on cGPU short contexts (bounce-buffer bandwidth
+	// dominates).
+	PreemptAuto
+)
+
+// String names the policy as the CLI spells it.
+func (p PreemptPolicy) String() string {
+	switch p {
+	case PreemptRecompute:
+		return "recompute"
+	case PreemptSwap:
+		return "swap"
+	case PreemptAuto:
+		return "auto"
+	}
+	return fmt.Sprintf("PreemptPolicy(%d)", int(p))
+}
+
+// ParsePreemptPolicy resolves a CLI policy name.
+func ParsePreemptPolicy(s string) (PreemptPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "recompute", "":
+		return PreemptRecompute, nil
+	case "swap":
+		return PreemptSwap, nil
+	case "auto":
+		return PreemptAuto, nil
+	}
+	return 0, fmt.Errorf("serve: unknown preemption policy %q (recompute|swap|auto)", s)
+}

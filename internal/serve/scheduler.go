@@ -35,6 +35,12 @@ type reqState struct {
 	// preemption, which vLLM-style recompute re-prefills).
 	prefilled     int
 	prefillTarget int
+	// swapped marks a preempted request whose computed KV entries are
+	// parked in the host swap pool (swap-to-host preemption);
+	// swappedTokens is how many leading entries the parked copy covers.
+	// Re-admission transfers the copy back instead of recomputing it.
+	swapped       bool
+	swappedTokens int
 	admittedAt    float64 // first admission time
 	firstTokenAt  float64
 	finishedAt    float64
@@ -46,6 +52,18 @@ func (r *reqState) ctxTokens() int { return r.req.InputLen + r.generated }
 
 // prefilling reports whether the request is mid-prefill (chunks remain).
 func (r *reqState) prefilling() bool { return r.prefilled < r.prefillTarget }
+
+// computedTokens is how many leading KV entries exist for a running
+// request right now: its committed prefill progress while mid-prefill, its
+// whole context once prefilled (every decode step writes the entry of the
+// token it produces). Only meaningful for admitted requests — it is what a
+// swap-out can park and a recompute must rebuild.
+func (r *reqState) computedTokens() int {
+	if r.prefilling() {
+		return r.prefilled
+	}
+	return r.ctxTokens()
+}
 
 // chunkWork is one request's prefill contribution to an iteration: tokens
 // new prompt tokens computed on top of hist cached ones.
@@ -84,8 +102,16 @@ type scheduler struct {
 	admitCount  int
 	admitOrder  []int // request IDs in admission order (test audit)
 	preemptions int
-	completed   []*reqState
-	dropped     []*reqState
+	// Swap-to-host counters: cumulative transfers over the run, plus the
+	// current iteration's transfer token accumulators (reset each round,
+	// consumed by iterationTime — transfers within one round coalesce into
+	// one costed copy per direction).
+	swapOuts   int
+	swapIns    int
+	swapOutTok int
+	swapInTok  int
+	completed  []*reqState
+	dropped    []*reqState
 	// err records a costing failure (a backend misconfiguration); it halts
 	// the loop and fails the run instead of reporting zeros as data.
 	err error
@@ -116,6 +142,13 @@ func newScheduler(be Backend, cfg Config, eng *sim.Engine, noise *sim.Noise) (*s
 		// silently price this run with the wrong operator traces.
 		return nil, fmt.Errorf("serve: shared step coster was built for a different model/datatype/cost-bucket than %s/%s/bucket %d",
 			cfg.Workload.Model.Name, cfg.Workload.Kind, cfg.CostBucket)
+	}
+	if cfg.PreemptPolicy != PreemptRecompute {
+		frac := cfg.SwapPoolFrac
+		if frac < 0 {
+			frac = 0 // sentinel: pool disabled, swap always falls back
+		}
+		kv.ConfigureSwapPool(int(math.Round(frac * float64(kv.TotalBlocks()))))
 	}
 	s := &scheduler{cfg: cfg, be: be, eng: eng, noise: noise, kv: kv, coster: coster}
 	s.finishFn = func(*sim.Engine) { s.finishIteration() }
@@ -302,6 +335,7 @@ func (s *scheduler) kick() {
 //     prompts, reusing shared prefix blocks when sharing is on.
 func (s *scheduler) iterate() {
 	now := float64(s.eng.Now())
+	s.swapOutTok, s.swapInTok = 0, 0
 
 	// Chunk budget: new prompt tokens this iteration. 0 = monolithic
 	// (unlimited) prefills.
@@ -386,11 +420,21 @@ func (s *scheduler) iterate() {
 		target := head.ctxTokens() // prompt plus pre-preemption tokens to re-prefill
 		if s.kv.BlocksFor(target+1) > s.kv.TotalBlocks() {
 			s.queue.PopFront()
+			if head.swapped {
+				s.kv.SwapIn(head.req.ID) // discard the parked copy
+				head.swapped, head.swappedTokens = false, 0
+			}
 			head.phase = phaseDropped
 			s.dropped = append(s.dropped, head)
 			continue
 		}
-		if chunked && budget <= 0 {
+		// A fully-parked swap copy needs no chunk budget — swap-in is a
+		// transfer, not prefill compute.
+		restored := 0
+		if head.swapped {
+			restored = head.swappedTokens
+		}
+		if chunked && budget <= 0 && restored < target {
 			break
 		}
 		// Reuse cached prefix blocks. At least the last prompt token is
@@ -411,16 +455,22 @@ func (s *scheduler) iterate() {
 			}
 			cached = c
 		}
-		chunk := target - cached
+		// Tokens already computed: cache hits plus the parked swap copy
+		// (self-contained, so it covers the prefix span too).
+		computed := cached
+		if restored > computed {
+			computed = restored
+		}
+		chunk := target - computed
 		if chunked && chunk > budget {
 			chunk = budget
 		}
-		need := cached + chunk
+		need := computed + chunk
 		if need == target {
 			need++ // first-token slot (see the continuation pass)
 		}
 		if !s.kv.Grow(head.req.ID, need) {
-			s.kv.Release(head.req.ID) // un-pin the acquired prefix
+			s.kv.Release(head.req.ID) // un-pin the acquired prefix; a swap copy stays parked
 			break
 		}
 		s.kv.creditPrefixStats(head.req.ID, cached)
@@ -432,16 +482,32 @@ func (s *scheduler) iterate() {
 			s.admitOrder = append(s.admitOrder, head.req.ID)
 		}
 		head.phase = phaseRunning
-		head.prefilled = cached
+		head.prefilled = computed
 		head.prefillTarget = target
+		if head.swapped {
+			// Swap-in: transfer the parked copy back into the device blocks
+			// just grown. Tokens resident in re-acquired shared blocks skip
+			// the transfer, and republished prefix blocks are filled from
+			// the copy — swapped blocks rejoin the prefix cache without
+			// recompute (MarkComputed makes them hits for later sharers).
+			if in := restored - cached; in > 0 {
+				s.swapInTok += in
+			}
+			s.kv.SwapIn(head.req.ID)
+			s.kv.MarkComputed(head.req.ID, computed)
+			head.swapped, head.swappedTokens = false, 0
+			s.swapIns++
+		}
 		s.running = append(s.running, head)
-		chunks = append(chunks, chunkWork{r: head, tokens: chunk, hist: cached})
-		if chunked {
-			budget -= chunk
+		if chunk > 0 {
+			chunks = append(chunks, chunkWork{r: head, tokens: chunk, hist: computed})
+			if chunked {
+				budget -= chunk
+			}
 		}
 	}
 
-	if len(decoding) == 0 && len(chunks) == 0 {
+	if len(decoding) == 0 && len(chunks) == 0 && s.swapOutTok == 0 && s.swapInTok == 0 {
 		// Nothing can make progress now; the next arrival (or nothing)
 		// restarts the loop. With an empty running set the pool's active
 		// blocks are free (cached blocks evict on demand), so a non-fitting
@@ -484,10 +550,15 @@ func dropChunk(chunks []chunkWork, victim *reqState) []chunkWork {
 	return chunks
 }
 
-// preempt releases a running sequence's cache and requeues it at the front.
-// The victim is always the youngest running sequence (vLLM's recompute
-// policy), i.e. the tail of the admission-ordered running slice — an O(1)
-// pop; the scan below is a safety net for any other caller.
+// preempt evicts a running sequence from the batch and requeues it at the
+// front. The victim is always the youngest running sequence, i.e. the tail
+// of the admission-ordered running slice — an O(1) pop; the scan below is
+// a safety net for any other caller. What happens to the victim's KV cache
+// is the preemption policy's call: recompute releases it (vLLM's default),
+// swap parks it in the host swap pool, auto picks whichever the memoized
+// cost model estimates cheaper — with swap falling back to recompute when
+// the pool is full or nothing is computed yet. Either way the victim's
+// device blocks free, so the caller's Grow retry makes progress.
 func (s *scheduler) preempt(r *reqState) {
 	if n := len(s.running); n > 0 && s.running[n-1] == r {
 		s.running[n-1] = nil // release for GC; append will overwrite
@@ -500,13 +571,60 @@ func (s *scheduler) preempt(r *reqState) {
 			}
 		}
 	}
-	s.kv.Release(r.req.ID)
+	if !s.trySwapOut(r) {
+		s.kv.Release(r.req.ID)
+		r.prefilled = 0
+		r.prefillTarget = 0
+	}
 	r.phase = phaseWaiting
-	r.prefilled = 0
-	r.prefillTarget = 0
 	r.preemptions++
 	s.preemptions++
 	s.queue.PushFront(r)
+}
+
+// trySwapOut parks the victim's computed KV entries in the host swap pool
+// when the policy allows and the pool has room. Returns false when the
+// preemption should recompute instead.
+func (s *scheduler) trySwapOut(r *reqState) bool {
+	if s.cfg.PreemptPolicy == PreemptRecompute || s.err != nil {
+		return false
+	}
+	tokens := r.computedTokens()
+	if tokens <= 0 {
+		return false // nothing computed: recompute is free
+	}
+	if s.cfg.PreemptPolicy == PreemptAuto && !s.swapCheaper(r, tokens) {
+		return false
+	}
+	if !s.kv.SwapOut(r.req.ID, tokens) {
+		return false // pool full: fall back to recompute
+	}
+	r.swapped = true
+	r.swappedTokens = tokens
+	r.prefilled = 0
+	r.prefillTarget = 0
+	s.swapOuts++
+	s.swapOutTok += tokens
+	return true
+}
+
+// swapCheaper is the auto policy's per-preemption estimate: park-and-
+// restore (two transfers of the computed entries at the backend's swap
+// bandwidth) against re-prefilling the victim's whole context from
+// scratch. Both sides come from the shared memoized coster, so the
+// decision is bit-identical across runs and worker counts.
+func (s *scheduler) swapCheaper(r *reqState, tokens int) bool {
+	swapT, err := s.coster.SwapTime(tokens)
+	if err != nil {
+		s.err = err
+		return false
+	}
+	recT, err := s.coster.ChunkTime(1, r.ctxTokens(), 0)
+	if err != nil {
+		s.err = err
+		return false
+	}
+	return 2*swapT < recT
 }
 
 // iterationTime costs one scheduling round with the mechanistic roofline:
@@ -534,6 +652,23 @@ func (s *scheduler) iterationTime(decoding []*reqState, chunks []chunkWork) (flo
 	}
 	if len(decoding) > 0 {
 		t, err := s.decodeTime(decoding)
+		if err != nil {
+			return 0, err
+		}
+		total += t
+	}
+	// Swap transfers of the round: one coalesced copy per direction at the
+	// backend's swap bandwidth (cGPU's encrypted bounce buffer, a CPU TEE's
+	// near-native memcpy).
+	if s.swapOutTok > 0 {
+		t, err := s.coster.SwapTime(s.swapOutTok)
+		if err != nil {
+			return 0, err
+		}
+		total += t
+	}
+	if s.swapInTok > 0 {
+		t, err := s.coster.SwapTime(s.swapInTok)
 		if err != nil {
 			return 0, err
 		}
@@ -632,6 +767,11 @@ func (s *scheduler) report(states []*reqState) *Report {
 		PrefixCacheHitTokens:  s.kv.HitTokens(),
 		PrefixCacheMissTokens: s.kv.MissTokens(),
 		EvictedBlocks:         s.kv.EvictedBlocks(),
+		SwapOuts:              s.swapOuts,
+		SwapIns:               s.swapIns,
+		SwapPoolBlocks:        s.kv.SwapPoolBlocks(),
+		PeakSwapBlocksInUse:   s.kv.PeakSwapBlocks(),
+		SwapBlocksAtEnd:       s.kv.SwappedBlocks(),
 	}
 	if len(s.cfg.Trace) > 0 {
 		span := 0.0

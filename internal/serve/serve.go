@@ -170,6 +170,17 @@ type Config struct {
 	// grows) for memo-table hit rate in large sweeps. Default 1 = exact —
 	// results are bit-identical to the unmemoized cost model.
 	CostBucket int
+	// PreemptPolicy selects what a preemption does with the victim's KV
+	// cache: PreemptRecompute (default, vLLM-style full re-prefill),
+	// PreemptSwap (copy to a bounded host swap pool at the backend's swap
+	// bandwidth and copy back on resume), or PreemptAuto (per preemption,
+	// whichever the memoized transfer-vs-recompute estimate prices cheaper).
+	PreemptPolicy PreemptPolicy
+	// SwapPoolFrac sizes the host swap pool as a fraction of the device KV
+	// pool (in blocks). 0 means the default 1.0; negative disables the pool
+	// (every swap attempt falls back to recompute). Ignored under
+	// PreemptRecompute.
+	SwapPoolFrac float64
 	// TTFTSLOSec and TPOTSLOSec are the SLO targets (defaults 5s / 0.5s).
 	TTFTSLOSec float64
 	TPOTSLOSec float64
@@ -233,6 +244,17 @@ func (c *Config) normalize() error {
 	}
 	if c.CostBucket < 1 {
 		c.CostBucket = 1
+	}
+	switch c.PreemptPolicy {
+	case PreemptRecompute, PreemptSwap, PreemptAuto:
+	default:
+		return fmt.Errorf("serve: unknown preemption policy %d", int(c.PreemptPolicy))
+	}
+	// Negative SwapPoolFrac (disabled) is kept as-is: normalize must stay
+	// idempotent (replicas re-normalize shared configs), so the sentinel
+	// cannot be collapsed onto 0, which means "default".
+	if c.SwapPoolFrac == 0 {
+		c.SwapPoolFrac = 1
 	}
 	if c.PrefixGroups < 0 {
 		c.PrefixGroups = 0
@@ -326,7 +348,20 @@ type Report struct {
 	// EvictedBlocks counts cached prefix blocks reclaimed under memory
 	// pressure.
 	EvictedBlocks int
-	Requests      []RequestMetrics
+	// SwapOuts / SwapIns count swap-to-host preemption transfers: victims
+	// parked in the host swap pool and parked requests restored from it.
+	// Both are zero under PreemptRecompute. SwapOuts can exceed SwapIns
+	// only when swapped requests were still queued (or dropped) at the end
+	// of the run.
+	SwapOuts, SwapIns int
+	// SwapPoolBlocks is the host swap pool capacity; PeakSwapBlocksInUse
+	// its occupancy high-water mark. SwapBlocksAtEnd must be zero whenever
+	// Unfinished is zero — a parked copy without a live request is a leak
+	// (tests assert this like the device-pool invariant).
+	SwapPoolBlocks      int
+	PeakSwapBlocksInUse int
+	SwapBlocksAtEnd     int
+	Requests            []RequestMetrics
 }
 
 // SLOAttainment returns the fraction of offered requests that completed

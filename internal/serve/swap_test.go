@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"cllm/internal/dtype"
+	"cllm/internal/mem"
+	"cllm/internal/tee"
+	"cllm/internal/trace"
+)
+
+// TestSwapPreemptionKeepsInvariants: the policy invariants the recompute
+// regression tests assert must hold verbatim under swap — FIFO first
+// admission, full completion, zero leaked device blocks — plus the swap
+// pool's own leak invariant and determinism.
+func TestSwapPreemptionKeepsInvariants(t *testing.T) {
+	be, cfg := preemptionHeavyConfig()
+	cfg.PreemptPolicy = PreemptSwap
+	rep, order, err := RunAudited(be, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Preemptions == 0 || rep.SwapOuts == 0 {
+		t.Fatalf("config exercised no swaps (%d preemptions, %d swap-outs); test is vacuous",
+			rep.Preemptions, rep.SwapOuts)
+	}
+	if rep.SwapIns != rep.SwapOuts {
+		t.Fatalf("swap-outs %d != swap-ins %d with everything completed", rep.SwapOuts, rep.SwapIns)
+	}
+	if rep.Completed != 32 || rep.Dropped != 0 || rep.Unfinished != 0 {
+		t.Fatalf("completed/dropped/unfinished = %d/%d/%d, want 32/0/0",
+			rep.Completed, rep.Dropped, rep.Unfinished)
+	}
+	if rep.KVBlocksInUseAtEnd != 0 {
+		t.Fatalf("leaked %d device blocks across swaps", rep.KVBlocksInUseAtEnd)
+	}
+	if rep.SwapBlocksAtEnd != 0 {
+		t.Fatalf("leaked %d swap blocks (parked copies without live requests)", rep.SwapBlocksAtEnd)
+	}
+	if rep.SwapPoolBlocks == 0 || rep.PeakSwapBlocksInUse == 0 || rep.PeakSwapBlocksInUse > rep.SwapPoolBlocks {
+		t.Fatalf("swap pool %d, peak %d", rep.SwapPoolBlocks, rep.PeakSwapBlocksInUse)
+	}
+	if !sort.IntsAreSorted([]int(order)) {
+		t.Fatalf("admission order not FIFO under swap: %v", order)
+	}
+	rep2, order2, err := RunAudited(be, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order, order2) || !reflect.DeepEqual(rep, rep2) {
+		t.Fatal("swap-policy run not deterministic")
+	}
+}
+
+// TestDefaultPolicyIsRecomputeBitIdentical: the zero-valued config must
+// behave exactly like an explicit recompute config, with every swap field
+// zero — the pre-PR behavior is the default.
+func TestDefaultPolicyIsRecomputeBitIdentical(t *testing.T) {
+	be, cfg := preemptionHeavyConfig()
+	def, err := Run(be, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := cfg
+	explicit.PreemptPolicy = PreemptRecompute
+	rep, err := Run(be, explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(def, rep) {
+		t.Fatal("explicit recompute differs from the default")
+	}
+	if def.SwapOuts != 0 || def.SwapIns != 0 || def.SwapPoolBlocks != 0 ||
+		def.PeakSwapBlocksInUse != 0 || def.SwapBlocksAtEnd != 0 {
+		t.Fatalf("recompute run reports swap activity: %+v", def)
+	}
+}
+
+// TestSwapDisabledPoolFallsBackToRecompute: a swap policy with a disabled
+// pool (negative SwapPoolFrac) must degrade to exactly the recompute run —
+// every swap attempt fails and releases instead.
+func TestSwapDisabledPoolFallsBackToRecompute(t *testing.T) {
+	be, cfg := preemptionHeavyConfig()
+	rec, err := Run(be, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swp := cfg
+	swp.PreemptPolicy = PreemptSwap
+	swp.SwapPoolFrac = -1
+	rep, err := Run(be, swp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SwapOuts != 0 {
+		t.Fatalf("disabled pool still parked %d victims", rep.SwapOuts)
+	}
+	if !reflect.DeepEqual(rec, rep) {
+		t.Fatal("swap with a disabled pool differs from recompute")
+	}
+}
+
+// TestSwapWithChunkedPrefillAndSharing: swap must compose with chunked
+// prefill and the prefix cache — mid-prefill victims park partial
+// progress, swap-ins re-acquire shared prefixes, and nothing leaks.
+func TestSwapWithChunkedPrefillAndSharing(t *testing.T) {
+	m := tinyModel()
+	wl := trace.Workload{Model: m, Kind: dtype.BF16}
+	weights := int64(trace.WeightFootprint(wl))
+	perToken := m.KVCacheBytesPerToken(2)
+	p := tee.Baremetal()
+	p.Name = "tiny-enclave"
+	p.EPC = mem.EPC{Size: weights + 280*perToken, PageInCostFactor: 1}
+	var tr []Request
+	for i := 0; i < 16; i++ {
+		tr = append(tr, Request{ID: i, ArrivalSec: float64(i) * 0.001, InputLen: 96, OutputLen: 24,
+			PrefixID: i%2 + 1, PrefixLen: 64})
+	}
+	cfg := Config{Workload: wl, Trace: tr, Seed: 3, BlockTokens: 16,
+		PrefixSharing: true, ChunkTokens: 48, PreemptPolicy: PreemptSwap}
+	rep, err := Run(cpuBackend(p), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 16 || rep.Dropped != 0 || rep.Unfinished != 0 {
+		t.Fatalf("completed/dropped/unfinished = %d/%d/%d, want 16/0/0",
+			rep.Completed, rep.Dropped, rep.Unfinished)
+	}
+	if rep.Preemptions == 0 {
+		t.Fatal("no preemptions; stress is vacuous")
+	}
+	if rep.KVBlocksInUseAtEnd != 0 || rep.SwapBlocksAtEnd != 0 {
+		t.Fatalf("leaks: %d device, %d swap blocks", rep.KVBlocksInUseAtEnd, rep.SwapBlocksAtEnd)
+	}
+	rep2, err := Run(cpuBackend(p), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, rep2) {
+		t.Fatal("swap + chunked + sharing run not deterministic")
+	}
+}
+
+// TestSwapBeatsRecomputeOnCPUTEE: the headline trade-off — on an
+// enclave-bounded CPU TEE serving long contexts, re-prefilling a victim's
+// context costs hundreds of milliseconds of slow CPU prefill while the
+// swap path is a near-native memcpy, so swap must serve the identical
+// preemption-heavy load with a strictly better p99 TTFT.
+func TestSwapBeatsRecomputeOnCPUTEE(t *testing.T) {
+	m := mustLookup(t, "llama2-7b")
+	wl := trace.Workload{Model: m, Kind: dtype.BF16}
+	weights := int64(trace.WeightFootprint(wl))
+	p := tee.Baremetal()
+	p.Name = "tiny-enclave"
+	p.MemBWFactor = 0.955 // SGX-class inline encryption on the swap memcpy
+	p.EPC = mem.EPC{Size: weights + 768*m.KVCacheBytesPerToken(2), PageInCostFactor: 1}
+	var tr []Request
+	for i := 0; i < 6; i++ {
+		tr = append(tr, Request{ID: i, ArrivalSec: float64(i) * 0.05, InputLen: 256, OutputLen: 256})
+	}
+	cfg := Config{Workload: wl, Trace: tr, Seed: 1, MaxBatch: 8,
+		TTFTSLOSec: 60, TPOTSLOSec: 2}
+	rec, err := Run(cpuBackend(p), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swp := cfg
+	swp.PreemptPolicy = PreemptSwap
+	srep, err := Run(cpuBackend(p), swp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Preemptions == 0 || srep.SwapOuts == 0 {
+		t.Fatalf("no preemption pressure (%d recompute preemptions, %d swaps)", rec.Preemptions, srep.SwapOuts)
+	}
+	if srep.TTFT.P99 >= rec.TTFT.P99 {
+		t.Fatalf("swap p99 TTFT %.4fs not below recompute %.4fs on a CPU TEE",
+			srep.TTFT.P99, rec.TTFT.P99)
+	}
+}
+
+// TestAutoPolicyDeterministicAcrossRunsAndWorkers: auto's per-preemption
+// decision comes from the shared memoized coster, so reports must be
+// byte-identical across repeated runs and across sizing worker counts.
+func TestAutoPolicyDeterministicAcrossRunsAndWorkers(t *testing.T) {
+	be, cfg := preemptionHeavyConfig()
+	cfg.PreemptPolicy = PreemptAuto
+	a, err := Run(be, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(be, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("auto-policy runs with equal seeds diverged")
+	}
+	// On this CPU TEE auto should actually choose swap (memcpy beats the
+	// slow re-prefill) — otherwise the policy check is vacuous.
+	if a.SwapOuts == 0 {
+		t.Fatalf("auto never swapped on a CPU TEE (%d preemptions)", a.Preemptions)
+	}
+
+	sloCfg := cfg
+	sloCfg.TTFTSLOSec, sloCfg.TPOTSLOSec = 2, 0.5
+	nSerial, repSerial, err := SizeFleetForSLOParallel(be, sloCfg, LeastLoaded, 0.9, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nPar, repPar, err := SizeFleetForSLOParallel(be, sloCfg, LeastLoaded, 0.9, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nSerial != nPar || !reflect.DeepEqual(repSerial, repPar) {
+		t.Fatalf("auto-policy sizing differs across worker counts: %d vs %d replicas", nSerial, nPar)
+	}
+}
+
+// TestParsePreemptPolicy covers the CLI surface.
+func TestParsePreemptPolicy(t *testing.T) {
+	for s, want := range map[string]PreemptPolicy{
+		"": PreemptRecompute, "recompute": PreemptRecompute,
+		"swap": PreemptSwap, "auto": PreemptAuto, " Swap ": PreemptSwap,
+	} {
+		got, err := ParsePreemptPolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParsePreemptPolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePreemptPolicy("discard"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if got := PreemptAuto.String(); got != "auto" {
+		t.Errorf("String() = %q", got)
+	}
+	// An out-of-range policy value is a config error, not a silent default.
+	be, cfg := preemptionHeavyConfig()
+	cfg.PreemptPolicy = PreemptPolicy(9)
+	if _, err := Run(be, cfg); err == nil {
+		t.Error("invalid policy value accepted")
+	}
+}

@@ -242,3 +242,17 @@ func (p Platform) UPIFactor() float64 {
 	}
 	return 1
 }
+
+// SwapBWFactor returns the bandwidth multiplier KV swap-to-host traffic
+// pays on this platform. On GPUs the transfer crosses PCIe, so cGPU pays
+// the AES-GCM bounce-buffer factor the paper measures for host transfers
+// (§V-D.4); on CPUs the swap is a DRAM-to-DRAM memcpy that stays behind
+// the inline memory-encryption engine, so TDX/SGX swap at near-native
+// speed (MemBWFactor) — exactly the asymmetry that makes swap-vs-recompute
+// a per-TEE trade-off rather than a fixed rule.
+func (p Platform) SwapBWFactor(isGPU bool) float64 {
+	if isGPU {
+		return p.PCIeBWFactor
+	}
+	return p.MemBWFactor
+}

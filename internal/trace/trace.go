@@ -377,6 +377,19 @@ func GenerationTrace(w Workload) ([]StepTrace, error) {
 	return steps, nil
 }
 
+// KVSwapBytes returns the bytes one swap transfer of `tokens` KV-cache
+// entries moves for a single sequence: every layer's K and V vectors for
+// each token, at the inference-state element size. It is the payload of a
+// swap-to-host preemption step — a bulk copy, not an operator trace: the
+// transfer streams blocks sequentially, so it is costed against a copy
+// bandwidth (perf.StepCoster.SwapTime), not the roofline.
+func KVSwapBytes(w Workload, tokens int) float64 {
+	if tokens <= 0 {
+		return 0
+	}
+	return float64(tokens) * 2 * float64(w.Model.KVDim()) * w.kvElemSize() * float64(w.Model.Layers)
+}
+
 // KVCacheBytes returns the resident KV-cache size for the workload when all
 // rows hold ctxLen tokens.
 func KVCacheBytes(w Workload, ctxLen int) float64 {

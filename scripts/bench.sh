@@ -2,10 +2,11 @@
 # bench.sh — serving-simulator performance trajectory.
 #
 # Runs the serving-path benchmarks (scheduler hot loop plus the serving /
-# fleet / autoscale experiment sweeps) and distills them into BENCH_4.json
-# so future PRs have a perf baseline to compare against:
+# fleet / autoscale experiment sweeps) and distills them into BENCH_5.json
+# so future PRs have a perf baseline to compare against (the CI gate,
+# scripts/bench_compare.sh, diffs new runs against the newest BENCH_*.json):
 #
-#   sh scripts/bench.sh            # writes BENCH_4.json in the repo root
+#   sh scripts/bench.sh            # writes BENCH_5.json in the repo root
 #   sh scripts/bench.sh out.json   # custom output path
 #
 # Schema: {"benchmarks": [{"name", "runs", "ns_per_op", "allocs_per_op",
@@ -13,7 +14,7 @@
 # benchmark, each field the mean over -count=3 runs.
 set -eu
 
-out=${1:-BENCH_4.json}
+out=${1:-BENCH_5.json}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 

@@ -1,0 +1,54 @@
+#!/bin/sh
+# bench_compare.sh — serving-simulator bench-regression gate.
+#
+# Re-runs BenchmarkServeScheduler and compares its simreq/s (simulated
+# requests completed per wall-clock second, mean over -count=3) against the
+# newest BENCH_*.json baseline in the repo root. Fails when throughput
+# regresses by more than the threshold (default 25%); getting faster never
+# fails. Usage:
+#
+#   sh scripts/bench_compare.sh             # gate against newest BENCH_*.json
+#   sh scripts/bench_compare.sh 10          # custom threshold (percent)
+set -eu
+
+threshold=${1:-25}
+
+baseline_file=$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1)
+if [ -z "$baseline_file" ]; then
+    echo "bench_compare: no BENCH_*.json baseline found in repo root" >&2
+    exit 1
+fi
+# Extract BenchmarkServeScheduler's simreq/s from the baseline JSON without
+# depending on jq: isolate the benchmark's object, then the metric value.
+baseline=$(tr -d '\n' <"$baseline_file" |
+    sed 's/.*"name": "BenchmarkServeScheduler"//' |
+    sed 's/.*"simreq\/s": \([0-9.]*\).*/\1/')
+case "$baseline" in
+'' | *[!0-9.]*)
+    echo "bench_compare: no simreq/s for BenchmarkServeScheduler in $baseline_file" >&2
+    exit 1
+    ;;
+esac
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+go test -run '^$' -bench 'ServeScheduler' -benchmem -count=3 . | tee "$raw"
+
+current=$(awk '/^BenchmarkServeScheduler/ {
+    for (i = 2; i <= NF; i++) if ($(i) == "simreq/s") { sum += $(i - 1); n++ }
+} END { if (n > 0) printf "%.1f", sum / n }' "$raw")
+if [ -z "$current" ]; then
+    echo "bench_compare: benchmark produced no simreq/s metric" >&2
+    exit 1
+fi
+
+awk -v cur="$current" -v base="$baseline" -v thr="$threshold" -v file="$baseline_file" 'BEGIN {
+    change = (cur - base) / base * 100
+    printf "bench_compare: simreq/s %.1f vs baseline %.1f (%s) → %+.1f%% (threshold -%s%%)\n",
+        cur, base, file, change, thr
+    if (change < -thr) {
+        print "bench_compare: FAIL — serving-scheduler throughput regressed past the threshold" > "/dev/stderr"
+        exit 1
+    }
+    print "bench_compare: OK"
+}'

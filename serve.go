@@ -64,6 +64,17 @@ type ServeConfig struct {
 	// in large sweeps at a bounded modeled-time error. Default 1 = exact
 	// (bit-identical to the unmemoized cost model).
 	CostBucket int
+	// PreemptPolicy selects what a KV-pool preemption does with the
+	// victim's cache: "recompute" (default, vLLM-style full re-prefill),
+	// "swap" (park the computed entries in a bounded host swap pool at the
+	// backend's swap bandwidth — cGPU pays the encrypted bounce buffer,
+	// CPU TEEs a near-native memcpy — and restore them on resume), or
+	// "auto" (per preemption, whichever the memoized transfer-vs-recompute
+	// estimate prices cheaper).
+	PreemptPolicy string
+	// SwapPoolFrac sizes the host swap pool as a fraction of the device KV
+	// pool (0 = default 1.0; negative disables). Ignored under "recompute".
+	SwapPoolFrac float64
 }
 
 // ServeReport summarizes a serving run: load-level throughput and tail
@@ -92,6 +103,9 @@ type ServeReport struct {
 	PrefixCacheHitTokens  int
 	PrefixCacheMissTokens int
 	EvictedKVBlocks       int
+	// Swap-to-host preemption activity (zero under the default "recompute"
+	// policy): victims parked in the host swap pool and restores from it.
+	SwapOuts, SwapIns int
 	// Replicas and LBPolicy echo the simulated deployment (1 replica uses
 	// no load balancer).
 	Replicas int
@@ -148,6 +162,10 @@ func (s *Session) Serve(cfg ServeConfig) (*ServeReport, error) {
 		}
 		scenario = &sc
 	}
+	preempt, err := serve.ParsePreemptPolicy(cfg.PreemptPolicy)
+	if err != nil {
+		return nil, err
+	}
 	scfg := serve.Config{
 		Workload:      trace.Workload{Model: mcfg, Kind: kind, InputLen: cfg.InputLen, OutputLen: cfg.OutputLen},
 		Rate:          cfg.RatePerSec,
@@ -161,6 +179,8 @@ func (s *Session) Serve(cfg ServeConfig) (*ServeReport, error) {
 		PrefixGroups:  cfg.PrefixGroups,
 		PrefixFrac:    cfg.PrefixFrac,
 		CostBucket:    cfg.CostBucket,
+		PreemptPolicy: preempt,
+		SwapPoolFrac:  cfg.SwapPoolFrac,
 		TTFTSLOSec:    cfg.TTFTSLOSec,
 		TPOTSLOSec:    cfg.TPOTSLOSec,
 	}
@@ -214,6 +234,8 @@ func (s *Session) Serve(cfg ServeConfig) (*ServeReport, error) {
 		PrefixCacheHitTokens:  rep.PrefixCacheHitTokens,
 		PrefixCacheMissTokens: rep.PrefixCacheMissTokens,
 		EvictedKVBlocks:       rep.EvictedBlocks,
+		SwapOuts:              rep.SwapOuts,
+		SwapIns:               rep.SwapIns,
 		Replicas:              1,
 	}
 
