@@ -7,6 +7,7 @@ import (
 
 	"cllm/internal/autoscale"
 	"cllm/internal/model"
+	"cllm/internal/obs"
 	"cllm/internal/perf"
 	"cllm/internal/serve"
 	"cllm/internal/trace"
@@ -82,6 +83,12 @@ type AutoscaleConfig struct {
 	// IntervalSec / TargetUtil tune the control loop (defaults 15 s / 0.7).
 	IntervalSec float64
 	TargetUtil  float64
+	// DemandAlpha smooths the scaler's demand estimate with an EWMA over
+	// control windows: demand = alpha*instant + (1-alpha)*previous. 1 (or
+	// the 0 default) keeps the raw one-window estimator bit-identically;
+	// smaller values trade reaction speed for fewer cold starts under
+	// bursty traffic.
+	DemandAlpha float64
 	// NoColdStart zeroes every class's cold start — the counterfactual
 	// baseline quantifying what enclave build + attestation cost at scale.
 	NoColdStart bool
@@ -105,6 +112,10 @@ type AutoscaleConfig struct {
 	TTFTSLOSec, TPOTSLOSec float64
 	// Seed drives arrivals and every noise stream.
 	Seed int64
+	// Observe / ObserveWindowSec record the elastic run's lifecycle event
+	// stream and time series, as in ServeConfig.
+	Observe          bool
+	ObserveWindowSec float64
 }
 
 // AutoscaleClassReport is one class's consumption over the run.
@@ -138,15 +149,23 @@ type AutoscaleReport struct {
 	OfferedRate float64
 	// Completed / Dropped / Unfinished partition the offered requests.
 	Completed, Dropped, Unfinished int
-	SLOAttainment                  float64
-	GoodputTokensPerSec            float64
-	TTFTp50, TTFTp99, TPOTp99      float64
+	// Preemptions and swap transfers across the whole elastic fleet.
+	Preemptions       int
+	SwapOuts, SwapIns int
+	SLOAttainment     float64
+	// TotalTokens is the fleet's output-token production.
+	TotalTokens               int
+	GoodputTokensPerSec       float64
+	TTFTp50, TTFTp99, TPOTp99 float64
 	// ReplicaHours / CostUSD total the rented fleet over the run;
 	// USDPerMTok prices SLO-compliant served tokens (Inf when none).
 	ReplicaHours, CostUSD, USDPerMTok float64
 	ColdStarts                        int
 	Classes                           []AutoscaleClassReport
 	Windows                           []AutoscaleWindow
+	// Observation holds the rendered observability artifacts (nil unless
+	// AutoscaleConfig.Observe was set).
+	Observation *ServeObservation
 }
 
 // Autoscale simulates cost-aware elastic serving across heterogeneous TEE
@@ -210,6 +229,11 @@ func Autoscale(cfg AutoscaleConfig) (*AutoscaleReport, error) {
 		PreemptPolicy: preempt,
 		TTFTSLOSec:    cfg.TTFTSLOSec, TPOTSLOSec: cfg.TPOTSLOSec,
 	}
+	var rec *obs.Recorder
+	if cfg.Observe {
+		rec = obs.NewRecorderWindow(cfg.ObserveWindowSec, 512)
+		scfg.Observer = rec
+	}
 	classes := make([]autoscale.Class, len(cfg.Classes))
 	for i, ac := range cfg.Classes {
 		sess, err := Open(Config{Platform: ac.Platform, System: cfg.System, Seed: cfg.Seed})
@@ -249,6 +273,7 @@ func Autoscale(cfg AutoscaleConfig) (*AutoscaleReport, error) {
 		Dispatch:    dispatch,
 		IntervalSec: cfg.IntervalSec,
 		TargetUtil:  cfg.TargetUtil,
+		DemandAlpha: cfg.DemandAlpha,
 	})
 	if err != nil {
 		return nil, err
@@ -261,6 +286,10 @@ func Autoscale(cfg AutoscaleConfig) (*AutoscaleReport, error) {
 		Completed:           rep.Aggregate.Completed,
 		Dropped:             rep.Aggregate.Dropped,
 		Unfinished:          rep.Aggregate.Unfinished,
+		Preemptions:         rep.Aggregate.Preemptions,
+		SwapOuts:            rep.Aggregate.SwapOuts,
+		SwapIns:             rep.Aggregate.SwapIns,
+		TotalTokens:         rep.Aggregate.TotalTokens,
 		SLOAttainment:       rep.SLOAttainment(),
 		GoodputTokensPerSec: rep.Aggregate.GoodputTokensPerSec,
 		TTFTp50:             rep.Aggregate.TTFT.P50,
@@ -290,6 +319,9 @@ func Autoscale(cfg AutoscaleConfig) (*AutoscaleReport, error) {
 			DemandReqPerSec: w.DemandReqPerSec,
 			Active:          w.Active, Available: w.Available,
 		})
+	}
+	if rec != nil {
+		out.Observation = buildObservation(rec, rep.Aggregate)
 	}
 	return out, nil
 }

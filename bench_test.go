@@ -58,6 +58,7 @@ func BenchmarkFleetPolicies(b *testing.B)    { benchExperiment(b, "fleet") }
 func BenchmarkHeteroDispatch(b *testing.B)   { benchExperiment(b, "hetero") }
 func BenchmarkAutoscaling(b *testing.B)      { benchExperiment(b, "autoscale") }
 func BenchmarkPreemptPolicies(b *testing.B)  { benchExperiment(b, "preempt") }
+func BenchmarkObservability(b *testing.B)    { benchExperiment(b, "obs") }
 
 // BenchmarkServeScheduler measures the serving simulator itself: simulated
 // requests completed per wall-clock second of scheduler execution.
@@ -76,6 +77,29 @@ func BenchmarkServeScheduler(b *testing.B) {
 		}
 		if rep.Completed+rep.Dropped+rep.Unfinished != requests {
 			b.Fatalf("lost requests: %+v", rep)
+		}
+	}
+	b.ReportMetric(float64(requests)*float64(b.N)/b.Elapsed().Seconds(), "simreq/s")
+}
+
+// BenchmarkServeSchedulerObserved is the same run with the lifecycle
+// observer attached and all three exporters rendered — the observation tax
+// relative to BenchmarkServeScheduler's zero-cost disabled path.
+func BenchmarkServeSchedulerObserved(b *testing.B) {
+	s, err := Open(Config{Platform: "tdx", Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const requests = 32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := s.Serve(ServeConfig{RatePerSec: 8, Requests: requests, OutputLen: 16, Observe: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Observation == nil || rep.Observation.Events == 0 {
+			b.Fatalf("observation missing: %+v", rep)
 		}
 	}
 	b.ReportMetric(float64(requests)*float64(b.N)/b.Elapsed().Seconds(), "simreq/s")
@@ -190,7 +214,7 @@ func TestBenchmarkCoverage(t *testing.T) {
 		"sev": true, "b100": true, "scaleout": true, "hybrid": true,
 		"spr": true, "ablation": true, "serving": true,
 		"chunked": true, "prefix": true, "fleet": true,
-		"hetero": true, "autoscale": true, "preempt": true,
+		"hetero": true, "autoscale": true, "preempt": true, "obs": true,
 	}
 	for _, e := range Experiments() {
 		if !covered[e.ID] {

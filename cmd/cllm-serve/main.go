@@ -63,6 +63,11 @@ func main() {
 	costBucket := flag.Int("cost-bucket", 1, "step-costing quantization width in tokens (1 = exact; larger buckets trade bounded modeled-time error for memo hits in big sweeps)")
 	preempt := flag.String("preempt", "recompute", "preemption policy: recompute|swap|auto (swap parks KV in a host swap pool at the backend's swap bandwidth; auto picks the cheaper per preemption)")
 	format := flag.String("format", "table", "output format: table|csv|json")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline (Perfetto-loadable) of the observed run to this file")
+	metricsOut := flag.String("metrics-out", "", "write a Prometheus text-format snapshot of the observed run to this file")
+	timeseriesOut := flag.String("timeseries-out", "", "write the windowed CSV time series of the observed run to this file")
+	obsWindow := flag.Float64("obs-window", 0, "observation time-series window in simulated seconds (0 = 1s default)")
+	demandAlpha := flag.Float64("demand-alpha", 0, "autoscaler EWMA demand-smoothing factor in (0,1]; 0 or 1 keeps the raw one-window estimator")
 	sloTTFT := flag.Float64("slo-ttft", 5, "TTFT SLO (seconds)")
 	sloTPOT := flag.Float64("slo-tpot", 0.5, "TPOT SLO (seconds/token)")
 	sockets := flag.Int("sockets", 1, "CPU sockets")
@@ -96,6 +101,8 @@ func main() {
 			costBucket: *costBucket, preempt: *preempt,
 			sloTTFT: *sloTTFT, sloTPOT: *sloTPOT, sockets: *sockets,
 			seed: *seed, format: *format,
+			demandAlpha: *demandAlpha, obsWindow: *obsWindow,
+			traceOut: *traceOut, metricsOut: *metricsOut, timeseriesOut: *timeseriesOut,
 		})
 		return
 	}
@@ -121,6 +128,17 @@ func main() {
 		title += ", preempt " + preemptPol.String()
 		header = append(header, "swaps(out/in)")
 	}
+	// The machine formats carry the full report: the text table keeps its
+	// historical (byte-identical) schema, csv|json append every remaining
+	// counter so plots never need a second run.
+	machine := *format != "table"
+	if machine {
+		header = append(header, "completed", "dropped", "unfinished",
+			"kv-blocks", "kv-peak", "prefix-miss(tok)", "evicted-blocks", "swap-out", "swap-in")
+	}
+	// The export artifacts come from one observed run: the first platform's
+	// base-rate (×1) sweep point.
+	wantObserve := *traceOut != "" || *metricsOut != "" || *timeseriesOut != ""
 	mults := []float64{0.25, 0.5, 1, 1.5, 2}
 	table := &harness.Result{
 		ID:     "serve",
@@ -138,7 +156,9 @@ func main() {
 			os.Exit(1)
 		}
 		for _, m := range mults {
+			observe := wantObserve && m == 1
 			rep, err := sess.Serve(cllm.ServeConfig{
+				Observe: observe, ObserveWindowSec: *obsWindow,
 				Model: *modelName, DType: *dt,
 				InputLen: *inLen, OutputLen: *outLen,
 				Scenario:   *scenario,
@@ -182,11 +202,51 @@ func main() {
 			if swapMode {
 				row = append(row, fmt.Sprintf("%d/%d", rep.SwapOuts, rep.SwapIns))
 			}
+			if machine {
+				row = append(row,
+					fmt.Sprintf("%d", rep.Completed),
+					fmt.Sprintf("%d", rep.Dropped),
+					fmt.Sprintf("%d", rep.Unfinished),
+					fmt.Sprintf("%d", rep.KVBlocksTotal),
+					fmt.Sprintf("%d", rep.PeakKVBlocksInUse),
+					fmt.Sprintf("%d", rep.PrefixCacheMissTokens),
+					fmt.Sprintf("%d", rep.EvictedKVBlocks),
+					fmt.Sprintf("%d", rep.SwapOuts),
+					fmt.Sprintf("%d", rep.SwapIns))
+			}
 			table.Rows = append(table.Rows, row)
+			if observe {
+				writeArtifacts(rep.Observation, *traceOut, *metricsOut, *timeseriesOut)
+				wantObserve = false
+			}
 		}
 	}
 
 	emit(table, *format)
+}
+
+// writeArtifacts writes the observed run's rendered artifacts to the
+// requested paths (empty path = artifact not requested).
+func writeArtifacts(o *cllm.ServeObservation, traceOut, metricsOut, timeseriesOut string) {
+	if o == nil {
+		return
+	}
+	for _, art := range []struct {
+		path string
+		data []byte
+	}{
+		{traceOut, o.TraceJSON},
+		{metricsOut, o.PrometheusText},
+		{timeseriesOut, o.TimeseriesCSV},
+	} {
+		if art.path == "" {
+			continue
+		}
+		if err := os.WriteFile(art.path, art.data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "cllm-serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // emit prints a result table in the chosen format.
@@ -207,16 +267,18 @@ func emit(table *harness.Result, format string) {
 }
 
 type autoscaleArgs struct {
-	modelName, dt, system       string
-	scenario, classes, dispatch string
-	rate, targetUtil, interval  float64
-	sloTTFT, sloTPOT            float64
-	requests, batch, sockets    int
-	chunkSize, costBucket       int
-	preempt                     string
-	prefixShare, noColdStart    bool
-	seed                        int64
-	format                      string
+	modelName, dt, system               string
+	scenario, classes, dispatch         string
+	rate, targetUtil, interval          float64
+	sloTTFT, sloTPOT                    float64
+	requests, batch, sockets            int
+	chunkSize, costBucket               int
+	preempt                             string
+	prefixShare, noColdStart            bool
+	seed                                int64
+	format                              string
+	demandAlpha, obsWindow              float64
+	traceOut, metricsOut, timeseriesOut string
 }
 
 // runAutoscale simulates one elastic heterogeneous fleet and prints its
@@ -236,17 +298,21 @@ func runAutoscale(a autoscaleArgs) {
 		Scenario: scenario, RatePerSec: a.rate, Requests: a.requests,
 		Classes: classes, Dispatch: a.dispatch,
 		IntervalSec: a.interval, TargetUtil: a.targetUtil,
+		DemandAlpha: a.demandAlpha,
 		NoColdStart: a.noColdStart, MaxBatch: a.batch,
 		ChunkTokens: a.chunkSize, PrefixSharing: a.prefixShare,
 		PreemptPolicy: a.preempt,
 		Sockets:       a.sockets, CostBucket: a.costBucket,
 		TTFTSLOSec: a.sloTTFT, TPOTSLOSec: a.sloTPOT,
-		Seed: a.seed,
+		Seed:             a.seed,
+		Observe:          a.traceOut != "" || a.metricsOut != "" || a.timeseriesOut != "",
+		ObserveWindowSec: a.obsWindow,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cllm-serve: %v\n", err)
 		os.Exit(1)
 	}
+	writeArtifacts(rep.Observation, a.traceOut, a.metricsOut, a.timeseriesOut)
 
 	offered := rep.Completed + rep.Dropped + rep.Unfinished
 	table := &harness.Result{
@@ -255,8 +321,16 @@ func runAutoscale(a autoscaleArgs) {
 			a.modelName, a.dt, scenario, a.rate, offered, rep.Dispatch, a.targetUtil, a.sloTTFT, a.sloTPOT),
 		Header: []string{"class", "$/h", "coldstart(s)", "cap(req/s)", "dispatched", "peak", "coldstarts", "replica-hrs", "cost($)", "SLO%", "goodput", "$/Mtok"},
 	}
+	// The machine formats carry the fleet-level request partition, latency
+	// and preemption/swap counters as columns (the text table keeps them in
+	// the note, preserving its historical schema).
+	machine := a.format != "table"
+	if machine {
+		table.Header = append(table.Header, "completed", "dropped", "unfinished",
+			"preempt", "swap-out", "swap-in", "tokens", "TTFT p50(s)", "TTFT p99(s)")
+	}
 	for _, c := range rep.Classes {
-		table.Rows = append(table.Rows, []string{
+		row := []string{
 			c.Name,
 			fmt.Sprintf("%.2f", c.HourlyUSD),
 			fmt.Sprintf("%.1f", c.ColdStartSec),
@@ -267,9 +341,13 @@ func runAutoscale(a autoscaleArgs) {
 			fmt.Sprintf("%.4f", c.ReplicaHours),
 			fmt.Sprintf("%.4f", c.CostUSD),
 			"-", "-", "-",
-		})
+		}
+		if machine {
+			row = append(row, "-", "-", "-", "-", "-", "-", "-", "-", "-")
+		}
+		table.Rows = append(table.Rows, row)
 	}
-	table.Rows = append(table.Rows, []string{
+	fleetRow := []string{
 		"fleet", "-", "-", "-",
 		fmt.Sprintf("%d", rep.Completed+rep.Dropped+rep.Unfinished),
 		"-",
@@ -279,7 +357,20 @@ func runAutoscale(a autoscaleArgs) {
 		fmt.Sprintf("%.0f%%", rep.SLOAttainment*100),
 		fmt.Sprintf("%.1f", rep.GoodputTokensPerSec),
 		fmt.Sprintf("%.2f", rep.USDPerMTok),
-	})
+	}
+	if machine {
+		fleetRow = append(fleetRow,
+			fmt.Sprintf("%d", rep.Completed),
+			fmt.Sprintf("%d", rep.Dropped),
+			fmt.Sprintf("%d", rep.Unfinished),
+			fmt.Sprintf("%d", rep.Preemptions),
+			fmt.Sprintf("%d", rep.SwapOuts),
+			fmt.Sprintf("%d", rep.SwapIns),
+			fmt.Sprintf("%d", rep.TotalTokens),
+			fmt.Sprintf("%.3f", rep.TTFTp50),
+			fmt.Sprintf("%.3f", rep.TTFTp99))
+	}
+	table.Rows = append(table.Rows, fleetRow)
 	table.Notes = append(table.Notes,
 		fmt.Sprintf("completed %d, dropped %d, unfinished %d; TTFT p50 %.3fs p99 %.3fs; %d control windows",
 			rep.Completed, rep.Dropped, rep.Unfinished, rep.TTFTp50, rep.TTFTp99, len(rep.Windows)))

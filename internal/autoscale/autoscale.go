@@ -141,6 +141,13 @@ type Config struct {
 	// size before surplus replicas start draining (default 2 intervals) —
 	// hysteresis against flapping on burst edges.
 	ScaleDownHoldSec float64
+	// DemandAlpha is the EWMA smoothing factor for the scaler's demand
+	// estimate, in (0, 1]: estimate = alpha*instant + (1-alpha)*previous.
+	// 0 means the default 1 — the pure one-window reactive estimator,
+	// bit-identical to the pre-smoothing behavior. Values below 1 damp
+	// burst edges: fewer cold starts and less capacity flapping, at the
+	// cost of reacting a window or two late to sustained shifts.
+	DemandAlpha float64
 	// Workers bounds concurrent evaluation of independent sub-simulations —
 	// the per-class capacity probes, each on its own engine with its own
 	// seed. Probe results are assigned by class index and any error is
@@ -162,6 +169,12 @@ func (c *Config) normalize() error {
 	}
 	if c.ScaleDownHoldSec <= 0 {
 		c.ScaleDownHoldSec = 2 * c.IntervalSec
+	}
+	if c.DemandAlpha == 0 {
+		c.DemandAlpha = 1
+	}
+	if c.DemandAlpha < 0 || c.DemandAlpha > 1 {
+		return fmt.Errorf("autoscale: demand EWMA alpha %g outside (0, 1]", c.DemandAlpha)
 	}
 	switch c.Dispatch {
 	case Uniform, CostAware:
@@ -253,6 +266,11 @@ func ProbeCapacity(be serve.Backend, scfg serve.Config) (float64, error) {
 		}
 	}
 	cfg.Scenario = nil
+	// Probes are synthetic side-simulations, possibly run concurrently
+	// (Workers > 1): never feed them to the run's observer — it is not
+	// safe for concurrent use and its timeline should hold only the real
+	// fleet's events.
+	cfg.Observer = nil
 	// The burst must overfill the batch, or the "saturated" rate would
 	// reflect a part-empty batch plus ramp-down tail and understate the
 	// class for deep-batch configs.
@@ -310,6 +328,7 @@ func probeCapacities(cls []Class, cfg Config) error {
 // should not cost Max schedulers' state when the load never needs them.
 type slot struct {
 	class int   // index into classes
+	idx   int   // fleet-wide slot index; labels observer events
 	seed  int64 // decorrelates this slot's noise stream
 	rep   *serve.Replica
 	// active means billed (operator pays from activation to drain-done).
@@ -409,7 +428,7 @@ func Run(classes []Class, cfg Config) (*Report, error) {
 	for ci := range cls {
 		f.overSince[ci] = -1
 		for j := 0; j < cls[ci].Max; j++ {
-			s := &slot{class: ci, seed: scfg.Seed + int64(len(f.slots))*7919 + 104729}
+			s := &slot{class: ci, idx: len(f.slots), seed: scfg.Seed + int64(len(f.slots))*7919 + 104729}
 			s.active = j < cls[ci].Min // warm standing fleet
 			f.slots = append(f.slots, s)
 			// Construct warm slots now, plus one probe slot per class, so
@@ -449,7 +468,11 @@ type fleet struct {
 	totalArrivals  int
 	dispatchedN    int
 	windows        []Window
-	coldStarts     []int // per class
+	// prevDemand / haveDemand hold the EWMA state of the demand estimator
+	// across control windows (see Config.DemandAlpha).
+	prevDemand float64
+	haveDemand bool
+	coldStarts []int // per class
 	// overSince tracks, per class, when it started exceeding its desired
 	// count (scale-down hysteresis); -1 means not currently over.
 	overSince []float64
@@ -471,6 +494,7 @@ func (f *fleet) ensureReplica(s *slot) bool {
 		f.done = true
 		return false
 	}
+	rep.SetIndex(s.idx) // observer events carry the fleet-wide slot index
 	s.rep = rep
 	return true
 }
@@ -567,8 +591,14 @@ func (f *fleet) tick(*sim.Engine) {
 	arrived := f.windowArrivals
 	f.windowArrivals = 0
 	// Demand: sustain the window's arrival rate and drain the backlog
-	// within one control interval.
+	// within one control interval. With DemandAlpha < 1 the instantaneous
+	// estimate is EWMA-smoothed across windows; alpha = 1 branches to the
+	// raw value so the default stays bit-identical to the unsmoothed loop.
 	demand := float64(arrived)/interval + float64(backlog)/interval
+	if f.cfg.DemandAlpha < 1 && f.haveDemand {
+		demand = f.cfg.DemandAlpha*demand + (1-f.cfg.DemandAlpha)*f.prevDemand
+	}
+	f.prevDemand, f.haveDemand = demand, true
 	needCapacity := demand / f.cfg.TargetUtil
 
 	desired := f.desiredCounts(needCapacity)

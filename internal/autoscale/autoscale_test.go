@@ -3,12 +3,14 @@ package autoscale
 import (
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"cllm/internal/dtype"
 	"cllm/internal/gramine"
 	"cllm/internal/hw"
 	"cllm/internal/model"
+	"cllm/internal/obs"
 	"cllm/internal/perf"
 	"cllm/internal/serve"
 	"cllm/internal/tee"
@@ -262,5 +264,101 @@ func TestRunParallelProbesMatchSerial(t *testing.T) {
 	if !reflect.DeepEqual(serial, parallel) {
 		t.Fatalf("parallel-probed report differs from serial:\nserial  %+v\nparallel %+v",
 			serial.Aggregate, parallel.Aggregate)
+	}
+}
+
+// TestDemandAlphaDefaultBitIdentical: DemandAlpha 0 (default) and an
+// explicit 1 are the pure reactive estimator — the whole report must be
+// bit-identical to a run that never heard of smoothing.
+func TestDemandAlphaDefaultBitIdentical(t *testing.T) {
+	classes := []Class{{
+		Name: "tdx", Backend: testBackend(tee.TDX()), HourlyUSD: 0.83,
+		ColdStartSec: 12, Min: 1, Max: 3,
+	}}
+	base, err := Run(classes, Config{Serve: testServeConfig(t, 48), IntervalSec: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := Run(classes, Config{Serve: testServeConfig(t, 48), IntervalSec: 10, DemandAlpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, one) {
+		t.Fatalf("DemandAlpha=1 changed the report:\ndefault %+v\nalpha=1 %+v", base.Aggregate, one.Aggregate)
+	}
+}
+
+// TestDemandAlphaSmoothsDemand checks the estimator's recurrence against
+// the recorded control windows: each window carries the arrivals and
+// backlog the instantaneous estimate is built from, so the smoothed series
+// must satisfy d_i = alpha*raw_i + (1-alpha)*d_{i-1} exactly — and differ
+// from the raw series on a bursty stream.
+func TestDemandAlphaSmoothsDemand(t *testing.T) {
+	const alpha, interval = 0.3, 10.0
+	classes := []Class{{
+		Name: "tdx", Backend: testBackend(tee.TDX()), HourlyUSD: 0.83,
+		ColdStartSec: 12, Min: 1, Max: 4,
+	}}
+	rep, err := Run(classes, Config{Serve: testServeConfig(t, 96), IntervalSec: interval, DemandAlpha: alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Windows) < 2 {
+		t.Fatalf("need several control windows, got %d", len(rep.Windows))
+	}
+	prev := 0.0
+	smoothedDiffers := false
+	for i, w := range rep.Windows {
+		raw := float64(w.Arrivals)/interval + float64(w.Backlog)/interval
+		want := raw
+		if i > 0 {
+			want = alpha*raw + (1-alpha)*prev
+		}
+		if w.DemandReqPerSec != want {
+			t.Fatalf("window %d: demand %g, EWMA recurrence gives %g (raw %g)", i, w.DemandReqPerSec, want, raw)
+		}
+		if w.DemandReqPerSec != raw {
+			smoothedDiffers = true
+		}
+		prev = w.DemandReqPerSec
+	}
+	if !smoothedDiffers {
+		t.Fatal("smoothed demand never departed from the raw estimate on a bursty stream")
+	}
+}
+
+func TestDemandAlphaValidation(t *testing.T) {
+	classes := []Class{{Name: "tdx", Backend: testBackend(tee.TDX()), HourlyUSD: 0.83, Max: 2}}
+	for _, alpha := range []float64{-0.5, 1.5} {
+		if _, err := Run(classes, Config{Serve: testServeConfig(t, 8), DemandAlpha: alpha}); err == nil {
+			t.Errorf("alpha %g accepted", alpha)
+		}
+	}
+}
+
+// TestAutoscaleObserver: the serve-layer observer threads through the
+// autoscaler's replicas — events carry per-slot replica labels and the
+// merged aggregate is reconstructed exactly by the recorded stream.
+func TestAutoscaleObserver(t *testing.T) {
+	rec := obs.NewRecorder()
+	scfg := testServeConfig(t, 96)
+	scfg.Observer = rec
+	classes := []Class{{
+		Name: "tdx", Backend: testBackend(tee.TDX()), HourlyUSD: 0.83,
+		ColdStartSec: 1, Min: 2, Max: 4,
+	}}
+	rep, err := Run(classes, Config{Serve: scfg, IntervalSec: 10, TargetUtil: 0.6, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := obs.ReconcileReport(rec.Events(), rep.Aggregate); len(bad) != 0 {
+		t.Fatalf("autoscale event stream does not reconstruct the aggregate:\n%s", strings.Join(bad, "\n"))
+	}
+	replicas := map[int]bool{}
+	for _, ev := range rec.Events() {
+		replicas[ev.Replica] = true
+	}
+	if len(replicas) < 2 {
+		t.Fatalf("bursty scale-up should involve several slots, events saw %d", len(replicas))
 	}
 }

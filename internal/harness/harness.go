@@ -125,14 +125,21 @@ func (r *Result) Render() string {
 }
 
 // CSV renders the result's table as RFC-4180 CSV: one header line followed
-// by the data rows. Checks and notes are not part of the tabular schema —
-// machine consumers wanting them should use JSON. The column schema per
-// tool is documented in docs/serving-model.md.
+// by the data rows, every record padded to the header's width so strict
+// readers (uniform FieldsPerRecord) always accept the output. Checks and
+// notes are not part of the tabular schema — machine consumers wanting
+// them should use JSON. The column schema per tool is documented in
+// docs/serving-model.md.
 func (r *Result) CSV() string {
 	var b strings.Builder
 	w := csv.NewWriter(&b)
 	_ = w.Write(r.Header)
 	for _, row := range r.Rows {
+		if len(row) < len(r.Header) {
+			padded := make([]string, len(r.Header))
+			copy(padded, row)
+			row = padded
+		}
 		_ = w.Write(row)
 	}
 	w.Flush()

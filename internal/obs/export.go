@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+
+	"cllm/internal/serve"
+)
+
+// usec renders a sim-clock time as trace-event microseconds.
+func usec(sec float64) string { return fmt.Sprintf("%.3f", sec*1e6) }
+
+// PerfettoTrace renders the recorded event stream as Chrome trace-event
+// JSON, loadable in Perfetto (ui.perfetto.dev) or chrome://tracing: one
+// process per replica, one track (thread) per request, complete ("X")
+// spans for the queued / preempted / prefill / decode phases and instant
+// ("i") events for preemptions, swap transfers and drops. Timestamps are
+// the deterministic sim clock converted to microseconds — identical runs
+// serialize byte-identically.
+//
+// Span endpoints come from the closing lifecycle event: a request still
+// queued or running at the horizon has no closing event and contributes
+// only its instants and already-closed spans.
+func (r *Recorder) PerfettoTrace() []byte {
+	var buf bytes.Buffer
+	buf.WriteString("{\"traceEvents\":[")
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			buf.WriteByte(',')
+		}
+		first = false
+		buf.WriteByte('\n')
+		fmt.Fprintf(&buf, format, args...)
+	}
+
+	// Process metadata first: one named track group per replica seen.
+	seen := map[int]bool{}
+	var replicas []int
+	for _, ev := range r.events {
+		if !seen[ev.Replica] {
+			seen[ev.Replica] = true
+			replicas = append(replicas, ev.Replica)
+		}
+	}
+	for _, id := range replicas {
+		emit(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":"replica %d"}}`, id, id)
+		emit(`{"name":"process_sort_index","ph":"M","pid":%d,"args":{"sort_index":%d}}`, id, id)
+	}
+
+	span := func(name string, ev serve.Event, from, to float64) {
+		emit(`{"name":%q,"cat":"request","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s}`,
+			name, ev.Replica, ev.ReqID, usec(from), usec(to-from))
+	}
+	type track struct {
+		arrive, admit, firstTok, preempt float64
+		hasAdmit, hasPreempt             bool
+	}
+	tracks := map[int]*track{}
+	for _, ev := range r.events {
+		t := tracks[ev.ReqID]
+		if t == nil && ev.Kind != serve.EvDecodeRound {
+			t = &track{}
+			tracks[ev.ReqID] = t
+		}
+		switch ev.Kind {
+		case serve.EvArrive:
+			t.arrive = ev.TimeSec
+		case serve.EvAdmit:
+			if !t.hasAdmit {
+				t.hasAdmit = true
+				t.admit = ev.TimeSec
+				span("queued", ev, t.arrive, ev.TimeSec)
+			} else if t.hasPreempt {
+				t.hasPreempt = false
+				span("preempted", ev, t.preempt, ev.TimeSec)
+			}
+		case serve.EvFirstToken:
+			span("prefill", ev, t.admit, ev.TimeSec)
+			t.firstTok = ev.TimeSec
+		case serve.EvFinish:
+			span("decode", ev, t.firstTok, ev.TimeSec)
+		case serve.EvDrop:
+			span("queued", ev, t.arrive, ev.TimeSec)
+			emit(`{"name":"drop","cat":"sched","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"tokens":%d}}`,
+				ev.Replica, ev.ReqID, usec(ev.TimeSec), ev.Tokens)
+		case serve.EvPreempt:
+			t.preempt = ev.TimeSec
+			t.hasPreempt = true
+			emit(`{"name":"preempt","cat":"sched","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"policy":%q,"reason":%q,"tokens":%d}}`,
+				ev.Replica, ev.ReqID, usec(ev.TimeSec), ev.Policy.String(), ev.Reason.String(), ev.Tokens)
+		case serve.EvSwapOut, serve.EvSwapIn:
+			emit(`{"name":%q,"cat":"swap","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"tokens":%d,"bytes":%.0f,"xfer_ms":%.6g}}`,
+				ev.Kind.String(), ev.Replica, ev.ReqID, usec(ev.TimeSec), ev.Tokens, ev.Bytes, ev.XferSec*1e3)
+		}
+	}
+	buf.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n")
+	return buf.Bytes()
+}
+
+// PrometheusText renders a Prometheus text-exposition (0.0.4) snapshot of
+// a run's aggregate report: end-of-run counter and gauge values plus the
+// latency quantile summaries, labeled with the platform. Metrics are
+// written in a fixed order, so identical reports serialize
+// byte-identically.
+func PrometheusText(rep *serve.Report) []byte {
+	var buf bytes.Buffer
+	lbl := fmt.Sprintf(`platform=%q`, rep.Platform)
+	counter := func(name, help string, v int) {
+		fmt.Fprintf(&buf, "# HELP cllm_%s %s\n# TYPE cllm_%s counter\ncllm_%s{%s} %d\n", name, help, name, name, lbl, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&buf, "# HELP cllm_%s %s\n# TYPE cllm_%s gauge\ncllm_%s{%s} %g\n", name, help, name, name, lbl, v)
+	}
+	summary := func(name, help string, q serve.Quantiles, n int) {
+		fmt.Fprintf(&buf, "# HELP cllm_%s %s\n# TYPE cllm_%s summary\n", name, help, name)
+		fmt.Fprintf(&buf, "cllm_%s{%s,quantile=\"0.5\"} %g\n", name, lbl, q.P50)
+		fmt.Fprintf(&buf, "cllm_%s{%s,quantile=\"0.95\"} %g\n", name, lbl, q.P95)
+		fmt.Fprintf(&buf, "cllm_%s{%s,quantile=\"0.99\"} %g\n", name, lbl, q.P99)
+		fmt.Fprintf(&buf, "cllm_%s_sum{%s} %g\n", name, lbl, q.Mean*float64(n))
+		fmt.Fprintf(&buf, "cllm_%s_count{%s} %d\n", name, lbl, n)
+	}
+	counter("requests_completed_total", "Requests completed within the run.", rep.Completed)
+	counter("requests_dropped_total", "Requests shed because they could never fit the KV pool.", rep.Dropped)
+	counter("requests_unfinished_total", "Requests still queued or running at the horizon.", rep.Unfinished)
+	counter("preemptions_total", "Sequences evicted from the running batch.", rep.Preemptions)
+	counter("swap_outs_total", "Preemption victims parked in the host swap pool.", rep.SwapOuts)
+	counter("swap_ins_total", "Parked requests restored from the host swap pool.", rep.SwapIns)
+	counter("tokens_generated_total", "Output tokens produced.", rep.TotalTokens)
+	counter("prefix_cache_hit_tokens_total", "Prompt tokens served from shared prefix blocks.", rep.PrefixCacheHitTokens)
+	counter("prefix_cache_miss_tokens_total", "Shareable prefix tokens that had to be computed.", rep.PrefixCacheMissTokens)
+	counter("kv_blocks_evicted_total", "Cached prefix blocks reclaimed under memory pressure.", rep.EvictedBlocks)
+	gauge("kv_blocks_total", "Device KV pool capacity in blocks.", float64(rep.KVBlocksTotal))
+	gauge("kv_blocks_peak", "Device KV pool occupancy high-water mark.", float64(rep.PeakKVBlocksInUse))
+	gauge("swap_pool_blocks", "Host swap pool capacity in blocks.", float64(rep.SwapPoolBlocks))
+	gauge("swap_blocks_peak", "Host swap pool occupancy high-water mark.", float64(rep.PeakSwapBlocksInUse))
+	gauge("offered_rate_req_per_sec", "Offered arrival rate.", rep.OfferedRate)
+	gauge("makespan_seconds", "Simulated time from first arrival to last event.", rep.MakespanSec)
+	gauge("throughput_tokens_per_sec", "Aggregate generation throughput.", rep.TokensPerSec)
+	gauge("goodput_tokens_per_sec", "Throughput counting only SLO-compliant requests' tokens.", rep.GoodputTokensPerSec)
+	gauge("slo_attainment", "Fraction of offered requests served within SLO.", rep.SLOAttainment())
+	n := len(rep.Requests)
+	summary("ttft_seconds", "Time to first token of completed requests.", rep.TTFT, n)
+	summary("tpot_seconds", "Mean time per output token of completed multi-token requests.", rep.TPOT, n)
+	summary("request_latency_seconds", "Arrival-to-completion latency of completed requests.", rep.Latency, n)
+	return buf.Bytes()
+}
+
+// TimeseriesCSV renders the merged fleet-wide windowed series as CSV: one
+// row per aligned window, gauges as last-value and in-window peak columns,
+// token counters differenced into per-second rates over the elapsed time
+// since the previous row. The header names the clock explicitly — all
+// times are simulated seconds.
+func (r *Recorder) TimeseriesCSV() []byte {
+	var buf bytes.Buffer
+	buf.WriteString("window_start_sec,window_sec,samples,queue_depth,queue_peak,running,running_peak," +
+		"kv_blocks_in_use,kv_blocks_peak,kv_blocks_cached,swap_blocks_in_use,swap_blocks_peak," +
+		"prefix_hit_rate,tokens_per_sec,goodput_tokens_per_sec\n")
+	merged := r.series.Merged()
+	w := r.series.WindowSec
+	prevEnd := 0.0
+	prevTok, prevGood, prevHit, prevMiss := 0, 0, 0, 0
+	for _, win := range merged {
+		end := win.StartSec + w
+		elapsed := end - prevEnd
+		rate := func(delta int) float64 {
+			if elapsed <= 0 {
+				return 0
+			}
+			return float64(delta) / elapsed
+		}
+		hitRate := 0.0
+		if dh, dm := win.HitTokens-prevHit, win.MissTokens-prevMiss; dh+dm > 0 {
+			hitRate = float64(dh) / float64(dh+dm)
+		}
+		fmt.Fprintf(&buf, "%.6g,%.6g,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6g,%.6g,%.6g\n",
+			win.StartSec, w, win.Samples, win.Queue, win.QueuePeak, win.Running, win.RunningPeak,
+			win.KVInUse, win.KVInUsePeak, win.KVCached, win.Swap, win.SwapPeak,
+			hitRate, rate(win.TotalTokens-prevTok), rate(win.GoodTokens-prevGood))
+		prevEnd = end
+		prevTok, prevGood, prevHit, prevMiss = win.TotalTokens, win.GoodTokens, win.HitTokens, win.MissTokens
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cllm/internal/dtype"
+	"cllm/internal/hw"
+	"cllm/internal/mem"
+	"cllm/internal/model"
+	"cllm/internal/perf"
+	"cllm/internal/serve"
+	"cllm/internal/tee"
+	"cllm/internal/trace"
+)
+
+func tinyModel() model.Config {
+	return model.Config{
+		Name: "tiny", HiddenDim: 256, Layers: 4, Heads: 8, KVHeads: 8,
+		FFDim: 512, VocabSize: 1024, ContextLen: 2048, NormEps: 1e-5, RopeTheta: 10000,
+	}
+}
+
+// pressureSetup builds a memory-starved enclave backend and a config that
+// exercises every event kind: chunked prefill, prefix sharing, swap-to-host
+// preemption, and one request that can never fit (a drop).
+func pressureSetup() (serve.Backend, serve.Config) {
+	m := tinyModel()
+	wl := trace.Workload{Model: m, Kind: dtype.BF16, InputLen: 64, OutputLen: 16}
+	weights := int64(trace.WeightFootprint(wl))
+	perToken := m.KVCacheBytesPerToken(2)
+	p := tee.Baremetal()
+	p.Name = "tiny-enclave"
+	p.EPC = mem.EPC{Size: weights + 160*perToken, PageInCostFactor: 1}
+	be := serve.Backend{CPU: perf.CPURun{CPU: hw.EMR1(), Platform: p, Sockets: 1, AMX: true}}
+	tr := make([]serve.Request, 0, 17)
+	for i := 0; i < 16; i++ {
+		r := serve.Request{ID: i, ArrivalSec: float64(i) * 0.002, InputLen: 64, OutputLen: 32}
+		if i%2 == 0 {
+			r.PrefixID, r.PrefixLen = 1, 32
+		}
+		tr = append(tr, r)
+	}
+	tr = append(tr, serve.Request{ID: 16, ArrivalSec: 0.033, InputLen: 1024, OutputLen: 4}) // can never fit
+	cfg := serve.Config{
+		Workload: wl, Trace: tr, Seed: 7,
+		ChunkTokens: 32, PrefixSharing: true, PreemptPolicy: serve.PreemptSwap,
+	}
+	return be, cfg
+}
+
+func TestRecorderConservationAndCounts(t *testing.T) {
+	be, cfg := pressureSetup()
+	rec := NewRecorder()
+	cfg.Observer = rec
+	rep, err := serve.Run(be, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scenario must actually exercise the full event vocabulary.
+	for _, k := range []serve.EventKind{
+		serve.EvArrive, serve.EvAdmit, serve.EvPrefillChunk, serve.EvFirstToken,
+		serve.EvDecodeRound, serve.EvPreempt, serve.EvSwapOut, serve.EvSwapIn,
+		serve.EvDrop, serve.EvFinish,
+	} {
+		if rec.CountKind(k) == 0 {
+			t.Errorf("scenario emitted no %v events", k)
+		}
+	}
+	if bad := ReconcileReport(rec.Events(), rep); len(bad) != 0 {
+		t.Fatalf("event stream does not reconstruct the report:\n%s", strings.Join(bad, "\n"))
+	}
+	if got := rec.CountKind(serve.EvFinish); got != rep.Completed {
+		t.Fatalf("finish events %d != completed %d", got, rep.Completed)
+	}
+	if got := rec.CountKind(serve.EvArrive); got != rep.Completed+rep.Dropped+rep.Unfinished {
+		t.Fatalf("arrive events %d != offered %d", got, rep.Completed+rep.Dropped+rep.Unfinished)
+	}
+	// Swap events carry payloads and priced transfer times.
+	for _, ev := range rec.Events() {
+		if ev.Kind == serve.EvSwapOut && (ev.Bytes <= 0 || ev.XferSec <= 0) {
+			t.Fatalf("swap-out without priced payload: %+v", ev)
+		}
+	}
+}
+
+func TestObserverDoesNotPerturbResults(t *testing.T) {
+	be, cfg := pressureSetup()
+	base, err := serve.Run(be, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Observer = NewRecorder()
+	observed, err := serve.Run(be, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, observed) {
+		t.Fatalf("attaching an observer changed the report:\nbase     %+v\nobserved %+v", base, observed)
+	}
+}
+
+func TestFleetConservationAndByteIdenticalExports(t *testing.T) {
+	be, cfg := pressureSetup()
+	run := func() (*serve.FleetReport, *Recorder) {
+		c := cfg
+		rec := NewRecorderWindow(0.05, 512)
+		c.Observer = rec
+		fr, err := serve.RunFleet(be, c, serve.FleetConfig{Replicas: 2, Policy: serve.RoundRobin})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fr, rec
+	}
+	fr1, rec1 := run()
+	fr2, rec2 := run()
+	if bad := ReconcileReport(rec1.Events(), fr1.Aggregate); len(bad) != 0 {
+		t.Fatalf("fleet event stream does not reconstruct the aggregate:\n%s", strings.Join(bad, "\n"))
+	}
+	if !reflect.DeepEqual(rec1.Events(), rec2.Events()) {
+		t.Fatal("identical fleet runs recorded different event streams")
+	}
+	if !reflect.DeepEqual(fr1.Aggregate, fr2.Aggregate) {
+		t.Fatal("identical fleet runs produced different aggregates")
+	}
+	for _, pair := range [][2][]byte{
+		{rec1.PerfettoTrace(), rec2.PerfettoTrace()},
+		{PrometheusText(fr1.Aggregate), PrometheusText(fr2.Aggregate)},
+		{rec1.TimeseriesCSV(), rec2.TimeseriesCSV()},
+	} {
+		if !bytes.Equal(pair[0], pair[1]) {
+			t.Fatal("identical runs produced different export bytes")
+		}
+	}
+	// Both replicas sampled, and the events carry both replica labels.
+	if got := rec1.Series().Replicas(); len(got) != 2 {
+		t.Fatalf("expected 2 replica series, got %v", got)
+	}
+}
+
+func TestPerfettoTraceWellFormed(t *testing.T) {
+	be, cfg := pressureSetup()
+	rec := NewRecorder()
+	cfg.Observer = rec
+	if _, err := serve.Run(be, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.PerfettoTrace(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	spans, instants := 0, 0
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			spans++
+			if d, ok := ev["dur"].(float64); !ok || d < 0 {
+				t.Fatalf("span with bad duration: %v", ev)
+			}
+		case "i":
+			instants++
+		case "M":
+		default:
+			t.Fatalf("unexpected phase in %v", ev)
+		}
+	}
+	if spans == 0 || instants == 0 {
+		t.Fatalf("expected spans and instants, got %d/%d", spans, instants)
+	}
+}
+
+func TestPrometheusTextShape(t *testing.T) {
+	be, cfg := pressureSetup()
+	rep, err := serve.Run(be, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(PrometheusText(rep))
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "cllm_") || !strings.Contains(line, `platform="tiny-enclave"`) ||
+			len(strings.Fields(line)) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+	for _, want := range []string{
+		"cllm_requests_completed_total", "cllm_swap_outs_total",
+		"cllm_ttft_seconds{", "cllm_goodput_tokens_per_sec",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition is missing %s", want)
+		}
+	}
+}
+
+func TestTimeSeriesBoundedMemory(t *testing.T) {
+	be, cfg := pressureSetup()
+	rec := NewRecorderWindow(1e-4, 8) // tiny windows force repeated coalescing
+	cfg.Observer = rec
+	rep, err := serve.Run(be, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := rec.Series()
+	for _, id := range ts.Replicas() {
+		if n := len(ts.Replica(id)); n > 8 {
+			t.Fatalf("replica %d holds %d windows, bound is 8", id, n)
+		}
+	}
+	if ts.WindowSec <= 1e-4 {
+		t.Fatalf("window width never doubled: %g", ts.WindowSec)
+	}
+	merged := ts.Merged()
+	if len(merged) == 0 {
+		t.Fatal("no merged windows")
+	}
+	// The last window's cumulative counter covers the whole run.
+	if got := merged[len(merged)-1].TotalTokens; got != rep.TotalTokens {
+		t.Fatalf("final cumulative tokens %d != report total %d", got, rep.TotalTokens)
+	}
+}
+
+func TestMergedSeriesSumsAndCarries(t *testing.T) {
+	rec := NewRecorderWindow(1, 100)
+	add := func(t float64, replica, queue, tok int) {
+		rec.Sample(serve.Sample{TimeSec: t, Replica: replica, QueueDepth: queue, TotalTokens: tok})
+	}
+	add(0.5, 0, 3, 10)
+	add(0.5, 1, 2, 5)
+	add(1.5, 0, 1, 20) // replica 1 idle in window [1,2): its gauges carry
+	m := rec.Series().Merged()
+	if len(m) != 2 {
+		t.Fatalf("expected 2 merged windows, got %d", len(m))
+	}
+	if m[0].Queue != 5 || m[0].TotalTokens != 15 {
+		t.Fatalf("window 0 queue/tokens = %d/%d, want 5/15", m[0].Queue, m[0].TotalTokens)
+	}
+	if m[1].Queue != 1+2 || m[1].TotalTokens != 20+5 {
+		t.Fatalf("window 1 should carry replica 1 forward: queue/tokens = %d/%d, want 3/25",
+			m[1].Queue, m[1].TotalTokens)
+	}
+}
+
+func TestTimeseriesCSVShape(t *testing.T) {
+	be, cfg := pressureSetup()
+	rec := NewRecorderWindow(0.05, 512)
+	cfg.Observer = rec
+	if _, err := serve.Run(be, cfg); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(bytes.NewReader(rec.TimeseriesCSV())).ReadAll()
+	if err != nil {
+		t.Fatalf("time series is not valid CSV: %v", err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("expected several windows, got %d rows", len(rows))
+	}
+	for i, row := range rows {
+		if len(row) != len(rows[0]) {
+			t.Fatalf("row %d has %d fields, header has %d", i, len(row), len(rows[0]))
+		}
+	}
+	if rows[0][0] != "window_start_sec" {
+		t.Fatalf("unexpected header %v", rows[0])
+	}
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+
+	"cllm/internal/serve"
+	"cllm/internal/stats"
+)
+
+// reqTrack is one request's reconstructed lifecycle.
+type reqTrack struct {
+	replica                         int
+	arrive, admit, firstTok, finish float64
+	hasAdmit, finished, dropped     bool
+	generated, preempts             int
+	slo                             bool
+}
+
+// ReconcileReport replays a run's recorded event stream and checks that it
+// reconstructs the aggregate serve.Report exactly: request partition
+// counters, preemption and swap counters, total tokens (summed from the
+// per-round production events), every completed request's metrics, the
+// latency quantiles and the goodput figures — all compared with exact
+// (bit-level) float equality, since events carry the same sim-clock
+// timestamps the report was computed from. It returns one message per
+// mismatch; an empty slice is proof of events ↔ aggregate conservation.
+//
+// The per-request comparison assumes requests were dispatched in
+// arrival-time order (true for every built-in generator; explicit traces
+// must be sorted by ArrivalSec), because the report lists requests in
+// dispatch order per replica.
+func ReconcileReport(events []serve.Event, rep *serve.Report) []string {
+	var bad []string
+	mismatch := func(format string, args ...any) { bad = append(bad, fmt.Sprintf(format, args...)) }
+
+	tracks := map[int]*reqTrack{}
+	order := map[int][]int{} // replica -> request IDs in arrival order
+	var arrivals, drops, finishes, preempts, swapOuts, swapIns, roundTokens int
+	for _, ev := range events {
+		t := tracks[ev.ReqID]
+		if t == nil && ev.Kind != serve.EvDecodeRound {
+			t = &reqTrack{}
+			tracks[ev.ReqID] = t
+		}
+		switch ev.Kind {
+		case serve.EvArrive:
+			arrivals++
+			t.replica = ev.Replica
+			t.arrive = ev.TimeSec
+			order[ev.Replica] = append(order[ev.Replica], ev.ReqID)
+		case serve.EvAdmit:
+			if !t.hasAdmit {
+				t.hasAdmit = true
+				t.admit = ev.TimeSec
+			}
+		case serve.EvFirstToken:
+			t.firstTok = ev.TimeSec
+		case serve.EvPreempt:
+			preempts++
+			t.preempts++
+		case serve.EvSwapOut:
+			swapOuts++
+		case serve.EvSwapIn:
+			swapIns++
+		case serve.EvDrop:
+			drops++
+			t.dropped = true
+		case serve.EvFinish:
+			finishes++
+			t.finished = true
+			t.finish = ev.TimeSec
+			t.generated = ev.Tokens
+			t.slo = ev.SLOMet
+		case serve.EvDecodeRound:
+			roundTokens += ev.Tokens
+		}
+	}
+
+	check := func(name string, fromEvents, reported int) {
+		if fromEvents != reported {
+			mismatch("%s: events say %d, report says %d", name, fromEvents, reported)
+		}
+	}
+	check("completed", finishes, rep.Completed)
+	check("dropped", drops, rep.Dropped)
+	check("unfinished", arrivals-finishes-drops, rep.Unfinished)
+	check("preemptions", preempts, rep.Preemptions)
+	check("swap-outs", swapOuts, rep.SwapOuts)
+	check("swap-ins", swapIns, rep.SwapIns)
+	check("total tokens (per-round sum)", roundTokens, rep.TotalTokens)
+	if finishes != len(rep.Requests) {
+		mismatch("completed requests: events say %d, report lists %d", finishes, len(rep.Requests))
+		return bad // element-wise comparison below would misalign
+	}
+
+	// Rebuild every completed request's metrics in the report's own order —
+	// replicas ascending, dispatch order within each — with the report's
+	// arithmetic, then compare element-wise and re-derive the quantiles.
+	replicas := make([]int, 0, len(order))
+	for id := range order {
+		replicas = append(replicas, id)
+	}
+	sort.Ints(replicas)
+	var ttfts, tpots, lats []float64
+	goodTokens, goodReqs := 0, 0
+	i := 0
+	for _, rid := range replicas {
+		for _, reqID := range order[rid] {
+			t := tracks[reqID]
+			if !t.finished {
+				continue
+			}
+			m := serve.RequestMetrics{
+				ID:           reqID,
+				TTFT:         t.firstTok - t.arrive,
+				Latency:      t.finish - t.arrive,
+				QueueDelay:   t.admit - t.arrive,
+				OutputTokens: t.generated,
+				Preemptions:  t.preempts,
+				SLOMet:       t.slo,
+			}
+			if t.generated > 1 {
+				m.TPOT = (t.finish - t.firstTok) / float64(t.generated-1)
+				tpots = append(tpots, m.TPOT)
+			}
+			ttfts = append(ttfts, m.TTFT)
+			lats = append(lats, m.Latency)
+			if m.SLOMet {
+				goodReqs++
+				goodTokens += m.OutputTokens
+			}
+			if got := rep.Requests[i]; m != got {
+				mismatch("request %d: events reconstruct %+v, report has %+v", reqID, m, got)
+			}
+			i++
+		}
+	}
+	checkQ := func(name string, xs []float64, got serve.Quantiles) {
+		want := serve.Quantiles{}
+		if len(xs) > 0 {
+			want = serve.Quantiles{
+				Mean: stats.Mean(xs),
+				P50:  stats.Percentile(xs, 50),
+				P95:  stats.Percentile(xs, 95),
+				P99:  stats.Percentile(xs, 99),
+			}
+		}
+		if want != got {
+			mismatch("%s quantiles: events reconstruct %+v, report has %+v", name, want, got)
+		}
+	}
+	checkQ("TTFT", ttfts, rep.TTFT)
+	checkQ("TPOT", tpots, rep.TPOT)
+	checkQ("latency", lats, rep.Latency)
+	if rep.MakespanSec > 0 {
+		if g := float64(goodTokens) / rep.MakespanSec; g != rep.GoodputTokensPerSec {
+			mismatch("goodput: events reconstruct %g tok/s, report has %g", g, rep.GoodputTokensPerSec)
+		}
+		if g := float64(goodReqs) / rep.MakespanSec; g != rep.GoodRequestsPerSec {
+			mismatch("good requests: events reconstruct %g req/s, report has %g", g, rep.GoodRequestsPerSec)
+		}
+	}
+	return bad
+}

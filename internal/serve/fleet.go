@@ -135,6 +135,7 @@ func RunFleet(be Backend, cfg Config, fc FleetConfig) (*FleetReport, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.replica = i // label observer events with the fleet index
 		reps[i] = s
 	}
 	arrivals, err := genArrivals(cfg, rand.New(rand.NewSource(cfg.Seed)))

@@ -1,0 +1,161 @@
+package serve
+
+import "fmt"
+
+// EventKind labels one scheduler lifecycle event.
+type EventKind uint8
+
+const (
+	// EvArrive: a request reached this replica's queue (dispatch instant).
+	// Tokens is its prompt length, Hist its requested output length.
+	EvArrive EventKind = iota + 1
+	// EvAdmit: the request joined the running batch. Emitted on every
+	// admission, including re-admissions after preemption; the first EvAdmit
+	// of a request is its queue-delay endpoint. Tokens is the prefill
+	// target, Hist the tokens already computed (prefix hits + swap restore).
+	EvAdmit
+	// EvPrefillChunk: a committed prefill chunk — Tokens new prompt tokens
+	// over Hist cached ones. Emitted at the round end that committed it.
+	EvPrefillChunk
+	// EvFirstToken: the request produced its first output token.
+	EvFirstToken
+	// EvDecodeRound: one scheduling round committed; Tokens is every output
+	// token the round produced (decode batch plus prefill completions) and
+	// Hist the decode batch size. ReqID is -1: the event is per-round, not
+	// per-request, and summing Tokens over rounds reproduces the report's
+	// TotalTokens exactly.
+	EvDecodeRound
+	// EvPreempt: the request was evicted from the batch (Policy says what
+	// the run does with victims, Reason why this victim was taken). Tokens
+	// is the computed KV entries at stake. A following EvSwapOut at the same
+	// instant means they were parked rather than released.
+	EvPreempt
+	// EvSwapOut: Tokens computed KV entries were parked in the host swap
+	// pool — Bytes moved, XferSec of priced transfer time.
+	EvSwapOut
+	// EvSwapIn: a parked copy was restored on re-admission. Tokens counts
+	// entries actually transferred (entries re-acquired from shared prefix
+	// blocks skip the copy, so Tokens can be 0).
+	EvSwapIn
+	// EvDrop: the request could never fit the KV pool and was shed.
+	EvDrop
+	// EvFinish: the request completed; Tokens is its output length and
+	// SLOMet whether it met both latency SLOs.
+	EvFinish
+)
+
+// String names the kind as the exporters spell it.
+func (k EventKind) String() string {
+	switch k {
+	case EvArrive:
+		return "arrive"
+	case EvAdmit:
+		return "admit"
+	case EvPrefillChunk:
+		return "prefill-chunk"
+	case EvFirstToken:
+		return "first-token"
+	case EvDecodeRound:
+		return "decode-round"
+	case EvPreempt:
+		return "preempt"
+	case EvSwapOut:
+		return "swap-out"
+	case EvSwapIn:
+		return "swap-in"
+	case EvDrop:
+		return "drop"
+	case EvFinish:
+		return "finish"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// PreemptReason says which capacity pass evicted the victim.
+type PreemptReason uint8
+
+const (
+	ReasonNone PreemptReason = iota
+	// ReasonPrefillStall: a mid-prefill sequence could not grow its cache.
+	ReasonPrefillStall
+	// ReasonDecodeStall: a fully-prefilled sequence could not append one
+	// token's KV entry.
+	ReasonDecodeStall
+)
+
+// String names the reason as the exporters spell it.
+func (r PreemptReason) String() string {
+	switch r {
+	case ReasonNone:
+		return "none"
+	case ReasonPrefillStall:
+		return "prefill-stall"
+	case ReasonDecodeStall:
+		return "decode-stall"
+	}
+	return fmt.Sprintf("PreemptReason(%d)", int(r))
+}
+
+// Event is one lifecycle event on the deterministic sim clock. It is
+// passed by value — observers must copy what they keep.
+type Event struct {
+	// TimeSec is the simulated time of the event.
+	TimeSec float64
+	Kind    EventKind
+	// Replica indexes the emitting scheduler within its fleet (0 for
+	// single-replica runs).
+	Replica int
+	// ReqID is the subject request, or -1 for per-round events.
+	ReqID int
+	// Tokens and Hist are kind-specific token counts (see the kinds).
+	Tokens int
+	Hist   int
+	// Bytes is the KV payload a swap transfer moves; XferSec its priced
+	// transfer time at the backend's swap bandwidth.
+	Bytes   float64
+	XferSec float64
+	// Policy and Reason qualify preemption events.
+	Policy PreemptPolicy
+	Reason PreemptReason
+	// SLOMet qualifies finish events.
+	SLOMet bool
+}
+
+// Sample is one per-round gauge snapshot, taken at the end of every
+// committed scheduling round. Token counters are cumulative over the run
+// so windowed rates difference cleanly.
+type Sample struct {
+	TimeSec float64
+	Replica int
+	// QueueDepth and Running are the waiting and running request counts.
+	QueueDepth int
+	Running    int
+	// KVBlocksInUse / KVBlocksCached / SwapBlocksInUse are the device pool's
+	// active and reclaimable-cached block counts and the host swap pool's
+	// occupancy.
+	KVBlocksInUse   int
+	KVBlocksCached  int
+	SwapBlocksInUse int
+	// TotalTokens is the cumulative output tokens produced; HitTokens and
+	// MissTokens the cumulative prefix-cache outcomes.
+	TotalTokens int
+	HitTokens   int
+	MissTokens  int
+}
+
+// Observer receives the scheduler's lifecycle event stream and gauge
+// samples. Nil disables observation: every emission site is behind a nil
+// check, so the disabled path is branch-only and allocation-free — the
+// fast-path benchmarks and the allocs/op CI gate hold with no observer
+// attached.
+//
+// Observers are invoked synchronously on the simulation goroutine. One
+// run — including a whole RunFleet sharing one engine — never calls an
+// observer concurrently, and replica interleaving on the shared clock is
+// deterministic, so identical seeds yield identical streams. Do NOT
+// attach one observer to concurrent runs (parallel sweeps,
+// SizeFleetForSLOParallel): those race. Leave Observer nil there.
+type Observer interface {
+	Event(Event)
+	Sample(Sample)
+}

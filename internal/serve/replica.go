@@ -32,6 +32,11 @@ func NewReplica(be Backend, cfg Config, eng *sim.Engine, seed int64) (*Replica, 
 	return &Replica{s: s}, nil
 }
 
+// SetIndex labels this replica's observer events and gauge samples with
+// its fleet index (autoscaler slot, fleet position). Zero by default; a
+// no-op for unobserved runs.
+func (r *Replica) SetIndex(i int) { r.s.replica = i }
+
 // Submit hands an arrived request to this replica. Call it from inside an
 // engine event at the request's arrival instant — the scheduler reads the
 // engine clock for admission timestamps.

@@ -8,6 +8,7 @@ import (
 	"cllm/internal/hw"
 	"cllm/internal/perf"
 	"cllm/internal/sim"
+	"cllm/internal/trace"
 )
 
 // phase is a request's lifecycle state.
@@ -87,6 +88,13 @@ type scheduler struct {
 	kv     *BlockManager
 	coster *perf.StepCoster
 
+	// obs receives lifecycle events and gauge samples; nil (the default)
+	// disables observation, and every emission site checks that first, so
+	// the disabled path stays branch-only and allocation-free. replica is
+	// this scheduler's index within its fleet, for event labeling.
+	obs     Observer
+	replica int
+
 	queue     reqDeque    // FIFO; preempted requests rejoin at the front
 	running   []*reqState // admission order (index 0 = oldest)
 	iterating bool
@@ -110,8 +118,14 @@ type scheduler struct {
 	swapIns    int
 	swapOutTok int
 	swapInTok  int
-	completed  []*reqState
-	dropped    []*reqState
+	// producedTot counts every output token produced so far; gauge samples
+	// report it cumulatively so windowed throughput differences cleanly.
+	producedTot int
+	// roundProduced is the current round's production, consumed by the
+	// per-round decode event (reset in finishIteration).
+	roundProduced int
+	completed     []*reqState
+	dropped       []*reqState
 	// err records a costing failure (a backend misconfiguration); it halts
 	// the loop and fails the run instead of reporting zeros as data.
 	err error
@@ -150,13 +164,39 @@ func newScheduler(be Backend, cfg Config, eng *sim.Engine, noise *sim.Noise) (*s
 		}
 		kv.ConfigureSwapPool(int(math.Round(frac * float64(kv.TotalBlocks()))))
 	}
-	s := &scheduler{cfg: cfg, be: be, eng: eng, noise: noise, kv: kv, coster: coster}
+	s := &scheduler{cfg: cfg, be: be, eng: eng, noise: noise, kv: kv, coster: coster, obs: cfg.Observer}
 	s.finishFn = func(*sim.Engine) { s.finishIteration() }
 	return s, nil
 }
 
+// event fills the shared fields and hands ev to the observer. Callers must
+// have checked s.obs != nil — keeping the check at the call site keeps the
+// disabled path a single branch.
+func (s *scheduler) event(ev Event) {
+	ev.TimeSec = float64(s.eng.Now())
+	ev.Replica = s.replica
+	s.obs.Event(ev)
+}
+
+// swapEvent emits a swap transfer event with its payload and priced
+// transfer time. Costing errors are ignored here: the transfer itself is
+// priced (and error-checked) by iterationTime; the event is telemetry.
+func (s *scheduler) swapEvent(kind EventKind, reqID, tokens int) {
+	ev := Event{Kind: kind, ReqID: reqID, Tokens: tokens}
+	if tokens > 0 {
+		ev.Bytes = trace.KVSwapBytes(s.cfg.Workload, tokens)
+		if t, err := s.coster.SwapTime(tokens); err == nil {
+			ev.XferSec = t
+		}
+	}
+	s.event(ev)
+}
+
 // submit enqueues an arrived request and wakes the iteration loop.
 func (s *scheduler) submit(st *reqState) {
+	if s.obs != nil {
+		s.event(Event{Kind: EvArrive, ReqID: st.req.ID, Tokens: st.req.InputLen, Hist: st.req.OutputLen})
+	}
 	s.queue.PushBack(st)
 	s.kick()
 }
@@ -369,7 +409,7 @@ func (s *scheduler) iterate() {
 		stalled := false
 		for !s.kv.Grow(r.req.ID, need) {
 			victim := s.running[len(s.running)-1]
-			s.preempt(victim)
+			s.preempt(victim, ReasonPrefillStall)
 			chunks = dropChunk(chunks, victim)
 			if victim == r {
 				stalled = true
@@ -403,7 +443,7 @@ func (s *scheduler) iterate() {
 			continue
 		}
 		victim := s.running[len(s.running)-1]
-		s.preempt(victim)
+		s.preempt(victim, ReasonDecodeStall)
 		chunks = dropChunk(chunks, victim)
 		if victim == r {
 			break // r was the youngest; the loop is past every survivor
@@ -426,6 +466,9 @@ func (s *scheduler) iterate() {
 			}
 			head.phase = phaseDropped
 			s.dropped = append(s.dropped, head)
+			if s.obs != nil {
+				s.event(Event{Kind: EvDrop, ReqID: head.req.ID, Tokens: target})
+			}
 			continue
 		}
 		// A fully-parked swap copy needs no chunk budget — swap-in is a
@@ -484,14 +527,23 @@ func (s *scheduler) iterate() {
 		head.phase = phaseRunning
 		head.prefilled = computed
 		head.prefillTarget = target
+		if s.obs != nil {
+			s.event(Event{Kind: EvAdmit, ReqID: head.req.ID, Tokens: target, Hist: computed})
+		}
 		if head.swapped {
 			// Swap-in: transfer the parked copy back into the device blocks
 			// just grown. Tokens resident in re-acquired shared blocks skip
 			// the transfer, and republished prefix blocks are filled from
 			// the copy — swapped blocks rejoin the prefix cache without
 			// recompute (MarkComputed makes them hits for later sharers).
-			if in := restored - cached; in > 0 {
+			in := restored - cached
+			if in > 0 {
 				s.swapInTok += in
+			} else {
+				in = 0
+			}
+			if s.obs != nil {
+				s.swapEvent(EvSwapIn, head.req.ID, in)
 			}
 			s.kv.SwapIn(head.req.ID)
 			s.kv.MarkComputed(head.req.ID, computed)
@@ -558,8 +610,13 @@ func dropChunk(chunks []chunkWork, victim *reqState) []chunkWork {
 // swap parks it in the host swap pool, auto picks whichever the memoized
 // cost model estimates cheaper — with swap falling back to recompute when
 // the pool is full or nothing is computed yet. Either way the victim's
-// device blocks free, so the caller's Grow retry makes progress.
-func (s *scheduler) preempt(r *reqState) {
+// device blocks free, so the caller's Grow retry makes progress. reason
+// labels the preemption event with the capacity pass that chose the victim.
+func (s *scheduler) preempt(r *reqState, reason PreemptReason) {
+	if s.obs != nil {
+		s.event(Event{Kind: EvPreempt, ReqID: r.req.ID, Tokens: r.computedTokens(),
+			Policy: s.cfg.PreemptPolicy, Reason: reason})
+	}
 	if n := len(s.running); n > 0 && s.running[n-1] == r {
 		s.running[n-1] = nil // release for GC; append will overwrite
 		s.running = s.running[:n-1]
@@ -605,6 +662,9 @@ func (s *scheduler) trySwapOut(r *reqState) bool {
 	r.prefillTarget = 0
 	s.swapOuts++
 	s.swapOutTok += tokens
+	if s.obs != nil {
+		s.swapEvent(EvSwapOut, r.req.ID, tokens)
+	}
 	return true
 }
 
@@ -712,10 +772,16 @@ func (s *scheduler) chunkTime(batch, chunk, hist int) (float64, error) {
 func (s *scheduler) finishIteration() {
 	decoding, chunks := s.decoding, s.chunks
 	now := float64(s.eng.Now())
+	s.roundProduced = 0
 	produce := func(r *reqState) {
 		r.generated++
+		s.producedTot++
+		s.roundProduced++
 		if r.firstTokenAt == 0 {
 			r.firstTokenAt = now
+			if s.obs != nil {
+				s.event(Event{Kind: EvFirstToken, ReqID: r.req.ID})
+			}
 		}
 		if r.generated >= r.req.OutputLen {
 			s.kv.Release(r.req.ID)
@@ -728,6 +794,17 @@ func (s *scheduler) finishIteration() {
 					break
 				}
 			}
+			if s.obs != nil {
+				// Same arithmetic as report(): the event's SLO verdict is
+				// bit-identical to the aggregate's.
+				ttft := r.firstTokenAt - r.req.ArrivalSec
+				tpotOK := true
+				if r.generated > 1 {
+					tpotOK = (r.finishedAt-r.firstTokenAt)/float64(r.generated-1) <= s.cfg.TPOTSLOSec
+				}
+				s.event(Event{Kind: EvFinish, ReqID: r.req.ID, Tokens: r.generated,
+					SLOMet: ttft <= s.cfg.TTFTSLOSec && tpotOK})
+			}
 		}
 	}
 	// Prefill chunks commit their progress; a chunk that completes the
@@ -739,6 +816,9 @@ func (s *scheduler) finishIteration() {
 		if r.phase != phaseRunning { // preempted mid-round (cannot happen, but be safe)
 			continue
 		}
+		if s.obs != nil {
+			s.event(Event{Kind: EvPrefillChunk, ReqID: r.req.ID, Tokens: cw.tokens, Hist: cw.hist})
+		}
 		r.prefilled += cw.tokens
 		s.kv.MarkComputed(r.req.ID, r.prefilled)
 		if !r.prefilling() {
@@ -749,6 +829,21 @@ func (s *scheduler) finishIteration() {
 		if r.phase == phaseRunning {
 			produce(r)
 		}
+	}
+	if s.obs != nil {
+		s.event(Event{Kind: EvDecodeRound, ReqID: -1, Tokens: s.roundProduced, Hist: len(decoding)})
+		s.obs.Sample(Sample{
+			TimeSec:         now,
+			Replica:         s.replica,
+			QueueDepth:      s.queue.Len(),
+			Running:         len(s.running),
+			KVBlocksInUse:   s.kv.InUse(),
+			KVBlocksCached:  s.kv.CachedBlocks(),
+			SwapBlocksInUse: s.kv.SwappedBlocks(),
+			TotalTokens:     s.producedTot,
+			HitTokens:       s.kv.HitTokens(),
+			MissTokens:      s.kv.MissTokens(),
+		})
 	}
 	s.iterating = false
 	s.kick()

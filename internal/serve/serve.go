@@ -189,6 +189,11 @@ type Config struct {
 	HorizonSec float64
 	// MaxSteps bounds engine events as a runaway guard (default 4e6).
 	MaxSteps int64
+	// Observer, when non-nil, receives the per-request lifecycle event
+	// stream and per-round gauge samples (see Observer). Nil — the default —
+	// keeps the scheduler's fast path branch-only and allocation-free. Not
+	// for concurrent runs: see the interface's contract.
+	Observer Observer
 }
 
 // Normalize validates the config and fills defaults in place. Exported for

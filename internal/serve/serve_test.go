@@ -640,3 +640,101 @@ func TestMergeReportsMixedPlatforms(t *testing.T) {
 		t.Errorf("homogeneous merge platform %q, want TDX", same.Platform)
 	}
 }
+
+// TestMergeReportsCountersAndQuantiles pins the full merge contract on
+// synthetic reports: every counter — including the PR-5 swap/preemption
+// fields — sums, the makespan takes the maximum, throughput figures are
+// rederived from merged totals, and the quantiles are recomputed over the
+// union of completed requests in replica order.
+func TestMergeReportsCountersAndQuantiles(t *testing.T) {
+	r1 := &Report{
+		Platform: "tdx", Completed: 3, Dropped: 1, Unfinished: 1, Preemptions: 4,
+		MakespanSec: 10, TotalTokens: 90,
+		KVBlocksTotal: 100, PeakKVBlocksInUse: 60, KVBlocksInUseAtEnd: 2, KVBlocksCachedAtEnd: 5,
+		PrefixCacheHitTokens: 32, PrefixCacheMissTokens: 64, EvictedBlocks: 3,
+		SwapOuts: 2, SwapIns: 1, SwapPoolBlocks: 50, PeakSwapBlocksInUse: 20, SwapBlocksAtEnd: 4,
+		Requests: []RequestMetrics{
+			{ID: 0, TTFT: 0.2, TPOT: 0.05, Latency: 1.0, OutputTokens: 20, SLOMet: true},
+			{ID: 1, TTFT: 0.4, TPOT: 0.10, Latency: 2.0, OutputTokens: 30, SLOMet: false},
+			{ID: 2, TTFT: 0.1, Latency: 0.5, OutputTokens: 1, SLOMet: true}, // single-token: no TPOT sample
+		},
+	}
+	r2 := &Report{
+		Platform: "tdx", Completed: 2, Unfinished: 2, Preemptions: 1,
+		MakespanSec: 8, TotalTokens: 60,
+		KVBlocksTotal: 100, PeakKVBlocksInUse: 40, KVBlocksInUseAtEnd: 1, KVBlocksCachedAtEnd: 7,
+		PrefixCacheHitTokens: 8, PrefixCacheMissTokens: 16, EvictedBlocks: 2,
+		SwapOuts: 3, SwapIns: 3, SwapPoolBlocks: 50, PeakSwapBlocksInUse: 30, SwapBlocksAtEnd: 0,
+		Requests: []RequestMetrics{
+			{ID: 3, TTFT: 0.3, TPOT: 0.07, Latency: 1.5, OutputTokens: 25, SLOMet: true},
+			{ID: 4, TTFT: 0.6, TPOT: 0.20, Latency: 3.0, OutputTokens: 35, SLOMet: false},
+		},
+	}
+	agg := MergeReports(5, []*Report{r1, r2})
+
+	intChecks := []struct {
+		name      string
+		got, want int
+	}{
+		{"Completed", agg.Completed, 5}, {"Dropped", agg.Dropped, 1}, {"Unfinished", agg.Unfinished, 3},
+		{"Preemptions", agg.Preemptions, 5}, {"TotalTokens", agg.TotalTokens, 150},
+		{"KVBlocksTotal", agg.KVBlocksTotal, 200}, {"PeakKVBlocksInUse", agg.PeakKVBlocksInUse, 100},
+		{"KVBlocksInUseAtEnd", agg.KVBlocksInUseAtEnd, 3}, {"KVBlocksCachedAtEnd", agg.KVBlocksCachedAtEnd, 12},
+		{"PrefixCacheHitTokens", agg.PrefixCacheHitTokens, 40}, {"PrefixCacheMissTokens", agg.PrefixCacheMissTokens, 80},
+		{"EvictedBlocks", agg.EvictedBlocks, 5},
+		{"SwapOuts", agg.SwapOuts, 5}, {"SwapIns", agg.SwapIns, 4},
+		{"SwapPoolBlocks", agg.SwapPoolBlocks, 100}, {"PeakSwapBlocksInUse", agg.PeakSwapBlocksInUse, 50},
+		{"SwapBlocksAtEnd", agg.SwapBlocksAtEnd, 4},
+	}
+	for _, c := range intChecks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	if agg.Platform != "tdx" || agg.OfferedRate != 5 {
+		t.Errorf("platform/rate = %s/%g", agg.Platform, agg.OfferedRate)
+	}
+	if agg.MakespanSec != 10 {
+		t.Errorf("makespan %g, want max 10", agg.MakespanSec)
+	}
+	if want := 150.0 / 10; agg.TokensPerSec != want {
+		t.Errorf("TokensPerSec %g, want %g", agg.TokensPerSec, want)
+	}
+	// Goodput counts only SLO-met requests' tokens: 20 + 1 + 25.
+	if want := 46.0 / 10; agg.GoodputTokensPerSec != want {
+		t.Errorf("GoodputTokensPerSec %g, want %g", agg.GoodputTokensPerSec, want)
+	}
+	if want := 3.0 / 10; agg.GoodRequestsPerSec != want {
+		t.Errorf("GoodRequestsPerSec %g, want %g", agg.GoodRequestsPerSec, want)
+	}
+	// Requests are the union in replica order; quantiles recompute over it.
+	if len(agg.Requests) != 5 || agg.Requests[0].ID != 0 || agg.Requests[4].ID != 4 {
+		t.Fatalf("merged requests misordered: %+v", agg.Requests)
+	}
+	wantTTFT := quantiles([]float64{0.2, 0.4, 0.1, 0.3, 0.6})
+	wantTPOT := quantiles([]float64{0.05, 0.10, 0.07, 0.20}) // ID 2 excluded: single-token
+	wantLat := quantiles([]float64{1.0, 2.0, 0.5, 1.5, 3.0})
+	if agg.TTFT != wantTTFT || agg.TPOT != wantTPOT || agg.Latency != wantLat {
+		t.Errorf("quantiles:\nTTFT %+v want %+v\nTPOT %+v want %+v\nLat %+v want %+v",
+			agg.TTFT, wantTTFT, agg.TPOT, wantTPOT, agg.Latency, wantLat)
+	}
+}
+
+// TestMergeReportsMatchesFleetRun cross-checks the synthetic contract
+// against a real fleet: merging the per-replica reports must reproduce the
+// aggregate RunFleet computed.
+func TestMergeReportsMatchesFleetRun(t *testing.T) {
+	cfg := tinyConfig(40, 32)
+	cfg.PreemptPolicy = PreemptSwap
+	fr, err := RunFleet(cpuBackend(tee.TDX()), cfg, FleetConfig{Replicas: 3, Policy: LeastLoaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Undo RunFleet's per-replica offered-rate relabeling before re-merging:
+	// MergeReports consumes scheduler-local reports.
+	again := MergeReports(fr.Aggregate.OfferedRate, fr.PerReplica)
+	again.OfferedRate = fr.Aggregate.OfferedRate
+	if !reflect.DeepEqual(fr.Aggregate, again) {
+		t.Fatalf("re-merge differs from fleet aggregate:\nfleet %+v\nmerge %+v", fr.Aggregate, again)
+	}
+}

@@ -1,12 +1,13 @@
 #!/bin/sh
 # bench.sh — serving-simulator performance trajectory.
 #
-# Runs the serving-path benchmarks (scheduler hot loop plus the serving /
-# fleet / autoscale experiment sweeps) and distills them into BENCH_5.json
-# so future PRs have a perf baseline to compare against (the CI gate,
+# Runs the serving-path benchmarks (scheduler hot loop — disabled and
+# observed — plus the serving / fleet / autoscale / observability
+# experiment sweeps) and distills them into BENCH_6.json so future PRs
+# have a perf baseline to compare against (the CI gate,
 # scripts/bench_compare.sh, diffs new runs against the newest BENCH_*.json):
 #
-#   sh scripts/bench.sh            # writes BENCH_5.json in the repo root
+#   sh scripts/bench.sh            # writes BENCH_6.json in the repo root
 #   sh scripts/bench.sh out.json   # custom output path
 #
 # Schema: {"benchmarks": [{"name", "runs", "ns_per_op", "allocs_per_op",
@@ -14,11 +15,11 @@
 # benchmark, each field the mean over -count=3 runs.
 set -eu
 
-out=${1:-BENCH_5.json}
+out=${1:-BENCH_6.json}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'ServeScheduler|ServingCurves|FleetPolicies|Autoscaling' \
+go test -run '^$' -bench 'ServeScheduler|ServingCurves|FleetPolicies|Autoscaling|Observability' \
 	-benchmem -count=3 . | tee "$raw"
 
 awk -v out="$out" '

@@ -5,6 +5,7 @@ import (
 
 	"cllm/internal/cloud"
 	"cllm/internal/model"
+	"cllm/internal/obs"
 	"cllm/internal/perf"
 	"cllm/internal/serve"
 	"cllm/internal/trace"
@@ -75,6 +76,16 @@ type ServeConfig struct {
 	// SwapPoolFrac sizes the host swap pool as a fraction of the device KV
 	// pool (0 = default 1.0; negative disables). Ignored under "recompute".
 	SwapPoolFrac float64
+	// Observe records the run's per-request lifecycle event stream and
+	// windowed time series and attaches the rendered artifacts (Perfetto
+	// trace, Prometheus snapshot, CSV time series) to the report as
+	// Observation. Off by default: the disabled path costs nothing.
+	Observe bool
+	// ObserveWindowSec is the time-series sampling window in simulated
+	// seconds (0 = default 1 s). Memory stays bounded regardless: when a
+	// run outgrows the window budget, windows coalesce and the width
+	// doubles.
+	ObserveWindowSec float64
 }
 
 // ServeReport summarizes a serving run: load-level throughput and tail
@@ -120,6 +131,9 @@ type ServeReport struct {
 	ReplicasAtSLO   int
 	FleetHourlyUSD  float64
 	USDPerMTokAtSLO float64
+	// Observation holds the rendered observability artifacts (nil unless
+	// ServeConfig.Observe was set).
+	Observation *ServeObservation
 }
 
 // Serve runs the continuous-batching serving simulator on the session's
@@ -188,6 +202,11 @@ func (s *Session) Serve(cfg ServeConfig) (*ServeReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	var rec *obs.Recorder
+	if cfg.Observe {
+		rec = obs.NewRecorderWindow(cfg.ObserveWindowSec, 512)
+		scfg.Observer = rec
+	}
 	// Reuse the session's memoized costing table for this deployment shape:
 	// sweeps calling Serve repeatedly re-cost identical iteration shapes
 	// from the table (bit-identical floats; see serve.Backend.Coster).
@@ -237,6 +256,9 @@ func (s *Session) Serve(cfg ServeConfig) (*ServeReport, error) {
 		SwapOuts:              rep.SwapOuts,
 		SwapIns:               rep.SwapIns,
 		Replicas:              1,
+	}
+	if rec != nil {
+		out.Observation = buildObservation(rec, rep)
 	}
 
 	hourly, err := s.serveHourlyUSD(cfg)
