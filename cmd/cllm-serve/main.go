@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"cllm"
@@ -61,6 +62,10 @@ func main() {
 	targetUtil := flag.Float64("target-util", 0.7, "autoscaler target utilization (lower = more headroom)")
 	interval := flag.Float64("interval", 15, "autoscaler control period (seconds)")
 	costBucket := flag.Int("cost-bucket", 1, "step-costing quantization width in tokens (1 = exact; larger buckets trade bounded modeled-time error for memo hits in big sweeps)")
+	quantileMode := flag.String("quantile-mode", "exact", "latency quantile computation: exact (per-request samples, sorted) or sketch (streaming DDSketch + epoch-sharded simulation — flat memory at any request count)")
+	sketchAlpha := flag.Float64("sketch-alpha", 0, "sketch relative error bound in (0,1) (0 = 0.01 default; sketch mode only)")
+	epochRequests := flag.Int("epoch-requests", 0, "arrivals scheduled per simulation epoch (0 = 65536 in sketch mode, unsharded in exact mode)")
+	rateMults := flag.String("rate-mults", "0.25,0.5,1,1.5,2", "comma-separated multipliers of -rate swept per platform")
 	preempt := flag.String("preempt", "recompute", "preemption policy: recompute|swap|auto (swap parks KV in a host swap pool at the backend's swap bandwidth; auto picks the cheaper per preemption)")
 	format := flag.String("format", "table", "output format: table|csv|json")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline (Perfetto-loadable) of the observed run to this file")
@@ -139,7 +144,23 @@ func main() {
 	// The export artifacts come from one observed run: the first platform's
 	// base-rate (×1) sweep point.
 	wantObserve := *traceOut != "" || *metricsOut != "" || *timeseriesOut != ""
-	mults := []float64{0.25, 0.5, 1, 1.5, 2}
+	var mults []float64
+	for _, f := range strings.Split(*rateMults, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		m, err := strconv.ParseFloat(f, 64)
+		if err != nil || m <= 0 {
+			fmt.Fprintf(os.Stderr, "cllm-serve: -rate-mults entry %q is not a positive number\n", f)
+			os.Exit(1)
+		}
+		mults = append(mults, m)
+	}
+	if len(mults) == 0 {
+		fmt.Fprintln(os.Stderr, "cllm-serve: -rate-mults is empty")
+		os.Exit(1)
+	}
 	table := &harness.Result{
 		ID:     "serve",
 		Title:  title,
@@ -172,6 +193,9 @@ func main() {
 				LBPolicy:      *lbPolicy,
 				CostBucket:    *costBucket,
 				PreemptPolicy: preemptPol.String(),
+				QuantileMode:  *quantileMode,
+				SketchAlpha:   *sketchAlpha,
+				EpochRequests: *epochRequests,
 				TTFTSLOSec:    *sloTTFT, TPOTSLOSec: *sloTPOT,
 			})
 			if err != nil {

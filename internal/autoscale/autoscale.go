@@ -271,6 +271,10 @@ func ProbeCapacity(be serve.Backend, scfg serve.Config) (float64, error) {
 	// safe for concurrent use and its timeline should hold only the real
 	// fleet's events.
 	cfg.Observer = nil
+	// Probes need only Completed and MakespanSec. Sketch mode skips the
+	// per-request ledger and its quantile sort; a trace run's event stream
+	// is identical in both modes, so the measured rate is unchanged.
+	cfg.QuantileMode = serve.QuantileSketch
 	// The burst must overfill the batch, or the "saturated" rate would
 	// reflect a part-empty batch plus ramp-down tail and understate the
 	// class for deep-batch configs.
@@ -799,10 +803,15 @@ func (f *fleet) report() (*Report, error) {
 	// Undispatched pending arrivals (horizon hit mid-cold-start) are
 	// offered-but-unserved; account them so attainment cannot overcount.
 	out.Aggregate.Unfinished += len(f.pending)
-	goodTokens := 0
-	for _, m := range out.Aggregate.Requests {
-		if m.SLOMet {
-			goodTokens += m.OutputTokens
+	goodTokens := out.Aggregate.GoodOutputTokens
+	if !out.Aggregate.Sketched {
+		// Exact aggregates re-derive goodput from the request ledger (the
+		// counter may be unset on reports from older producers).
+		goodTokens = 0
+		for _, m := range out.Aggregate.Requests {
+			if m.SLOMet {
+				goodTokens += m.OutputTokens
+			}
 		}
 	}
 	for i, c := range f.classes {

@@ -275,3 +275,38 @@ func TestTimeseriesCSVShape(t *testing.T) {
 		t.Fatalf("unexpected header %v", rows[0])
 	}
 }
+
+// TestReconcileSketchedReport: the event stream reconciles against a
+// bounded-memory (sketched) report too — counters and goodput exactly,
+// quantiles bit-for-bit against sketches rebuilt from the events — and a
+// corrupted sketched report is caught. The pressure scenario crosses
+// several epoch seams, so the reconciliation also witnesses that epoch
+// handoffs lose no events.
+func TestReconcileSketchedReport(t *testing.T) {
+	be, cfg := pressureSetup()
+	cfg.QuantileMode = serve.QuantileSketch
+	cfg.EpochRequests = 4
+	rec := NewRecorder()
+	cfg.Observer = rec
+	rep, err := serve.Run(be, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Sketched || rep.Requests != nil {
+		t.Fatalf("expected a sketched report without a request ledger, got Sketched=%v len(Requests)=%d",
+			rep.Sketched, len(rep.Requests))
+	}
+	if bad := ReconcileReport(rec.Events(), rep); len(bad) != 0 {
+		t.Fatalf("event stream does not reconstruct the sketched report:\n%s", strings.Join(bad, "\n"))
+	}
+	broken := *rep
+	broken.GoodRequests++
+	if bad := ReconcileReport(rec.Events(), &broken); len(bad) == 0 {
+		t.Fatal("corrupted goodput counter reconciled cleanly")
+	}
+	broken = *rep
+	broken.TTFT.P99 *= 2
+	if bad := ReconcileReport(rec.Events(), &broken); len(bad) == 0 {
+		t.Fatal("corrupted sketched quantile reconciled cleanly")
+	}
+}

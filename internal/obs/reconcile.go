@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"cllm/internal/serve"
@@ -89,6 +90,18 @@ func ReconcileReport(events []serve.Event, rep *serve.Report) []string {
 	check("swap-outs", swapOuts, rep.SwapOuts)
 	check("swap-ins", swapIns, rep.SwapIns)
 	check("total tokens (per-round sum)", roundTokens, rep.TotalTokens)
+
+	if rep.Sketched {
+		// Sketched reports carry no per-request ledger: rebuild the three
+		// latency sketches from the event stream at the report's alpha.
+		// Bucket counts are integers and insertion order is immaterial, so
+		// the rebuilt quantiles must match the report's bit for bit; only
+		// the means get a tiny relative tolerance, because the report folds
+		// its sums in completion order while this rebuild folds in map
+		// order, and float addition is not associative.
+		reconcileSketched(tracks, rep, mismatch)
+		return bad
+	}
 	if finishes != len(rep.Requests) {
 		mismatch("completed requests: events say %d, report lists %d", finishes, len(rep.Requests))
 		return bad // element-wise comparison below would misalign
@@ -162,4 +175,90 @@ func ReconcileReport(events []serve.Event, rep *serve.Report) []string {
 		}
 	}
 	return bad
+}
+
+// relClose reports whether a and b agree within a 1e-9 relative tolerance,
+// the slack fold-order differences in float summation can introduce.
+func relClose(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// reconcileSketched checks a sketched report against the event stream:
+// exact counter and quantile equality, tolerance only on the means.
+func reconcileSketched(tracks map[int]*reqTrack, rep *serve.Report, mismatch func(string, ...any)) {
+	mk := func() *stats.Sketch {
+		sk, err := stats.NewSketch(rep.SketchAlpha)
+		if err != nil {
+			return nil
+		}
+		return sk
+	}
+	ttftSk, tpotSk, latSk := mk(), mk(), mk()
+	if ttftSk == nil {
+		mismatch("sketched report has unusable alpha %g", rep.SketchAlpha)
+		return
+	}
+	goodTokens, goodReqs, completedTokens := 0, 0, 0
+	var ttftSum, tpotSum, latSum float64
+	for _, t := range tracks {
+		if !t.finished {
+			continue
+		}
+		ttft := t.firstTok - t.arrive
+		lat := t.finish - t.arrive
+		_ = ttftSk.Add(ttft)
+		_ = latSk.Add(lat)
+		ttftSum += ttft
+		latSum += lat
+		if t.generated > 1 {
+			tpot := (t.finish - t.firstTok) / float64(t.generated-1)
+			_ = tpotSk.Add(tpot)
+			tpotSum += tpot
+		}
+		completedTokens += t.generated
+		if t.slo {
+			goodReqs++
+			goodTokens += t.generated
+		}
+	}
+	checkInt := func(name string, fromEvents, reported int) {
+		if fromEvents != reported {
+			mismatch("%s: events say %d, report says %d", name, fromEvents, reported)
+		}
+	}
+	checkInt("good requests", goodReqs, rep.GoodRequests)
+	checkInt("good output tokens", goodTokens, rep.GoodOutputTokens)
+	checkInt("completed output tokens", completedTokens, rep.CompletedOutputTokens)
+	checkSk := func(name string, sk *stats.Sketch, sum float64, got serve.Quantiles) {
+		for _, p := range [...]struct {
+			q         float64
+			rep, want float64
+		}{
+			{0.50, got.P50, sk.Quantile(0.50)},
+			{0.95, got.P95, sk.Quantile(0.95)},
+			{0.99, got.P99, sk.Quantile(0.99)},
+		} {
+			if p.rep != p.want {
+				mismatch("%s p%g: events rebuild %g, report has %g", name, 100*p.q, p.want, p.rep)
+			}
+		}
+		mean := 0.0
+		if sk.Count() > 0 {
+			mean = sum / float64(sk.Count())
+		}
+		if !relClose(mean, got.Mean) {
+			mismatch("%s mean: events rebuild %g, report has %g", name, mean, got.Mean)
+		}
+	}
+	checkSk("TTFT", ttftSk, ttftSum, rep.TTFT)
+	checkSk("TPOT", tpotSk, tpotSum, rep.TPOT)
+	checkSk("latency", latSk, latSum, rep.Latency)
+	if rep.MakespanSec > 0 {
+		if g := float64(goodTokens) / rep.MakespanSec; g != rep.GoodputTokensPerSec {
+			mismatch("goodput: events reconstruct %g tok/s, report has %g", g, rep.GoodputTokensPerSec)
+		}
+		if g := float64(goodReqs) / rep.MakespanSec; g != rep.GoodRequestsPerSec {
+			mismatch("good requests rate: events reconstruct %g req/s, report has %g", g, rep.GoodRequestsPerSec)
+		}
+	}
 }

@@ -10,6 +10,7 @@ import (
 	"cllm/internal/cloud"
 	"cllm/internal/par"
 	"cllm/internal/sim"
+	"cllm/internal/stats"
 )
 
 // LBPolicy selects how a fleet's load balancer dispatches arrivals to
@@ -204,7 +205,11 @@ func RunFleet(be Backend, cfg Config, fc FleetConfig) (*FleetReport, error) {
 		if s.err != nil {
 			return nil, s.err
 		}
-		out.PerReplica[i] = s.report(perReplica[i])
+		if cfg.QuantileMode == QuantileSketch {
+			out.PerReplica[i] = s.reportSketched(perReplica[i])
+		} else {
+			out.PerReplica[i] = s.report(perReplica[i])
+		}
 	}
 	out.Aggregate = MergeReports(offeredRate(cfg), out.PerReplica)
 	// Each replica's offered load is its dispatch share of the fleet rate,
@@ -247,10 +252,42 @@ func offeredRate(cfg Config) float64 {
 // are rederived from the merged totals. offeredRate labels the aggregate.
 // RunFleet uses it for homogeneous fleets; internal/autoscale for elastic
 // heterogeneous ones.
+//
+// When any input report is sketched, the aggregate is sketched too:
+// per-replica sketches merge exactly (bucket counts are integers, so the
+// merged quantiles equal a single sketch over the union stream), and any
+// exact reports in the mix fold their per-request samples into the merged
+// sketches. Sketched inputs must share one alpha — replicas of one run
+// always do, and mixing sketches of different resolutions is a caller bug
+// with no lossless repair, so it panics.
 func MergeReports(offeredRate float64, reps []*Report) *Report {
 	agg := &Report{OfferedRate: offeredRate}
+	for _, r := range reps {
+		if r.Sketched {
+			agg.Sketched = true
+			agg.SketchAlpha = r.SketchAlpha
+			break
+		}
+	}
 	var ttfts, tpots, lats []float64
-	goodTokens, goodReqs := 0, 0
+	if agg.Sketched {
+		mk := func() *stats.Sketch {
+			sk, err := stats.NewSketch(agg.SketchAlpha)
+			if err != nil {
+				panic(err) // alpha came from a validated config
+			}
+			return sk
+		}
+		agg.TTFTSketch, agg.TPOTSketch, agg.LatencySketch = mk(), mk(), mk()
+	}
+	mergeSk := func(dst, src *stats.Sketch) {
+		if src == nil || src.Count() == 0 {
+			return
+		}
+		if err := dst.Merge(src); err != nil {
+			panic(fmt.Sprintf("serve: MergeReports over mismatched sketches: %v", err))
+		}
+	}
 	for _, r := range reps {
 		switch agg.Platform {
 		case "", r.Platform:
@@ -278,27 +315,55 @@ func MergeReports(offeredRate float64, reps []*Report) *Report {
 		if r.MakespanSec > agg.MakespanSec {
 			agg.MakespanSec = r.MakespanSec
 		}
+		if r.Sketched {
+			// Sketched reports carry no Requests; their good/completed
+			// counters are authoritative.
+			agg.GoodRequests += r.GoodRequests
+			agg.GoodOutputTokens += r.GoodOutputTokens
+			agg.CompletedOutputTokens += r.CompletedOutputTokens
+			mergeSk(agg.TTFTSketch, r.TTFTSketch)
+			mergeSk(agg.TPOTSketch, r.TPOTSketch)
+			mergeSk(agg.LatencySketch, r.LatencySketch)
+			continue
+		}
+		// Exact report: rederive goodput from the per-request ledger (the
+		// counter fields may be unset on hand-built or pre-sketch reports).
 		for _, m := range r.Requests {
+			agg.CompletedOutputTokens += m.OutputTokens
+			if m.SLOMet {
+				agg.GoodRequests++
+				agg.GoodOutputTokens += m.OutputTokens
+			}
+			if agg.Sketched {
+				_ = agg.TTFTSketch.Add(m.TTFT)
+				_ = agg.LatencySketch.Add(m.Latency)
+				if m.OutputTokens > 1 {
+					_ = agg.TPOTSketch.Add(m.TPOT)
+				}
+				continue
+			}
 			agg.Requests = append(agg.Requests, m)
 			ttfts = append(ttfts, m.TTFT)
 			lats = append(lats, m.Latency)
 			if m.OutputTokens > 1 {
 				tpots = append(tpots, m.TPOT)
 			}
-			if m.SLOMet {
-				goodReqs++
-				goodTokens += m.OutputTokens
-			}
 		}
 	}
 	if agg.MakespanSec > 0 {
 		agg.TokensPerSec = float64(agg.TotalTokens) / agg.MakespanSec
-		agg.GoodputTokensPerSec = float64(goodTokens) / agg.MakespanSec
-		agg.GoodRequestsPerSec = float64(goodReqs) / agg.MakespanSec
+		agg.GoodputTokensPerSec = float64(agg.GoodOutputTokens) / agg.MakespanSec
+		agg.GoodRequestsPerSec = float64(agg.GoodRequests) / agg.MakespanSec
 	}
-	agg.TTFT = quantiles(ttfts)
-	agg.TPOT = quantiles(tpots)
-	agg.Latency = quantiles(lats)
+	if agg.Sketched {
+		agg.TTFT = sketchQuantiles(agg.TTFTSketch)
+		agg.TPOT = sketchQuantiles(agg.TPOTSketch)
+		agg.Latency = sketchQuantiles(agg.LatencySketch)
+	} else {
+		agg.TTFT = quantiles(ttfts)
+		agg.TPOT = quantiles(tpots)
+		agg.Latency = quantiles(lats)
+	}
 	return agg
 }
 

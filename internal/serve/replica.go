@@ -57,5 +57,13 @@ func (r *Replica) Submitted() int { return len(r.states) }
 func (r *Replica) Err() error { return r.s.err }
 
 // Report assembles the replica's outcome over every submitted request.
-// Call it after the engine has drained (or hit its horizon).
-func (r *Replica) Report() *Report { return r.s.report(r.states) }
+// Call it after the engine has drained (or hit its horizon). Under
+// Config.QuantileMode == QuantileSketch the report carries quantile
+// sketches instead of per-request samples, so fleet aggregation stays
+// bounded-memory however many requests the replica served.
+func (r *Replica) Report() *Report {
+	if r.s.cfg.QuantileMode == QuantileSketch {
+		return r.s.reportSketched(r.states)
+	}
+	return r.s.report(r.states)
+}

@@ -124,8 +124,13 @@ type scheduler struct {
 	// roundProduced is the current round's production, consumed by the
 	// per-round decode event (reset in finishIteration).
 	roundProduced int
-	completed     []*reqState
-	dropped       []*reqState
+	// sink, when non-nil, streams completed/dropped outcomes into
+	// bounded-memory sketches as they happen (QuantileSketch mode): the
+	// run retains no per-request state, so the report is assembled from
+	// the sink instead of a states slice. noAudit additionally disables
+	// the admit-order audit trail, whose memory is linear in admissions.
+	sink    *streamAccum
+	noAudit bool
 	// err records a costing failure (a backend misconfiguration); it halts
 	// the loop and fails the run instead of reporting zeros as data.
 	err error
@@ -223,36 +228,56 @@ func genArrivals(cfg Config, rng *rand.Rand) ([]Request, error) {
 		return scenarioArrivals(cfg, rng)
 	}
 	if len(cfg.Trace) > 0 {
-		seen := make(map[int]bool, len(cfg.Trace))
-		for _, r := range cfg.Trace {
-			if r.InputLen <= 0 || r.OutputLen <= 0 || r.ArrivalSec < 0 {
-				return nil, fmt.Errorf("serve: invalid trace request %+v", r)
-			}
-			if r.PrefixLen < 0 || r.PrefixLen > r.InputLen {
-				return nil, fmt.Errorf("serve: request %d prefix %d outside prompt %d", r.ID, r.PrefixLen, r.InputLen)
-			}
-			if sum := r.InputLen + r.OutputLen; sum > cfg.Workload.Model.ContextLen {
-				return nil, fmt.Errorf("serve: request %d length %d exceeds %s context %d",
-					r.ID, sum, cfg.Workload.Model.Name, cfg.Workload.Model.ContextLen)
-			}
-			if seen[r.ID] {
-				return nil, fmt.Errorf("serve: duplicate request ID %d in trace", r.ID)
-			}
-			seen[r.ID] = true
+		if err := validateTrace(cfg); err != nil {
+			return nil, err
 		}
 		return append([]Request(nil), cfg.Trace...), nil
 	}
-	jitter := func(mean int) int {
-		if cfg.LengthJitter <= 0 || mean <= 0 {
-			return mean
-		}
-		f := 1 + cfg.LengthJitter*(2*rng.Float64()-1)
-		n := int(math.Round(float64(mean) * f))
-		if n < 1 {
-			n = 1
-		}
-		return n
+	g := newPoissonGen(cfg, rng)
+	out := make([]Request, cfg.Requests)
+	for i := range out {
+		out[i], _ = g.next()
 	}
+	return out, nil
+}
+
+// validateTrace rejects malformed explicit traces (the same checks the
+// batch path always ran, shared with the streaming arrival source).
+func validateTrace(cfg Config) error {
+	seen := make(map[int]bool, len(cfg.Trace))
+	for _, r := range cfg.Trace {
+		if r.InputLen <= 0 || r.OutputLen <= 0 || r.ArrivalSec < 0 {
+			return fmt.Errorf("serve: invalid trace request %+v", r)
+		}
+		if r.PrefixLen < 0 || r.PrefixLen > r.InputLen {
+			return fmt.Errorf("serve: request %d prefix %d outside prompt %d", r.ID, r.PrefixLen, r.InputLen)
+		}
+		if sum := r.InputLen + r.OutputLen; sum > cfg.Workload.Model.ContextLen {
+			return fmt.Errorf("serve: request %d length %d exceeds %s context %d",
+				r.ID, sum, cfg.Workload.Model.Name, cfg.Workload.Model.ContextLen)
+		}
+		if seen[r.ID] {
+			return fmt.Errorf("serve: duplicate request ID %d in trace", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	return nil
+}
+
+// poissonGen synthesizes the Poisson arrival stream one request at a
+// time. It draws from rng in exactly the order the historical batch loop
+// did (inter-arrival, then prefix group and suffix jitter or input
+// jitter, then output jitter), so draining it reproduces genArrivals'
+// output bit for bit — the property the epoch-sharded runner relies on.
+type poissonGen struct {
+	cfg       Config
+	rng       *rand.Rand
+	prefixLen int
+	t         float64
+	i         int
+}
+
+func newPoissonGen(cfg Config, rng *rand.Rand) *poissonGen {
 	prefixLen := 0
 	if cfg.PrefixGroups > 0 {
 		prefixLen = int(math.Round(cfg.PrefixFrac * float64(cfg.Workload.InputLen)))
@@ -260,36 +285,53 @@ func genArrivals(cfg Config, rng *rand.Rand) ([]Request, error) {
 			prefixLen = cfg.Workload.InputLen - 1
 		}
 	}
-	out := make([]Request, cfg.Requests)
-	t := 0.0
-	for i := range out {
-		t += rng.ExpFloat64() / cfg.Rate
-		var inLen int
-		r := Request{ID: i, ArrivalSec: t}
-		if prefixLen > 0 {
-			// The shared prefix has one fixed length per group; only the
-			// request-specific suffix jitters. Group membership is drawn at
-			// random — deterministic round-robin assignment would alias with
-			// round-robin dispatch in fleet runs and fake prefix affinity.
-			r.PrefixID = rng.Intn(cfg.PrefixGroups) + 1
-			r.PrefixLen = prefixLen
-			suffix := jitter(cfg.Workload.InputLen - prefixLen)
-			if suffix < 1 {
-				suffix = 1
-			}
-			inLen = prefixLen + suffix
-		} else {
-			inLen = jitter(cfg.Workload.InputLen)
-		}
-		outLen := jitter(cfg.Workload.OutputLen)
-		if outLen < 2 {
-			outLen = 2 // keep TPOT defined
-		}
-		// Upward jitter on means near the context limit must not overflow it.
-		r.InputLen, r.OutputLen = inLen, outLen
-		out[i] = clampToContext(r, cfg.Workload.Model.ContextLen)
+	return &poissonGen{cfg: cfg, rng: rng, prefixLen: prefixLen}
+}
+
+func (g *poissonGen) jitter(mean int) int {
+	if g.cfg.LengthJitter <= 0 || mean <= 0 {
+		return mean
 	}
-	return out, nil
+	f := 1 + g.cfg.LengthJitter*(2*g.rng.Float64()-1)
+	n := int(math.Round(float64(mean) * f))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// next returns the following arrival, or false once cfg.Requests have
+// been drawn.
+func (g *poissonGen) next() (Request, bool) {
+	if g.i >= g.cfg.Requests {
+		return Request{}, false
+	}
+	g.t += g.rng.ExpFloat64() / g.cfg.Rate
+	var inLen int
+	r := Request{ID: g.i, ArrivalSec: g.t}
+	if g.prefixLen > 0 {
+		// The shared prefix has one fixed length per group; only the
+		// request-specific suffix jitters. Group membership is drawn at
+		// random — deterministic round-robin assignment would alias with
+		// round-robin dispatch in fleet runs and fake prefix affinity.
+		r.PrefixID = g.rng.Intn(g.cfg.PrefixGroups) + 1
+		r.PrefixLen = g.prefixLen
+		suffix := g.jitter(g.cfg.Workload.InputLen - g.prefixLen)
+		if suffix < 1 {
+			suffix = 1
+		}
+		inLen = g.prefixLen + suffix
+	} else {
+		inLen = g.jitter(g.cfg.Workload.InputLen)
+	}
+	outLen := g.jitter(g.cfg.Workload.OutputLen)
+	if outLen < 2 {
+		outLen = 2 // keep TPOT defined
+	}
+	// Upward jitter on means near the context limit must not overflow it.
+	r.InputLen, r.OutputLen = inLen, outLen
+	g.i++
+	return clampToContext(r, g.cfg.Workload.Model.ContextLen), true
 }
 
 // clampToContext enforces the model context window on a synthesized
@@ -465,7 +507,9 @@ func (s *scheduler) iterate() {
 				head.swapped, head.swappedTokens = false, 0
 			}
 			head.phase = phaseDropped
-			s.dropped = append(s.dropped, head)
+			if s.sink != nil {
+				s.sink.dropped++
+			}
 			if s.obs != nil {
 				s.event(Event{Kind: EvDrop, ReqID: head.req.ID, Tokens: target})
 			}
@@ -522,7 +566,9 @@ func (s *scheduler) iterate() {
 			head.admittedAt = now
 			head.admitSeq = s.admitCount
 			s.admitCount++
-			s.admitOrder = append(s.admitOrder, head.req.ID)
+			if !s.noAudit {
+				s.admitOrder = append(s.admitOrder, head.req.ID)
+			}
 		}
 		head.phase = phaseRunning
 		head.prefilled = computed
@@ -787,7 +833,9 @@ func (s *scheduler) finishIteration() {
 			s.kv.Release(r.req.ID)
 			r.phase = phaseFinished
 			r.finishedAt = now
-			s.completed = append(s.completed, r)
+			if s.sink != nil {
+				s.sink.observe(r, s.cfg.TTFTSLOSec, s.cfg.TPOTSLOSec)
+			}
 			for i, cand := range s.running {
 				if cand == r {
 					s.running = append(s.running[:i], s.running[i+1:]...)
@@ -886,7 +934,7 @@ func (s *scheduler) report(states []*reqState) *Report {
 	ttfts := make([]float64, 0, len(states))
 	tpots := make([]float64, 0, len(states))
 	lats := make([]float64, 0, len(states))
-	goodTokens, goodReqs := 0, 0
+	goodTokens, goodReqs, completedTokens := 0, 0, 0
 	for _, st := range states {
 		rep.TotalTokens += st.generated
 		switch st.phase {
@@ -895,6 +943,7 @@ func (s *scheduler) report(states []*reqState) *Report {
 			continue
 		case phaseFinished:
 			rep.Completed++
+			completedTokens += st.generated
 		default:
 			rep.Unfinished++
 			continue
@@ -924,6 +973,9 @@ func (s *scheduler) report(states []*reqState) *Report {
 			goodTokens += m.OutputTokens
 		}
 	}
+	rep.GoodRequests = goodReqs
+	rep.GoodOutputTokens = goodTokens
+	rep.CompletedOutputTokens = completedTokens
 	if makespan > 0 {
 		rep.TokensPerSec = float64(rep.TotalTokens) / makespan
 		rep.GoodputTokensPerSec = float64(goodTokens) / makespan
@@ -956,6 +1008,9 @@ func RunAudited(be Backend, cfg Config) (*Report, AdmitOrder, error) {
 	}
 	if !be.IsGPU && be.CPU.Sockets <= 0 {
 		be.CPU.Sockets = 1
+	}
+	if cfg.QuantileMode == QuantileSketch || cfg.EpochRequests > 0 {
+		return runSharded(be, cfg)
 	}
 	noise := newNoise(be, cfg.Seed)
 	s, err := newScheduler(be, cfg, sim.NewEngine(), noise)

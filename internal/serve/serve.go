@@ -13,6 +13,7 @@ package serve
 
 import (
 	"fmt"
+	"strings"
 
 	"cllm/internal/cloud"
 	"cllm/internal/perf"
@@ -20,6 +21,49 @@ import (
 	"cllm/internal/trace"
 	"cllm/internal/workload"
 )
+
+// QuantileMode selects how a run summarizes per-request latency metrics.
+type QuantileMode int
+
+const (
+	// QuantileExact retains every completed request's metrics and computes
+	// interpolated percentiles over the full sample — bit-identical to the
+	// historical behavior, with memory linear in the request count.
+	QuantileExact QuantileMode = iota
+	// QuantileSketch streams metrics into DDSketch-style summaries
+	// (stats.Sketch) with a documented relative-error bound and memory
+	// independent of the request count, and runs the simulation in arrival
+	// epochs so 10⁸-request runs complete with a flat heap. Reports carry
+	// no per-request slice; quantiles come from the sketches.
+	QuantileSketch
+)
+
+// String names the mode as the CLI spells it.
+func (m QuantileMode) String() string {
+	switch m {
+	case QuantileExact:
+		return "exact"
+	case QuantileSketch:
+		return "sketch"
+	}
+	return fmt.Sprintf("QuantileMode(%d)", int(m))
+}
+
+// ParseQuantileMode resolves a CLI mode name.
+func ParseQuantileMode(s string) (QuantileMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "exact", "":
+		return QuantileExact, nil
+	case "sketch":
+		return QuantileSketch, nil
+	}
+	return 0, fmt.Errorf("serve: unknown quantile mode %q (exact|sketch)", s)
+}
+
+// DefaultEpochRequests is the arrival-epoch size sketch-mode sharded runs
+// use unless configured: large enough that epoch handoff overhead
+// vanishes, small enough that per-epoch arrival buffers stay in cache.
+const DefaultEpochRequests = 65536
 
 // Request is one arrival in the offered load.
 type Request struct {
@@ -187,8 +231,26 @@ type Config struct {
 	// HorizonSec bounds simulated time after the last arrival (default
 	// 3600s): requests still unfinished then count as SLO misses.
 	HorizonSec float64
-	// MaxSteps bounds engine events as a runaway guard (default 4e6).
+	// MaxSteps bounds engine events as a runaway guard (default 4e6,
+	// scaled up to 512 events per request for runs large enough that the
+	// constant cap would kill legitimate work).
 	MaxSteps int64
+	// QuantileMode selects the latency summary: QuantileExact (default)
+	// retains per-request samples and is bit-identical to prior behavior;
+	// QuantileSketch streams them into bounded-memory sketches and shards
+	// the simulation into arrival epochs (see EpochRequests).
+	QuantileMode QuantileMode
+	// SketchAlpha is the sketch's relative-error bound in (0, 1); 0 means
+	// stats.DefaultSketchAlpha (1%). Ignored under QuantileExact.
+	SketchAlpha float64
+	// EpochRequests is the arrival-epoch size for sharded simulation: the
+	// run schedules this many arrivals at a time, drains the engine to the
+	// epoch's last arrival, and hands the warm scheduler/KV state to the
+	// next epoch. 0 means DefaultEpochRequests under QuantileSketch and
+	// monolithic execution under QuantileExact; setting it explicitly
+	// under QuantileExact forces the sharded path (whose output is
+	// byte-identical to monolithic — tests pin this).
+	EpochRequests int
 	// Observer, when non-nil, receives the per-request lifecycle event
 	// stream and per-round gauge samples (see Observer). Nil — the default —
 	// keeps the scheduler's fast path branch-only and allocation-free. Not
@@ -289,6 +351,35 @@ func (c *Config) normalize() error {
 	}
 	if c.MaxSteps <= 0 {
 		c.MaxSteps = 4_000_000
+		// Event volume scales with arrivals (one arrival event plus a
+		// bounded number of scheduling rounds per request); scale the
+		// runaway guard so 10⁸-request runs are not killed by a constant
+		// cap sized for sweep points. Requests already covers traces too
+		// small to matter, and scenario/Poisson runs default it above.
+		n := c.Requests
+		if len(c.Trace) > n {
+			n = len(c.Trace)
+		}
+		if guard := int64(n) * 512; guard > c.MaxSteps {
+			c.MaxSteps = guard
+		}
+	}
+	switch c.QuantileMode {
+	case QuantileExact, QuantileSketch:
+	default:
+		return fmt.Errorf("serve: unknown quantile mode %d", int(c.QuantileMode))
+	}
+	switch {
+	case c.SketchAlpha == 0:
+		c.SketchAlpha = stats.DefaultSketchAlpha
+	case c.SketchAlpha < 0 || c.SketchAlpha >= 1:
+		return fmt.Errorf("serve: sketch alpha %g outside (0, 1)", c.SketchAlpha)
+	}
+	if c.EpochRequests < 0 {
+		return fmt.Errorf("serve: epoch size %d is negative", c.EpochRequests)
+	}
+	if c.QuantileMode == QuantileSketch && c.EpochRequests == 0 {
+		c.EpochRequests = DefaultEpochRequests
 	}
 	return nil
 }
@@ -367,6 +458,30 @@ type Report struct {
 	PeakSwapBlocksInUse int
 	SwapBlocksAtEnd     int
 	Requests            []RequestMetrics
+	// Sketched marks a report whose latency quantiles come from streaming
+	// sketches (Config.QuantileMode == QuantileSketch): Requests is nil
+	// and the Quantiles fields are within SketchAlpha relative error of
+	// the exact order statistics (Mean additionally tolerates float
+	// summation reordering).
+	Sketched bool
+	// SketchAlpha is the quantile relative-error bound of a sketched
+	// report (zero otherwise).
+	SketchAlpha float64
+	// GoodRequests counts completed requests that met the SLO,
+	// GoodOutputTokens sums their output tokens, and
+	// CompletedOutputTokens sums output tokens over all completed
+	// requests. Filled in both quantile modes (exact reports derive them
+	// from Requests), so consumers need not walk the per-request slice.
+	GoodRequests          int
+	GoodOutputTokens      int
+	CompletedOutputTokens int
+	// TTFTSketch/TPOTSketch/LatencySketch are the streaming summaries
+	// behind a sketched report's quantiles; nil unless Sketched. Exposed
+	// so MergeReports can merge them exactly and internal/obs can
+	// reconcile against them.
+	TTFTSketch    *stats.Sketch
+	TPOTSketch    *stats.Sketch
+	LatencySketch *stats.Sketch
 }
 
 // SLOAttainment returns the fraction of offered requests that completed
@@ -375,6 +490,9 @@ func (r *Report) SLOAttainment() float64 {
 	offered := r.Completed + r.Dropped + r.Unfinished
 	if offered == 0 {
 		return 0
+	}
+	if r.Sketched {
+		return float64(r.GoodRequests) / float64(offered)
 	}
 	good := 0
 	for _, m := range r.Requests {
@@ -407,12 +525,18 @@ func (r *Report) CostAtSLO(hourlyPerReplica float64) (*CostAtSLO, error) {
 	}
 	meanOut := 0.0
 	if r.Completed > 0 {
-		n := 0
-		for _, m := range r.Requests {
-			meanOut += float64(m.OutputTokens)
-			n++
+		if r.Sketched {
+			// Integer token sums stay exact in float64 far past 10⁸
+			// requests, so this equals the exact-mode loop bit for bit.
+			meanOut = float64(r.CompletedOutputTokens) / float64(r.Completed)
+		} else {
+			n := 0
+			for _, m := range r.Requests {
+				meanOut += float64(m.OutputTokens)
+				n++
+			}
+			meanOut /= float64(n)
 		}
-		meanOut /= float64(n)
 	}
 	offeredTokens := r.OfferedRate * meanOut
 	usd, err := cloud.ServingCost(hourlyPerReplica, replicas, offeredTokens)
@@ -436,5 +560,21 @@ func quantiles(xs []float64) Quantiles {
 		P50:  stats.Percentile(xs, 50),
 		P95:  stats.Percentile(xs, 95),
 		P99:  stats.Percentile(xs, 99),
+	}
+}
+
+// sketchQuantiles summarizes a streaming sketch in the report's Quantiles
+// shape. The percentile fields are rank-based bucket estimates (within
+// the sketch's alpha of the exact order statistic) rather than the exact
+// path's interpolated percentiles.
+func sketchQuantiles(sk *stats.Sketch) Quantiles {
+	if sk == nil || sk.Count() == 0 {
+		return Quantiles{}
+	}
+	return Quantiles{
+		Mean: sk.Mean(),
+		P50:  sk.Quantile(0.50),
+		P95:  sk.Quantile(0.95),
+		P99:  sk.Quantile(0.99),
 	}
 }

@@ -60,6 +60,20 @@ func (e *Engine) Schedule(delay Time, fn func(*Engine)) {
 	e.push(Event{At: e.now + delay, Fn: fn, seq: e.nextID})
 }
 
+// ScheduleAt queues fn at the absolute instant at, clamped to the current
+// time when it lies in the past. Epoch-sharded runs use it to place
+// arrivals scheduled mid-run at their exact recorded times: Schedule would
+// compute now + (at − now), which is not bit-identical to at once the
+// clock has advanced, and bit-stable event times are what keeps sharded
+// runs byte-identical to monolithic ones.
+func (e *Engine) ScheduleAt(at Time, fn func(*Engine)) {
+	if at < e.now {
+		at = e.now
+	}
+	e.nextID++
+	e.push(Event{At: at, Fn: fn, seq: e.nextID})
+}
+
 // push appends the event and sifts it up the 4-ary heap.
 func (e *Engine) push(ev Event) {
 	e.events = append(e.events, ev)

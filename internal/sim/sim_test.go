@@ -255,3 +255,28 @@ func TestEngineHeapRandomizedOrdering(t *testing.T) {
 		seen[f.at] = f.idx
 	}
 }
+
+func TestEngineScheduleAt(t *testing.T) {
+	eng := NewEngine()
+	var fired []Time
+	record := func(e *Engine) { fired = append(fired, e.Now()) }
+	// An absolute time survives clock advancement bit-exactly: 0.1+0.2
+	// style drift from now+(at-now) arithmetic must not occur.
+	const target = Time(0.30000000000000004) // 0.1 + 0.2 in float64
+	eng.Schedule(0.05, func(e *Engine) {
+		e.ScheduleAt(target, record)
+		e.ScheduleAt(0.01, record) // in the past: clamps to now (0.05)
+	})
+	if err := eng.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if fired[0] != 0.05 {
+		t.Errorf("past-time event fired at %v, want clamped 0.05", fired[0])
+	}
+	if fired[1] != target {
+		t.Errorf("event fired at %v, want exactly %v", fired[1], target)
+	}
+}

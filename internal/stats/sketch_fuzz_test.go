@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzSketchQuantiles feeds arbitrary byte streams (decoded as float64s)
+// into a sketch and checks the structural invariants that must hold for
+// ANY input: non-finite values are rejected without mutating state, the
+// quantile function is nondecreasing in q and bounded by [Min, Max], the
+// count ledger matches accepted adds, and nothing panics. Run with
+// `go test -fuzz=FuzzSketchQuantiles ./internal/stats` to explore; the
+// seed corpus below is exercised by every plain `go test` run.
+func FuzzSketchQuantiles(f *testing.F) {
+	seed := func(vals ...float64) []byte {
+		b := make([]byte, 0, 8*len(vals))
+		for _, v := range vals {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+		}
+		return b
+	}
+	f.Add(seed(1, 2, 3, 4, 5))
+	f.Add(seed(0, 0, 0))
+	f.Add(seed(-1, 1, -2, 2, 0))
+	f.Add(seed(math.NaN(), 1, math.Inf(1), 2, math.Inf(-1)))
+	f.Add(seed(1e-300, 1e300, 5e-324, math.MaxFloat64))
+	f.Add(seed(0.001, 0.01, 0.1, 1, 10, 100))
+	f.Add([]byte{1, 2, 3}) // trailing partial word is ignored
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sk, err := NewSketch(DefaultSketchAlpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accepted := int64(0)
+		min, max := math.Inf(1), math.Inf(-1)
+		for len(data) >= 8 {
+			x := math.Float64frombits(binary.LittleEndian.Uint64(data[:8]))
+			data = data[8:]
+			before := sk.Count()
+			err := sk.Add(x)
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				if err == nil {
+					t.Fatalf("non-finite %g accepted", x)
+				}
+				if sk.Count() != before {
+					t.Fatalf("rejected %g changed count %d -> %d", x, before, sk.Count())
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("finite %g rejected: %v", x, err)
+			}
+			accepted++
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		if sk.Count() != accepted {
+			t.Fatalf("count %d, accepted %d", sk.Count(), accepted)
+		}
+		if accepted == 0 {
+			if sk.Quantile(0.5) != 0 {
+				t.Fatalf("empty sketch quantile %g", sk.Quantile(0.5))
+			}
+			return
+		}
+		if sk.Min() != min || sk.Max() != max {
+			t.Fatalf("min/max %g/%g, want %g/%g", sk.Min(), sk.Max(), min, max)
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{-1, 0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1, 2} {
+			v := sk.Quantile(q)
+			if math.IsNaN(v) {
+				t.Fatalf("Quantile(%g) is NaN", q)
+			}
+			if v < min || v > max {
+				t.Fatalf("Quantile(%g)=%g outside [%g, %g]", q, v, min, max)
+			}
+			if v < prev {
+				t.Fatalf("Quantile(%g)=%g below Quantile(prev)=%g", q, v, prev)
+			}
+			prev = v
+		}
+	})
+}

@@ -32,6 +32,11 @@ type Request struct {
 	Shape string
 }
 
+// TimeStream yields one arrival time per call, non-decreasing from 0.
+// It is the lazy form of Arrivals.Times: epoch-sharded simulations pull
+// arrivals on demand instead of materializing the whole horizon.
+type TimeStream func() float64
+
 // Arrivals is an arrival process: a source of event times on the simulated
 // clock. Implementations must be deterministic given the rng.
 type Arrivals interface {
@@ -42,6 +47,21 @@ type Arrivals interface {
 	MeanRate() float64
 	// Times draws n non-decreasing arrival times starting from 0.
 	Times(n int, rng *rand.Rand) []float64
+	// Stream returns the lazy counterpart of Times over the same rng:
+	// draining n values from the stream yields exactly Times(n, rng),
+	// bit for bit, because Times is implemented as that drain.
+	Stream(rng *rand.Rand) TimeStream
+}
+
+// drainTimes materializes n values from a stream. Every Times
+// implementation goes through it, so the streamed and batch forms of an
+// arrival process can never diverge.
+func drainTimes(ts TimeStream, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = ts()
+	}
+	return out
 }
 
 // Poisson is the stationary memoryless process the simulator used before
@@ -58,13 +78,16 @@ func (p Poisson) MeanRate() float64 { return p.Rate }
 
 // Times implements Arrivals.
 func (p Poisson) Times(n int, rng *rand.Rand) []float64 {
-	out := make([]float64, n)
+	return drainTimes(p.Stream(rng), n)
+}
+
+// Stream implements Arrivals.
+func (p Poisson) Stream(rng *rand.Rand) TimeStream {
 	t := 0.0
-	for i := range out {
+	return func() float64 {
 		t += rng.ExpFloat64() / p.Rate
-		out[i] = t
+		return t
 	}
-	return out
 }
 
 // MMPP is a two-state Markov-modulated Poisson process: the arrival rate
@@ -106,28 +129,32 @@ func (m MMPP) MeanRate() float64 {
 // Times implements Arrivals: competing exponentials between the next
 // arrival in the current state and the next state switch.
 func (m MMPP) Times(n int, rng *rand.Rand) []float64 {
-	out := make([]float64, 0, n)
+	return drainTimes(m.Stream(rng), n)
+}
+
+// Stream implements Arrivals.
+func (m MMPP) Stream(rng *rand.Rand) TimeStream {
 	t := 0.0
 	high := false // start in the lull so ramp-up dynamics are exercised
-	for len(out) < n {
-		rate, hold := m.LowRate, m.LowHoldSec
-		if high {
-			rate, hold = m.HighRate, m.HighHoldSec
-		}
-		toSwitch := rng.ExpFloat64() * hold
-		toArrival := math.Inf(1)
-		if rate > 0 {
-			toArrival = rng.ExpFloat64() / rate
-		}
-		if toArrival < toSwitch {
-			t += toArrival
-			out = append(out, t)
-		} else {
+	return func() float64 {
+		for {
+			rate, hold := m.LowRate, m.LowHoldSec
+			if high {
+				rate, hold = m.HighRate, m.HighHoldSec
+			}
+			toSwitch := rng.ExpFloat64() * hold
+			toArrival := math.Inf(1)
+			if rate > 0 {
+				toArrival = rng.ExpFloat64() / rate
+			}
+			if toArrival < toSwitch {
+				t += toArrival
+				return t
+			}
 			t += toSwitch
 			high = !high
 		}
 	}
-	return out
 }
 
 // Diurnal modulates a Poisson process with a sinusoid: rate(t) = Mean ×
@@ -153,16 +180,21 @@ func (d Diurnal) rateAt(t float64) float64 {
 // Times implements Arrivals by thinning: candidates at the peak rate are
 // accepted with probability rate(t)/peak.
 func (d Diurnal) Times(n int, rng *rand.Rand) []float64 {
+	return drainTimes(d.Stream(rng), n)
+}
+
+// Stream implements Arrivals.
+func (d Diurnal) Stream(rng *rand.Rand) TimeStream {
 	peak := d.Mean * (1 + d.Amplitude)
-	out := make([]float64, 0, n)
 	t := 0.0
-	for len(out) < n {
-		t += rng.ExpFloat64() / peak
-		if rng.Float64()*peak <= d.rateAt(t) {
-			out = append(out, t)
+	return func() float64 {
+		for {
+			t += rng.ExpFloat64() / peak
+			if rng.Float64()*peak <= d.rateAt(t) {
+				return t
+			}
 		}
 	}
-	return out
 }
 
 // Ramp grows the rate linearly from StartRate to EndRate over RampSec and
@@ -189,16 +221,21 @@ func (r Ramp) rateAt(t float64) float64 {
 
 // Times implements Arrivals by thinning at the larger endpoint rate.
 func (r Ramp) Times(n int, rng *rand.Rand) []float64 {
+	return drainTimes(r.Stream(rng), n)
+}
+
+// Stream implements Arrivals.
+func (r Ramp) Stream(rng *rand.Rand) TimeStream {
 	peak := math.Max(r.StartRate, r.EndRate)
-	out := make([]float64, 0, n)
 	t := 0.0
-	for len(out) < n {
-		t += rng.ExpFloat64() / peak
-		if rng.Float64()*peak <= r.rateAt(t) {
-			out = append(out, t)
+	return func() float64 {
+		for {
+			t += rng.ExpFloat64() / peak
+			if rng.Float64()*peak <= r.rateAt(t) {
+				return t
+			}
 		}
 	}
-	return out
 }
 
 // Replay replays recorded arrival times (e.g. a production trace). When
@@ -226,28 +263,30 @@ func (r Replay) MeanRate() float64 {
 
 // Times implements Arrivals. The rng is unused — a replay is already a
 // fixed sample path.
-func (r Replay) Times(n int, _ *rand.Rand) []float64 {
-	out := make([]float64, 0, n)
+func (r Replay) Times(n int, rng *rand.Rand) []float64 {
+	return drainTimes(r.Stream(rng), n)
+}
+
+// Stream implements Arrivals, tiling the trace with the mean gap as the
+// seam so the wrapped stream keeps the trace's rate.
+func (r Replay) Stream(_ *rand.Rand) TimeStream {
 	if len(r.TimesSec) == 0 {
-		return make([]float64, n)
+		return func() float64 { return 0 }
 	}
-	// Tile with the mean gap as the seam so the wrapped stream keeps the
-	// trace's rate.
 	seam := 1.0
 	if rate := r.MeanRate(); rate > 0 {
 		seam = 1 / rate
 	}
-	base := 0.0
-	for len(out) < n {
-		for _, ts := range r.TimesSec {
-			out = append(out, base+ts-r.TimesSec[0])
-			if len(out) == n {
-				break
-			}
+	i, base, last := 0, 0.0, 0.0
+	return func() float64 {
+		if i == len(r.TimesSec) {
+			i = 0
+			base = last + seam
 		}
-		base = out[len(out)-1] + seam
+		last = base + r.TimesSec[i] - r.TimesSec[0]
+		i++
+		return last
 	}
-	return out
 }
 
 // Shape is one request class of a traffic mix.
@@ -376,53 +415,96 @@ func (s Scenario) Validate() error {
 // Generate draws n requests: arrival times from the process, shapes from
 // the mix, deterministic under the rng. Prefix identities are disjoint
 // across shapes (shape index partitions the ID space).
+//
+// Generate makes two passes over the rng — all n times first, then n
+// shapes. The streaming Generator interleaves the two draws per request;
+// both are valid deterministic sample paths of the same scenario, but
+// they are not the same path, so callers comparing runs bit-for-bit must
+// compare like with like.
 func (s Scenario) Generate(n int, rng *rand.Rand) ([]Request, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	times := s.Arrivals.Times(n, rng)
-	totalW := 0.0
-	for _, sh := range s.Mix {
-		totalW += sh.Weight
-	}
+	totalW := s.Mix.totalWeight()
 	out := make([]Request, n)
 	for i, t := range times {
-		sh, si := s.pick(rng, totalW)
-		r := Request{ArrivalSec: t, Shape: sh.Name}
-		jitter := func(mean int) int {
-			if sh.LengthJitter <= 0 || mean <= 0 {
-				return mean
-			}
-			f := 1 + sh.LengthJitter*(2*rng.Float64()-1)
-			if v := int(math.Round(float64(mean) * f)); v >= 1 {
-				return v
-			}
-			return 1
-		}
-		if sh.PrefixGroups > 0 {
-			prefixLen := int(math.Round(sh.PrefixFrac * float64(sh.InputLen)))
-			if prefixLen >= sh.InputLen {
-				prefixLen = sh.InputLen - 1
-			}
-			// The shared prefix has one fixed length per shape; only the
-			// request-specific suffix jitters.
-			suffix := jitter(sh.InputLen - prefixLen)
-			if suffix < 1 {
-				suffix = 1
-			}
-			r.PrefixID = si*prefixIDStride + rng.Intn(sh.PrefixGroups) + 1
-			r.PrefixLen = prefixLen
-			r.InputLen = prefixLen + suffix
-		} else {
-			r.InputLen = jitter(sh.InputLen)
-		}
-		r.OutputLen = jitter(sh.OutputLen)
-		if r.OutputLen < 2 {
-			r.OutputLen = 2 // keep TPOT defined
-		}
-		out[i] = r
+		out[i] = s.shapeRequest(t, rng, totalW)
 	}
 	return out, nil
+}
+
+// totalWeight sums the mix weights (already validated positive).
+func (m Mix) totalWeight() float64 {
+	w := 0.0
+	for _, sh := range m {
+		w += sh.Weight
+	}
+	return w
+}
+
+// shapeRequest draws one request's shape for an arrival at t. The rng
+// draw order per request (shape pick, length jitters, prefix identity) is
+// shared by Generate and Generator.Next.
+func (s Scenario) shapeRequest(t float64, rng *rand.Rand, totalW float64) Request {
+	sh, si := s.pick(rng, totalW)
+	r := Request{ArrivalSec: t, Shape: sh.Name}
+	jitter := func(mean int) int {
+		if sh.LengthJitter <= 0 || mean <= 0 {
+			return mean
+		}
+		f := 1 + sh.LengthJitter*(2*rng.Float64()-1)
+		if v := int(math.Round(float64(mean) * f)); v >= 1 {
+			return v
+		}
+		return 1
+	}
+	if sh.PrefixGroups > 0 {
+		prefixLen := int(math.Round(sh.PrefixFrac * float64(sh.InputLen)))
+		if prefixLen >= sh.InputLen {
+			prefixLen = sh.InputLen - 1
+		}
+		// The shared prefix has one fixed length per shape; only the
+		// request-specific suffix jitters.
+		suffix := jitter(sh.InputLen - prefixLen)
+		if suffix < 1 {
+			suffix = 1
+		}
+		r.PrefixID = si*prefixIDStride + rng.Intn(sh.PrefixGroups) + 1
+		r.PrefixLen = prefixLen
+		r.InputLen = prefixLen + suffix
+	} else {
+		r.InputLen = jitter(sh.InputLen)
+	}
+	r.OutputLen = jitter(sh.OutputLen)
+	if r.OutputLen < 2 {
+		r.OutputLen = 2 // keep TPOT defined
+	}
+	return r
+}
+
+// Generator streams a scenario's requests one at a time, in arrival
+// order, without materializing the horizon. Memory is O(1) in the number
+// of requests — the bounded-memory serving runs pull their offered load
+// from here. See Generate for how the two rng draw orders relate.
+type Generator struct {
+	s      Scenario
+	ts     TimeStream
+	rng    *rand.Rand
+	totalW float64
+}
+
+// Stream validates the scenario and returns its streaming generator.
+func (s Scenario) Stream(rng *rand.Rand) (*Generator, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{s: s, ts: s.Arrivals.Stream(rng), rng: rng, totalW: s.Mix.totalWeight()}, nil
+}
+
+// Next draws the next request.
+func (g *Generator) Next() Request {
+	return g.s.shapeRequest(g.ts(), g.rng, g.totalW)
 }
 
 // prefixIDStride partitions prefix identities by shape so two shapes can

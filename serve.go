@@ -76,6 +76,21 @@ type ServeConfig struct {
 	// SwapPoolFrac sizes the host swap pool as a fraction of the device KV
 	// pool (0 = default 1.0; negative disables). Ignored under "recompute".
 	SwapPoolFrac float64
+	// QuantileMode selects how latency quantiles are computed: "exact"
+	// (default — per-request samples retained and sorted, byte-identical to
+	// prior releases) or "sketch" (streaming DDSketch summaries with a
+	// documented relative error bound and O(1) memory in the request
+	// count — the mode that makes 10⁸-request runs fit in a flat heap).
+	QuantileMode string
+	// SketchAlpha is the sketch's relative error bound (0 = default 0.01).
+	// Only meaningful with QuantileMode "sketch".
+	SketchAlpha float64
+	// EpochRequests shards the simulation horizon: arrivals are scheduled
+	// in epochs of this many requests, with scheduler/KV/prefix-cache state
+	// handed warm across the boundary (0 = 65536 in sketch mode, unsharded
+	// in exact mode; setting it explicitly in exact mode forces the sharded
+	// scheduler path, which stays byte-identical to the monolithic one).
+	EpochRequests int
 	// Observe records the run's per-request lifecycle event stream and
 	// windowed time series and attaches the rendered artifacts (Perfetto
 	// trace, Prometheus snapshot, CSV time series) to the report as
@@ -134,6 +149,10 @@ type ServeReport struct {
 	// Observation holds the rendered observability artifacts (nil unless
 	// ServeConfig.Observe was set).
 	Observation *ServeObservation
+	// Sketched reports that quantiles came from streaming sketches with
+	// relative error bound SketchAlpha rather than exact order statistics.
+	Sketched    bool
+	SketchAlpha float64
 }
 
 // Serve runs the continuous-batching serving simulator on the session's
@@ -180,6 +199,10 @@ func (s *Session) Serve(cfg ServeConfig) (*ServeReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	qmode, err := serve.ParseQuantileMode(cfg.QuantileMode)
+	if err != nil {
+		return nil, err
+	}
 	scfg := serve.Config{
 		Workload:      trace.Workload{Model: mcfg, Kind: kind, InputLen: cfg.InputLen, OutputLen: cfg.OutputLen},
 		Rate:          cfg.RatePerSec,
@@ -197,6 +220,9 @@ func (s *Session) Serve(cfg ServeConfig) (*ServeReport, error) {
 		SwapPoolFrac:  cfg.SwapPoolFrac,
 		TTFTSLOSec:    cfg.TTFTSLOSec,
 		TPOTSLOSec:    cfg.TPOTSLOSec,
+		QuantileMode:  qmode,
+		SketchAlpha:   cfg.SketchAlpha,
+		EpochRequests: cfg.EpochRequests,
 	}
 	policy, err := serve.ParseLBPolicy(cfg.LBPolicy)
 	if err != nil {
@@ -256,6 +282,8 @@ func (s *Session) Serve(cfg ServeConfig) (*ServeReport, error) {
 		SwapOuts:              rep.SwapOuts,
 		SwapIns:               rep.SwapIns,
 		Replicas:              1,
+		Sketched:              rep.Sketched,
+		SketchAlpha:           rep.SketchAlpha,
 	}
 	if rec != nil {
 		out.Observation = buildObservation(rec, rep)
