@@ -321,7 +321,8 @@ func Autoscale(cfg AutoscaleConfig) (*AutoscaleReport, error) {
 		})
 	}
 	if rec != nil {
-		out.Observation = buildObservation(rec, rep.Aggregate)
+		out.Observation = buildObservation(rec, nil, rep.Aggregate)
+		rec.Recycle()
 	}
 	return out, nil
 }

@@ -59,6 +59,7 @@ func BenchmarkHeteroDispatch(b *testing.B)   { benchExperiment(b, "hetero") }
 func BenchmarkAutoscaling(b *testing.B)      { benchExperiment(b, "autoscale") }
 func BenchmarkPreemptPolicies(b *testing.B)  { benchExperiment(b, "preempt") }
 func BenchmarkObservability(b *testing.B)    { benchExperiment(b, "obs") }
+func BenchmarkAttribution(b *testing.B)      { benchExperiment(b, "attrib") }
 
 // BenchmarkServeScheduler measures the serving simulator itself: simulated
 // requests completed per wall-clock second of scheduler execution.
@@ -215,6 +216,7 @@ func TestBenchmarkCoverage(t *testing.T) {
 		"spr": true, "ablation": true, "serving": true,
 		"chunked": true, "prefix": true, "fleet": true,
 		"hetero": true, "autoscale": true, "preempt": true, "obs": true,
+		"attrib": true,
 	}
 	for _, e := range Experiments() {
 		if !covered[e.ID] {

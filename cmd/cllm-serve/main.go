@@ -27,6 +27,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +36,7 @@ import (
 
 	"cllm"
 	"cllm/internal/harness"
+	"cllm/internal/obs"
 	"cllm/internal/serve"
 )
 
@@ -72,6 +74,11 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write a Prometheus text-format snapshot of the observed run to this file")
 	timeseriesOut := flag.String("timeseries-out", "", "write the windowed CSV time series of the observed run to this file")
 	obsWindow := flag.Float64("obs-window", 0, "observation time-series window in simulated seconds (0 = 1s default)")
+	attribF := flag.Bool("attrib", false, "attribute the observed run's latency to phases (queue/prefill/decode/stall/swap) and price a clear-hardware counterfactual for the per-phase TEE tax; attributes the first platform's base-rate point")
+	attribOut := flag.String("attrib-out", "", "write the attribution report JSON to this file (requires -attrib)")
+	attribCSV := flag.String("attrib-csv", "", "write the phase-breakdown CSV to this file (requires -attrib)")
+	compare := flag.String("compare", "", "diff the attributed run against a baseline attribution JSON (from -attrib-out); prints movements beyond the sketch error bounds and exits 1 on regression (requires -attrib)")
+	compareSlack := flag.Float64("compare-slack", 0.02, "extra tolerance added to the sketch error bounds when diffing with -compare")
 	demandAlpha := flag.Float64("demand-alpha", 0, "autoscaler EWMA demand-smoothing factor in (0,1]; 0 or 1 keeps the raw one-window estimator")
 	sloTTFT := flag.Float64("slo-ttft", 5, "TTFT SLO (seconds)")
 	sloTPOT := flag.Float64("slo-tpot", 0.5, "TPOT SLO (seconds/token)")
@@ -79,8 +86,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	flag.Parse()
 
-	if *format != "table" && *format != "csv" && *format != "json" {
-		fmt.Fprintf(os.Stderr, "cllm-serve: unknown -format %q (table|csv|json)\n", *format)
+	if err := validateFlags(flagOpts{
+		format: *format, obsWindow: *obsWindow, sketchAlpha: *sketchAlpha,
+		attrib: *attribF, attribOut: *attribOut, attribCSV: *attribCSV,
+		compare: *compare, autoscale: *autoscaleF,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "cllm-serve: %v\n", err)
 		os.Exit(1)
 	}
 	if *prefixShare && *prefixGroups <= 0 {
@@ -142,8 +153,10 @@ func main() {
 			"kv-blocks", "kv-peak", "prefix-miss(tok)", "evicted-blocks", "swap-out", "swap-in")
 	}
 	// The export artifacts come from one observed run: the first platform's
-	// base-rate (×1) sweep point.
+	// base-rate (×1) sweep point. Attribution follows the same rule.
 	wantObserve := *traceOut != "" || *metricsOut != "" || *timeseriesOut != ""
+	wantAttrib := *attribF
+	var attribRep *obs.AttribReport
 	var mults []float64
 	for _, f := range strings.Split(*rateMults, ",") {
 		f = strings.TrimSpace(f)
@@ -178,9 +191,11 @@ func main() {
 		}
 		for _, m := range mults {
 			observe := wantObserve && m == 1
+			attribute := wantAttrib && m == 1
 			rep, err := sess.Serve(cllm.ServeConfig{
 				Observe: observe, ObserveWindowSec: *obsWindow,
-				Model: *modelName, DType: *dt,
+				Attribution: attribute,
+				Model:       *modelName, DType: *dt,
 				InputLen: *inLen, OutputLen: *outLen,
 				Scenario:   *scenario,
 				RatePerSec: *rate * m, Requests: *requests,
@@ -243,10 +258,132 @@ func main() {
 				writeArtifacts(rep.Observation, *traceOut, *metricsOut, *timeseriesOut)
 				wantObserve = false
 			}
+			if attribute {
+				attribRep = rep.Attrib
+				writeAttrib(attribRep, *attribOut, *attribCSV)
+				wantAttrib = false
+			}
 		}
 	}
 
 	emit(table, *format)
+	if *compare != "" {
+		if !compareBaseline(attribRep, *compare, *compareSlack, *format) {
+			os.Exit(1)
+		}
+	}
+}
+
+// flagOpts carries the flag values that are cross-validated before any
+// simulation runs, so misuse fails fast with a clear message.
+type flagOpts struct {
+	format      string
+	obsWindow   float64
+	sketchAlpha float64
+	attrib      bool
+	attribOut   string
+	attribCSV   string
+	compare     string
+	autoscale   bool
+}
+
+// validateFlags rejects inconsistent flag combinations at parse time.
+func validateFlags(o flagOpts) error {
+	if o.format != "table" && o.format != "csv" && o.format != "json" {
+		return fmt.Errorf("unknown -format %q (table|csv|json)", o.format)
+	}
+	if o.obsWindow < 0 {
+		return fmt.Errorf("-obs-window %g is negative; pass a window in simulated seconds (0 = 1s default)", o.obsWindow)
+	}
+	if o.sketchAlpha < 0 || o.sketchAlpha >= 1 {
+		return fmt.Errorf("-sketch-alpha %g outside [0, 1) (0 = 0.01 default)", o.sketchAlpha)
+	}
+	for name, v := range map[string]string{
+		"-attrib-out": o.attribOut, "-attrib-csv": o.attribCSV, "-compare": o.compare,
+	} {
+		if v != "" && !o.attrib {
+			return fmt.Errorf("%s requires -attrib (it consumes the attributed run)", name)
+		}
+	}
+	if o.attrib && o.autoscale {
+		return fmt.Errorf("-attrib is not supported with -autoscale (attribute a fixed fleet run instead)")
+	}
+	return nil
+}
+
+// writeAttrib writes the attribution report JSON and/or phase CSV.
+func writeAttrib(rep *obs.AttribReport, jsonPath, csvPath string) {
+	if rep == nil {
+		return
+	}
+	if jsonPath != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, append(raw, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cllm-serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if csvPath != "" {
+		if err := os.WriteFile(csvPath, rep.PhaseCSV(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "cllm-serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// compareBaseline diffs the attributed run against a baseline attribution
+// JSON and prints the movements that exceed the combined sketch error
+// bounds plus slack. Returns false when any movement is a regression.
+func compareBaseline(cur *obs.AttribReport, baselinePath string, slack float64, format string) bool {
+	if cur == nil {
+		fmt.Fprintln(os.Stderr, "cllm-serve: -compare got no attributed run")
+		os.Exit(1)
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cllm-serve: %v\n", err)
+		os.Exit(1)
+	}
+	var base obs.AttribReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "cllm-serve: baseline %s: %v\n", baselinePath, err)
+		os.Exit(1)
+	}
+	deltas := obs.Diff(&base, cur, slack)
+	table := &harness.Result{
+		ID: "attrib-diff",
+		Title: fmt.Sprintf("attribution diff vs %s (baseline %s, current %s; noise floor α %g+%g, slack %g)",
+			baselinePath, base.Platform, cur.Platform, base.Alpha, cur.Alpha, slack),
+		Header: []string{"metric", "phase", "base", "current", "delta", "threshold", "regression"},
+	}
+	regressed := false
+	for _, d := range deltas {
+		unit := ""
+		if d.Relative {
+			unit = "%"
+		}
+		delta := d.Delta
+		if d.Relative {
+			delta *= 100
+		}
+		if d.Regression {
+			regressed = true
+		}
+		table.Rows = append(table.Rows, []string{
+			d.Metric, d.Phase,
+			fmt.Sprintf("%.6g", d.Base), fmt.Sprintf("%.6g", d.Cur),
+			fmt.Sprintf("%+.4g%s", delta, unit), fmt.Sprintf("%.4g", d.Threshold),
+			fmt.Sprintf("%v", d.Regression),
+		})
+	}
+	if len(deltas) == 0 {
+		table.Notes = append(table.Notes, "no movement beyond the noise floor")
+	}
+	emit(table, format)
+	return !regressed
 }
 
 // writeArtifacts writes the observed run's rendered artifacts to the

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func okOpts() flagOpts {
+	return flagOpts{format: "table"}
+}
+
+func TestValidateFlagsAccepts(t *testing.T) {
+	cases := []flagOpts{
+		okOpts(),
+		{format: "csv", obsWindow: 0.5, sketchAlpha: 0.05},
+		{format: "json", attrib: true, attribOut: "a.json", attribCSV: "a.csv", compare: "base.json"},
+		{format: "table", attrib: true},
+		{format: "table", autoscale: true},
+	}
+	for _, o := range cases {
+		if err := validateFlags(o); err != nil {
+			t.Errorf("validateFlags(%+v) rejected valid flags: %v", o, err)
+		}
+	}
+}
+
+func TestValidateFlagsRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*flagOpts)
+		want string
+	}{
+		{"bad format", func(o *flagOpts) { o.format = "xml" }, "-format"},
+		{"negative obs window", func(o *flagOpts) { o.obsWindow = -1 }, "-obs-window"},
+		{"negative sketch alpha", func(o *flagOpts) { o.sketchAlpha = -0.1 }, "-sketch-alpha"},
+		{"sketch alpha one", func(o *flagOpts) { o.sketchAlpha = 1 }, "-sketch-alpha"},
+		{"sketch alpha above one", func(o *flagOpts) { o.sketchAlpha = 1.5 }, "-sketch-alpha"},
+		{"attrib-out without attrib", func(o *flagOpts) { o.attribOut = "a.json" }, "-attrib-out"},
+		{"attrib-csv without attrib", func(o *flagOpts) { o.attribCSV = "a.csv" }, "-attrib-csv"},
+		{"compare without attrib", func(o *flagOpts) { o.compare = "base.json" }, "-compare"},
+		{"attrib with autoscale", func(o *flagOpts) { o.attrib = true; o.autoscale = true }, "-autoscale"},
+	}
+	for _, tc := range cases {
+		o := okOpts()
+		tc.mut(&o)
+		err := validateFlags(o)
+		if err == nil {
+			t.Errorf("%s: validateFlags(%+v) accepted invalid flags", tc.name, o)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name the offending flag %q", tc.name, err, tc.want)
+		}
+	}
+}

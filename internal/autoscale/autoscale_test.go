@@ -362,3 +362,35 @@ func TestAutoscaleObserver(t *testing.T) {
 		t.Fatalf("bursty scale-up should involve several slots, events saw %d", len(replicas))
 	}
 }
+
+// TestAutoscalePhaseConservation: latency attribution holds across the
+// autoscaler's dynamic replica set — every completed request's five phases
+// sum to its latency exactly even when slots come and go, and the refolded
+// stream reconciles against the merged aggregate.
+func TestAutoscalePhaseConservation(t *testing.T) {
+	rec := obs.NewRecorder()
+	a, err := obs.NewAttribution(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := testServeConfig(t, 96)
+	scfg.Observer = obs.Multi(rec, a)
+	classes := []Class{{
+		Name: "tdx", Backend: testBackend(tee.TDX()), HourlyUSD: 0.83,
+		ColdStartSec: 1, Min: 2, Max: 4,
+	}}
+	rep, err := Run(classes, Config{Serve: scfg, IntervalSec: 10, TargetUtil: 0.6, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arep := a.Report("autoscaled")
+	if len(arep.Violations) != 0 {
+		t.Fatalf("autoscaled conservation violations:\n%s", strings.Join(arep.Violations, "\n"))
+	}
+	if int(arep.Completed) != rep.Aggregate.Completed {
+		t.Fatalf("attribution finalized %d requests, aggregate completed %d", arep.Completed, rep.Aggregate.Completed)
+	}
+	if bad := obs.ReconcilePhases(rec.Events(), rep.Aggregate); len(bad) != 0 {
+		t.Fatalf("autoscaled phase reconciliation failed:\n%s", strings.Join(bad, "\n"))
+	}
+}

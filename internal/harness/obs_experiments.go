@@ -155,6 +155,23 @@ func runObservability(o Options) (*Result, error) {
 		})
 	}
 
+	// Phase conservation: refolding each stream through the attribution
+	// engine partitions every request's latency into queue + prefill +
+	// decode + preempt-stall + swap-transfer with zero residue, and the
+	// per-request sums match the report's recorded latencies.
+	for _, r := range runs {
+		bad := obs.ReconcilePhases(r.rec.Events(), r.rep)
+		detail := "phase vectors sum to measured latency for every request"
+		if len(bad) > 0 {
+			detail = bad[0]
+		}
+		res.Checks = append(res.Checks, Check{
+			Name:   "phase attribution conserves latency (" + r.name + ")",
+			Pass:   len(bad) == 0,
+			Detail: detail,
+		})
+	}
+
 	// The scenario must exercise the whole event vocabulary.
 	missing := ""
 	for _, k := range []serve.EventKind{

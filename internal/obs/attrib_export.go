@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+
+	"cllm/internal/stats"
+)
+
+// PhaseCSV renders the report as CSV: one row per latency phase and — when
+// the run was clear-costed — one per TEE-tax component. Rows are written in
+// fixed phase order, so identical reports serialize byte-identically.
+func (r *AttribReport) PhaseCSV() []byte {
+	var buf bytes.Buffer
+	buf.WriteString("platform,metric,phase,count,total_sec,share,mean_sec,p50_sec,p95_sec,p99_sec\n")
+	row := func(metric string, s PhaseStat) {
+		fmt.Fprintf(&buf, "%s,%s,%s,%d,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g\n",
+			r.Platform, metric, s.Phase, s.Count, s.TotalSec, s.Share, s.MeanSec, s.P50Sec, s.P95Sec, s.P99Sec)
+	}
+	for _, s := range r.Phases {
+		row("phase", s)
+	}
+	for _, s := range r.Tax {
+		row("tee-tax", s)
+	}
+	return buf.Bytes()
+}
+
+// phaseBuckets is the fixed le ladder of the phase histograms — wide enough
+// to cover millisecond decode rounds through multi-minute queue waits, and
+// identical across runs so exported families always align for diffing.
+var phaseBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 25, 50, 100, 250, 1000,
+}
+
+// PrometheusText renders the attribution as Prometheus text-exposition
+// histogram families: cllm_phase_latency_seconds with one series per phase,
+// and — when the run was clear-costed — cllm_phase_tee_tax_seconds per tax
+// component plus the aggregate tax-share gauges. Cumulative bucket counts
+// come from the sketches' CountLE, so each count is within the sketch's
+// alpha relative error at the bucket boundary while _sum and _count are
+// exact. Fixed emission order: identical attributions serialize
+// byte-identically, and the output concatenates cleanly after
+// PrometheusText(report).
+func (a *Attribution) PrometheusText(platform string) []byte {
+	var buf bytes.Buffer
+	series := func(name, phase string, sk *stats.Sketch, totalSec float64) {
+		lbl := fmt.Sprintf("platform=%q,phase=%q", platform, phase)
+		for _, le := range phaseBuckets {
+			fmt.Fprintf(&buf, "cllm_%s_bucket{%s,le=\"%g\"} %d\n", name, lbl, le, sk.CountLE(le))
+		}
+		fmt.Fprintf(&buf, "cllm_%s_bucket{%s,le=\"+Inf\"} %d\n", name, lbl, sk.Count())
+		fmt.Fprintf(&buf, "cllm_%s_sum{%s} %g\n", name, lbl, totalSec)
+		fmt.Fprintf(&buf, "cllm_%s_count{%s} %d\n", name, lbl, sk.Count())
+	}
+	head := func(name, help string) {
+		fmt.Fprintf(&buf, "# HELP cllm_%s %s\n# TYPE cllm_%s histogram\n", name, help, name)
+	}
+	head("phase_latency_seconds", "Per-request time spent in each latency phase.")
+	for p := Phase(0); p < NumPhases; p++ {
+		series("phase_latency_seconds", p.String(), a.phase[p], a.phaseSec[p])
+	}
+	if a.clearCosted {
+		head("phase_tee_tax_seconds", "Per-request confidential-vs-clear cost delta per phase.")
+		for i, ph := range taxPhases {
+			series("phase_tee_tax_seconds", ph.String(), a.tax[i], a.taxSec[i])
+		}
+		lbl := fmt.Sprintf("platform=%q", platform)
+		taxTot := 0.0
+		for _, t := range a.taxSec {
+			taxTot += t
+		}
+		share := 0.0
+		if a.latSec > 0 {
+			share = taxTot / a.latSec
+		}
+		fmt.Fprintf(&buf, "# HELP cllm_tee_tax_share Aggregate TEE tax as a fraction of completed latency.\n# TYPE cllm_tee_tax_share gauge\ncllm_tee_tax_share{%s} %g\n", lbl, share)
+		fmt.Fprintf(&buf, "# HELP cllm_tee_tax_share_p50 Median per-request TEE tax share of latency.\n# TYPE cllm_tee_tax_share_p50 gauge\ncllm_tee_tax_share_p50{%s} %g\n", lbl, a.taxShare.Quantile(0.5))
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// PhaseDelta is one metric movement between two attribution reports that
+// exceeds the comparison's noise floor.
+type PhaseDelta struct {
+	// Metric names what moved: "latency_p50_sec", "phase_p50_sec",
+	// "phase_p95_sec", "phase_share", "tax_share", or "tax_share_mean".
+	Metric string `json:"metric"`
+	// Phase qualifies per-phase metrics (empty for run-level ones).
+	Phase string  `json:"phase,omitempty"`
+	Base  float64 `json:"base"`
+	Cur   float64 `json:"cur"`
+	// Delta is cur−base; for Relative metrics it is normalized by base.
+	Delta    float64 `json:"delta"`
+	Relative bool    `json:"relative"`
+	// Threshold is the noise floor the delta exceeded.
+	Threshold float64 `json:"threshold"`
+	// Regression reports whether cur moved the bad way (larger time or
+	// tax share).
+	Regression bool `json:"regression"`
+}
+
+// Diff compares two attribution reports with sketch-aware thresholds.
+// Quantile metrics are sketch estimates: each can sit anywhere within its
+// report's alpha relative error of the true order statistic, so two runs
+// of identical workloads can disagree by base.Alpha+cur.Alpha with no
+// underlying change — relative movements below that bound plus slack are
+// suppressed as noise. Share metrics are ratios of exact totals (no sketch
+// error) and use slack directly as an absolute threshold. Returned deltas
+// are sorted largest movement first (deterministic tie-break on metric
+// then phase); an empty slice means the runs agree within noise.
+func Diff(base, cur *AttribReport, slack float64) []PhaseDelta {
+	var out []PhaseDelta
+	qThresh := base.Alpha + cur.Alpha + slack
+	sThresh := math.Max(slack, 1e-9)
+	quant := func(metric, phase string, b, c float64) {
+		if b == c {
+			return
+		}
+		// A phase absent from one run (base 0) has no meaningful relative
+		// scale; a 1ns floor keeps the ratio finite while still flagging
+		// any real appearance.
+		d := (c - b) / math.Max(b, 1e-9)
+		if math.Abs(d) <= qThresh {
+			return
+		}
+		out = append(out, PhaseDelta{Metric: metric, Phase: phase, Base: b, Cur: c,
+			Delta: d, Relative: true, Threshold: qThresh, Regression: c > b})
+	}
+	share := func(metric, phase string, b, c float64) {
+		d := c - b
+		if math.Abs(d) <= sThresh {
+			return
+		}
+		out = append(out, PhaseDelta{Metric: metric, Phase: phase, Base: b, Cur: c,
+			Delta: d, Threshold: sThresh, Regression: c > b})
+	}
+	quant("latency_p50_sec", "", base.LatencyP50Sec, cur.LatencyP50Sec)
+	byPhase := func(stats []PhaseStat) map[string]PhaseStat {
+		m := make(map[string]PhaseStat, len(stats))
+		for _, s := range stats {
+			m[s.Phase] = s
+		}
+		return m
+	}
+	curPhases := byPhase(cur.Phases)
+	for _, b := range base.Phases {
+		c, ok := curPhases[b.Phase]
+		if !ok {
+			continue
+		}
+		quant("phase_p50_sec", b.Phase, b.P50Sec, c.P50Sec)
+		quant("phase_p95_sec", b.Phase, b.P95Sec, c.P95Sec)
+		share("phase_share", b.Phase, b.Share, c.Share)
+	}
+	if base.ClearCosted && cur.ClearCosted {
+		curTax := byPhase(cur.Tax)
+		for _, b := range base.Tax {
+			if c, ok := curTax[b.Phase]; ok {
+				share("tax_share", b.Phase, b.Share, c.Share)
+			}
+		}
+		share("tax_share_mean", "", base.TaxShareMean, cur.TaxShareMean)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := math.Abs(out[i].Delta), math.Abs(out[j].Delta)
+		if di != dj {
+			return di > dj
+		}
+		if out[i].Metric != out[j].Metric {
+			return out[i].Metric < out[j].Metric
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	return out
+}

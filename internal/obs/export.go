@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"fmt"
+	"strconv"
 
 	"cllm/internal/serve"
 )
@@ -21,17 +22,54 @@ func usec(sec float64) string { return fmt.Sprintf("%.3f", sec*1e6) }
 // Span endpoints come from the closing lifecycle event: a request still
 // queued or running at the horizon has no closing event and contributes
 // only its instants and already-closed spans.
-func (r *Recorder) PerfettoTrace() []byte {
+func (r *Recorder) PerfettoTrace() []byte { return r.perfettoTrace(nil) }
+
+// PerfettoTraceWithCounters is PerfettoTrace plus counter ("C") tracks from
+// the attribution's windowed series: a phase_seconds track carrying the
+// fleet-wide prefill / decode / swap seconds accrued per window, and — when
+// the run was clear-costed — a tee_tax_seconds track with the window's tax.
+// Counter events attach to pid 0 and inherit the series' coalescing, so the
+// tracks stay bounded on arbitrarily long runs.
+func (r *Recorder) PerfettoTraceWithCounters(a *Attribution) []byte { return r.perfettoTrace(a) }
+
+func (r *Recorder) perfettoTrace(a *Attribution) []byte {
 	var buf bytes.Buffer
 	buf.WriteString("{\"traceEvents\":[")
 	first := true
-	emit := func(format string, args ...any) {
+	sep := func() {
 		if !first {
 			buf.WriteByte(',')
 		}
 		first = false
 		buf.WriteByte('\n')
+	}
+	emit := func(format string, args ...any) {
+		sep()
 		fmt.Fprintf(&buf, format, args...)
+	}
+	// The per-event emitters below format with append-based strconv into a
+	// reused scratch buffer: fmt's interface boxing and verb parsing
+	// dominated the observed path's allocation profile. Every name, policy
+	// and reason string is a fixed identifier, so plain quoting matches %q.
+	scratch := make([]byte, 0, 256)
+	num := func(prefix string, v int) {
+		scratch = append(scratch, prefix...)
+		scratch = strconv.AppendInt(scratch, int64(v), 10)
+	}
+	ts := func(prefix string, sec float64) {
+		scratch = append(scratch, prefix...)
+		scratch = strconv.AppendFloat(scratch, sec*1e6, 'f', 3, 64)
+	}
+	str := func(prefix, v string) {
+		scratch = append(scratch, prefix...)
+		scratch = append(scratch, '"')
+		scratch = append(scratch, v...)
+		scratch = append(scratch, '"')
+	}
+	flush := func() {
+		sep()
+		buf.Write(scratch)
+		scratch = scratch[:0]
 	}
 
 	// Process metadata first: one named track group per replica seen.
@@ -49,8 +87,14 @@ func (r *Recorder) PerfettoTrace() []byte {
 	}
 
 	span := func(name string, ev serve.Event, from, to float64) {
-		emit(`{"name":%q,"cat":"request","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s}`,
-			name, ev.Replica, ev.ReqID, usec(from), usec(to-from))
+		str(`{"name":`, name)
+		scratch = append(scratch, `,"cat":"request","ph":"X"`...)
+		num(`,"pid":`, ev.Replica)
+		num(`,"tid":`, ev.ReqID)
+		ts(`,"ts":`, from)
+		ts(`,"dur":`, to-from)
+		scratch = append(scratch, '}')
+		flush()
 	}
 	type track struct {
 		arrive, admit, firstTok, preempt float64
@@ -82,16 +126,50 @@ func (r *Recorder) PerfettoTrace() []byte {
 			span("decode", ev, t.firstTok, ev.TimeSec)
 		case serve.EvDrop:
 			span("queued", ev, t.arrive, ev.TimeSec)
-			emit(`{"name":"drop","cat":"sched","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"tokens":%d}}`,
-				ev.Replica, ev.ReqID, usec(ev.TimeSec), ev.Tokens)
+			scratch = append(scratch, `{"name":"drop","cat":"sched","ph":"i","s":"t"`...)
+			num(`,"pid":`, ev.Replica)
+			num(`,"tid":`, ev.ReqID)
+			ts(`,"ts":`, ev.TimeSec)
+			num(`,"args":{"tokens":`, ev.Tokens)
+			scratch = append(scratch, "}}"...)
+			flush()
 		case serve.EvPreempt:
 			t.preempt = ev.TimeSec
 			t.hasPreempt = true
-			emit(`{"name":"preempt","cat":"sched","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"policy":%q,"reason":%q,"tokens":%d}}`,
-				ev.Replica, ev.ReqID, usec(ev.TimeSec), ev.Policy.String(), ev.Reason.String(), ev.Tokens)
+			scratch = append(scratch, `{"name":"preempt","cat":"sched","ph":"i","s":"t"`...)
+			num(`,"pid":`, ev.Replica)
+			num(`,"tid":`, ev.ReqID)
+			ts(`,"ts":`, ev.TimeSec)
+			str(`,"args":{"policy":`, ev.Policy.String())
+			str(`,"reason":`, ev.Reason.String())
+			num(`,"tokens":`, ev.Tokens)
+			scratch = append(scratch, "}}"...)
+			flush()
 		case serve.EvSwapOut, serve.EvSwapIn:
-			emit(`{"name":%q,"cat":"swap","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"tokens":%d,"bytes":%.0f,"xfer_ms":%.6g}}`,
-				ev.Kind.String(), ev.Replica, ev.ReqID, usec(ev.TimeSec), ev.Tokens, ev.Bytes, ev.XferSec*1e3)
+			str(`{"name":`, ev.Kind.String())
+			scratch = append(scratch, `,"cat":"swap","ph":"i","s":"t"`...)
+			num(`,"pid":`, ev.Replica)
+			num(`,"tid":`, ev.ReqID)
+			ts(`,"ts":`, ev.TimeSec)
+			num(`,"args":{"tokens":`, ev.Tokens)
+			scratch = append(scratch, `,"bytes":`...)
+			scratch = strconv.AppendFloat(scratch, ev.Bytes, 'f', 0, 64)
+			scratch = append(scratch, `,"xfer_ms":`...)
+			scratch = strconv.AppendFloat(scratch, ev.XferSec*1e3, 'g', 6, 64)
+			scratch = append(scratch, "}}"...)
+			flush()
+		}
+	}
+	if a != nil {
+		for _, w := range a.counters.wins {
+			emit(`{"name":"phase_seconds","cat":"attrib","ph":"C","pid":0,"ts":%s,"args":{"prefill":%.6g,"decode":%.6g,"swap":%.6g}}`,
+				usec(w.startSec), float64(w.prefN)/1e9, float64(w.decN)/1e9, float64(w.swapN)/1e9)
+		}
+		if a.clearCosted {
+			for _, w := range a.counters.wins {
+				emit(`{"name":"tee_tax_seconds","cat":"attrib","ph":"C","pid":0,"ts":%s,"args":{"tax":%.6g}}`,
+					usec(w.startSec), float64(w.taxN)/1e9)
+			}
 		}
 	}
 	buf.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n")

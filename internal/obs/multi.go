@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"reflect"
+
+	"cllm/internal/serve"
+)
+
+// multiObserver fans the stream out to each observer in order.
+type multiObserver []serve.Observer
+
+// Event implements serve.Observer.
+func (m multiObserver) Event(ev serve.Event) {
+	for _, o := range m {
+		o.Event(ev)
+	}
+}
+
+// Sample implements serve.Observer.
+func (m multiObserver) Sample(s serve.Sample) {
+	for _, o := range m {
+		o.Sample(s)
+	}
+}
+
+// Multi combines observers into one serve.Observer that forwards every
+// event and sample to each, in argument order. Nil entries — including
+// typed nils like a nil *Recorder, the usual footgun of optional observer
+// wiring — are dropped; with none left Multi returns nil (observation
+// disabled — the scheduler's nil check keeps the fast path), and a single
+// survivor is returned unwrapped. This is how a Recorder and an
+// Attribution co-attach to one run's serve.Config.Observer.
+func Multi(obs ...serve.Observer) serve.Observer {
+	out := make([]serve.Observer, 0, len(obs))
+	for _, o := range obs {
+		if o == nil {
+			continue
+		}
+		if v := reflect.ValueOf(o); v.Kind() == reflect.Pointer && v.IsNil() {
+			continue
+		}
+		out = append(out, o)
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return multiObserver(out)
+}

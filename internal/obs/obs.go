@@ -12,8 +12,24 @@ package obs
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"cllm/internal/serve"
+)
+
+// Recorders are created per run and discarded; the underlying event and
+// window buffers are the only observation-path allocations that scale with
+// run length, so recycled recorders hand them back to package pools for
+// the next run to reuse (sync.Pool sheds them under GC pressure).
+var (
+	eventBufPool = sync.Pool{New: func() any {
+		s := make([]serve.Event, 0, 1024)
+		return &s
+	}}
+	windowBufPool = sync.Pool{New: func() any {
+		s := make([]Window, 0, 64)
+		return &s
+	}}
 )
 
 // Recorder implements serve.Observer: it keeps the full lifecycle event
@@ -47,7 +63,25 @@ func NewRecorderWindow(windowSec float64, maxWindows int) *Recorder {
 	if maxWindows < 2 {
 		maxWindows = 2
 	}
-	return &Recorder{series: &TimeSeries{WindowSec: windowSec, maxWindows: maxWindows, reps: map[int][]Window{}}}
+	r := &Recorder{series: &TimeSeries{WindowSec: windowSec, maxWindows: maxWindows, reps: map[int][]Window{}}}
+	r.events = (*eventBufPool.Get().(*[]serve.Event))[:0]
+	return r
+}
+
+// Recycle returns the recorder's event and window buffers to the package
+// pools. Call it once, after the last read of Events(), Series() or an
+// export — slices previously returned by those accessors alias the pooled
+// memory and must not be retained. The recorder itself must not be used
+// again.
+func (r *Recorder) Recycle() {
+	ev := r.events[:0]
+	r.events = nil
+	eventBufPool.Put(&ev)
+	for id, ws := range r.series.reps {
+		ws = ws[:0]
+		windowBufPool.Put(&ws)
+		delete(r.series.reps, id)
+	}
 }
 
 // Event records one lifecycle event.
@@ -124,7 +158,10 @@ type TimeSeries struct {
 // into its replica's current window.
 func (ts *TimeSeries) add(s serve.Sample, goodTokens int) {
 	start := math.Floor(s.TimeSec/ts.WindowSec) * ts.WindowSec
-	ws := ts.reps[s.Replica]
+	ws, ok := ts.reps[s.Replica]
+	if !ok {
+		ws = (*windowBufPool.Get().(*[]Window))[:0]
+	}
 	if n := len(ws); n == 0 || ws[n-1].StartSec < start {
 		ws = append(ws, Window{StartSec: start})
 	}

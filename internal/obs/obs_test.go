@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -308,5 +309,104 @@ func TestReconcileSketchedReport(t *testing.T) {
 	broken.TTFT.P99 *= 2
 	if bad := ReconcileReport(rec.Events(), &broken); len(bad) == 0 {
 		t.Fatal("corrupted sketched quantile reconciled cleanly")
+	}
+}
+
+// TestWindowCoalescingEdges pins the coalescing corner cases: a
+// sub-minimum window bound is clamped to 2, a lone sample far past the
+// horizon lands in one aligned window without coalescing, and a
+// zero-duration (sample-free) run renders an empty series.
+func TestWindowCoalescingEdges(t *testing.T) {
+	// maxWindows=1 clamps to 2: repeated samples stay bounded and the
+	// width doubles instead of thrashing a single window.
+	rec := NewRecorderWindow(1, 1)
+	for i := 0; i < 16; i++ {
+		rec.Sample(serve.Sample{TimeSec: float64(i), TotalTokens: i})
+	}
+	ts := rec.Series()
+	if n := len(ts.Replica(0)); n > 2 {
+		t.Fatalf("clamped bound should hold ≤2 windows, got %d", n)
+	}
+	if ts.WindowSec <= 1 {
+		t.Fatalf("window width never doubled under the clamped bound: %g", ts.WindowSec)
+	}
+	if got := ts.Replica(0)[len(ts.Replica(0))-1].TotalTokens; got != 15 {
+		t.Fatalf("coalesced series lost the cumulative counter: %d", got)
+	}
+
+	// A single sample far past the horizon: one window, floor-aligned,
+	// no coalescing.
+	rec = NewRecorderWindow(0.5, 4)
+	rec.Sample(serve.Sample{TimeSec: 1e6 + 0.3, QueueDepth: 7})
+	ts = rec.Series()
+	ws := ts.Replica(0)
+	if len(ws) != 1 || ts.WindowSec != 0.5 {
+		t.Fatalf("lone sample produced %d windows at width %g", len(ws), ts.WindowSec)
+	}
+	if want := math.Floor((1e6+0.3)/0.5) * 0.5; ws[0].StartSec != want || ws[0].Queue != 7 {
+		t.Fatalf("lone window misaligned: start %g (want %g), queue %d", ws[0].StartSec, want, ws[0].Queue)
+	}
+
+	// Zero-duration run: no samples at all — empty merged series, empty
+	// replica list, header-only CSV.
+	rec = NewRecorderWindow(1, 8)
+	if m := rec.Series().Merged(); len(m) != 0 {
+		t.Fatalf("sample-free run produced %d merged windows", len(m))
+	}
+	if ids := rec.Series().Replicas(); len(ids) != 0 {
+		t.Fatalf("sample-free run lists replicas %v", ids)
+	}
+	csv := string(rec.TimeseriesCSV())
+	if lines := strings.Split(strings.TrimSpace(csv), "\n"); len(lines) != 1 || !strings.HasPrefix(lines[0], "window_start_sec") {
+		t.Fatalf("sample-free CSV should be header-only:\n%s", csv)
+	}
+}
+
+// TestRecorderRecycle: recycled buffers return to the pool without
+// leaking prior state into the next recorder.
+func TestRecorderRecycle(t *testing.T) {
+	rec := NewRecorder()
+	rec.Event(serve.Event{Kind: serve.EvArrive, ReqID: 1})
+	rec.Sample(serve.Sample{TimeSec: 0.5, QueueDepth: 3})
+	rec.Recycle()
+	next := NewRecorder()
+	if len(next.Events()) != 0 {
+		t.Fatalf("fresh recorder sees %d stale events", len(next.Events()))
+	}
+	next.Sample(serve.Sample{TimeSec: 0.25, QueueDepth: 1})
+	ws := next.Series().Replica(0)
+	if len(ws) != 1 || ws[0].Samples != 1 || ws[0].Queue != 1 {
+		t.Fatalf("pooled window slice leaked state: %+v", ws)
+	}
+}
+
+// TestPrometheusLabelEscaping: exotic platform names (quotes,
+// backslashes, newlines) must be escaped in label values — both in the
+// report snapshot and the attribution exposition.
+func TestPrometheusLabelEscaping(t *testing.T) {
+	rep := &serve.Report{Platform: "we\"ird\\plat\nform"}
+	text := string(PrometheusText(rep))
+	want := `platform="we\"ird\\plat\nform"`
+	if !strings.Contains(text, want) {
+		t.Fatalf("exposition does not escape the platform label; want %s in:\n%s", want, text)
+	}
+	// The raw newline must never survive into a sample line: every
+	// non-comment line still carries the full, escaped label.
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, want) {
+			t.Fatalf("sample line lost the escaped label: %q", line)
+		}
+	}
+
+	a, err := NewAttribution(0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atext := string(a.PrometheusText("a\"b\\c"))
+	if !strings.Contains(atext, `platform="a\"b\\c"`) {
+		t.Fatalf("attribution exposition does not escape the platform label:\n%s", atext)
 	}
 }

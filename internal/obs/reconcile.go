@@ -177,6 +177,92 @@ func ReconcileReport(events []serve.Event, rep *serve.Report) []string {
 	return bad
 }
 
+// ReconcilePhases refolds a run's recorded event stream through a fresh
+// Attribution and audits the phase-conservation invariant against the
+// aggregate report: every completed request's five phases must sum to its
+// latency exactly (the engine's own integer-nanosecond check), the refold
+// must finalize exactly the requests the report completed, and the
+// attributed latencies must match the report's — per request within the
+// nanosecond quantization on exact reports, and within the combined sketch
+// error bound on sketched ones. It returns one message per failure; an
+// empty slice is proof the phase decomposition partitions measured latency.
+func ReconcilePhases(events []serve.Event, rep *serve.Report) []string {
+	var bad []string
+	mismatch := func(format string, args ...any) { bad = append(bad, fmt.Sprintf(format, args...)) }
+
+	alpha := stats.DefaultSketchAlpha
+	if rep.Sketched {
+		alpha = rep.SketchAlpha
+	}
+	a, err := NewAttribution(alpha, false)
+	if err != nil {
+		return []string{fmt.Sprintf("cannot rebuild attribution: %v", err)}
+	}
+	var latByID map[int]float64
+	var repLatSum float64
+	if !rep.Sketched {
+		latByID = make(map[int]float64, len(rep.Requests))
+		for _, m := range rep.Requests {
+			latByID[m.ID] = m.Latency
+			repLatSum += m.Latency
+		}
+	}
+	a.onFinalize = func(id, replica int, phaseN [NumPhases]int64, latN int64) {
+		if latByID == nil {
+			return
+		}
+		want, ok := latByID[id]
+		if !ok {
+			mismatch("request %d finalized by events but absent from report", id)
+			return
+		}
+		delete(latByID, id)
+		// Each endpoint rounds to its nanosecond once, so the attributed
+		// latency sits within the quantization of the report's float value.
+		if d := math.Abs(float64(latN)/1e9 - want); d > 1e-8+1e-9*math.Abs(want) {
+			mismatch("request %d: attributed latency %g s vs report %g s (drift %g s)", id, float64(latN)/1e9, want, d)
+		}
+	}
+	for _, ev := range events {
+		a.Event(ev)
+	}
+	arep := a.Report(rep.Platform)
+	for _, v := range arep.Violations {
+		mismatch("phase conservation: %s", v)
+	}
+	if int(arep.Completed) != rep.Completed {
+		mismatch("completed: attribution finalized %d, report says %d", arep.Completed, rep.Completed)
+	}
+	if int(arep.Dropped) != rep.Dropped {
+		mismatch("dropped: attribution saw %d, report says %d", arep.Dropped, rep.Dropped)
+	}
+	var phaseTot float64
+	for _, p := range arep.Phases {
+		phaseTot += p.TotalSec
+	}
+	if !relClose(phaseTot, arep.LatencyTotalSec) {
+		mismatch("phase totals sum to %g s, attributed latency total is %g s", phaseTot, arep.LatencyTotalSec)
+	}
+	if rep.Sketched {
+		// Both sketches share one alpha but bin nanosecond-quantized vs raw
+		// float values, so bucket boundaries can split them: the medians
+		// agree within the combined relative error, not bit-exactly.
+		b, c := rep.Latency.P50, arep.LatencyP50Sec
+		if tol := 2.1*alpha*math.Max(math.Abs(b), math.Abs(c)) + 1e-8; math.Abs(b-c) > tol {
+			mismatch("latency p50: attribution %g s vs sketched report %g s (tolerance %g)", c, b, tol)
+		}
+	} else {
+		for id := range latByID {
+			mismatch("request %d completed in report but never finalized by events", id)
+		}
+		quantTol := 1e-8 + 2e-9*float64(rep.Completed) + 1e-9*math.Abs(repLatSum)
+		if d := math.Abs(arep.LatencyTotalSec - repLatSum); d > quantTol {
+			mismatch("total latency: attribution %g s vs report %g s (drift %g > %g)", arep.LatencyTotalSec, repLatSum, d, quantTol)
+		}
+	}
+	return bad
+}
+
 // relClose reports whether a and b agree within a 1e-9 relative tolerance,
 // the slack fold-order differences in float summation can introduce.
 func relClose(a, b float64) bool {

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+
+	"cllm/internal/hw"
+	"cllm/internal/perf"
+	"cllm/internal/tee"
+)
+
+// TestNewClearStepCosterEquivalence: the counterfactual coster prices
+// exactly like a StepCoster built on the manually-cleared platform — the
+// convenience constructor adds no pricing of its own.
+func TestNewClearStepCosterEquivalence(t *testing.T) {
+	cfg := tinyConfig(20, 8)
+	for _, tc := range []struct {
+		name string
+		be   Backend
+	}{
+		{"tdx-cpu", cpuBackend(tee.TDX())},
+		{"cgpu", Backend{IsGPU: true, GPU: perf.GPURun{GPU: hw.H100NVL(), Platform: tee.CGPU()}}},
+	} {
+		clear, err := NewClearStepCoster(tc.be, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		manual := tc.be
+		if manual.IsGPU {
+			manual.GPU.Platform = manual.GPU.Platform.Clear()
+		} else {
+			manual.CPU.Platform = manual.CPU.Platform.Clear()
+		}
+		want, err := NewStepCoster(manual, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for _, shape := range [][3]int{{1, 32, 0}, {4, 64, 32}, {8, 512, 128}} {
+			g1, e1 := clear.ChunkTime(shape[0], shape[1], shape[2])
+			g2, e2 := want.ChunkTime(shape[0], shape[1], shape[2])
+			if e1 != nil || e2 != nil || g1 != g2 {
+				t.Fatalf("%s: ChunkTime%v = %g/%v vs manual %g/%v", tc.name, shape, g1, e1, g2, e2)
+			}
+			d1, e1 := clear.DecodeTime(shape[0], shape[1], shape[2])
+			d2, e2 := want.DecodeTime(shape[0], shape[1], shape[2])
+			if e1 != nil || e2 != nil || d1 != d2 {
+				t.Fatalf("%s: DecodeTime%v = %g/%v vs manual %g/%v", tc.name, shape, d1, e1, d2, e2)
+			}
+			s1, e1 := clear.SwapTime(shape[1])
+			s2, e2 := want.SwapTime(shape[1])
+			if e1 != nil || e2 != nil || s1 != s2 {
+				t.Fatalf("%s: SwapTime(%d) = %g/%v vs manual %g/%v", tc.name, shape[1], s1, e1, s2, e2)
+			}
+		}
+	}
+}
+
+// TestClearTwinRunMatchesUnprotectedRun: serving on cGPU's clear twin is
+// the same simulation as serving on the plain GPU — identical mechanics,
+// identical noise stream — so the reports agree field for field up to the
+// platform label. This is the counterfactual baseline's ground truth.
+func TestClearTwinRunMatchesUnprotectedRun(t *testing.T) {
+	cfg := tinyConfig(40, 24)
+	twin := Backend{IsGPU: true, GPU: perf.GPURun{GPU: hw.H100NVL(), Platform: tee.CGPU().Clear()}}
+	plain := Backend{IsGPU: true, GPU: perf.GPURun{GPU: hw.H100NVL(), Platform: tee.GPU()}}
+	a, err := Run(twin, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(plain, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Platform == b.Platform {
+		t.Fatalf("twin did not keep its -clear label: %q", a.Platform)
+	}
+	a.Platform = b.Platform
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("clear-twin run differs from unprotected run:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestClearCosterValidation: a clear coster built for a different workload
+// is rejected when observation makes it live, and ignored when no observer
+// is attached (it never influences scheduling).
+func TestClearCosterValidation(t *testing.T) {
+	be := cpuBackend(tee.TDX())
+	cfg := tinyConfig(20, 4)
+	other := cfg
+	other.Workload.Model = mustLookup(t, "llama2-7b")
+	mismatched, err := NewClearStepCoster(be, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ClearCoster = mismatched
+	if _, err := Run(be, cfg); err != nil {
+		t.Fatalf("unobserved run must ignore the clear coster: %v", err)
+	}
+	cfg.Observer = nopObserver{}
+	if _, err := Run(be, cfg); err == nil {
+		t.Fatal("observed run accepted a clear coster built for a different model")
+	}
+}
+
+type nopObserver struct{}
+
+func (nopObserver) Event(Event)   {}
+func (nopObserver) Sample(Sample) {}

@@ -23,7 +23,10 @@ const (
 	// token the round produced (decode batch plus prefill completions) and
 	// Hist the decode batch size. ReqID is -1: the event is per-round, not
 	// per-request, and summing Tokens over rounds reproduces the report's
-	// TotalTokens exactly.
+	// TotalTokens exactly. PrefillSec/DecodeSec/SwapSec carry the round's
+	// raw (pre-noise) costed components, and ClearPrefillSec/ClearDecodeSec/
+	// ClearSwapSec the same shapes priced on the clear-hardware twin when
+	// Config.ClearCoster is set — the attribution layer's inputs.
 	EvDecodeRound
 	// EvPreempt: the request was evicted from the batch (Policy says what
 	// the run does with victims, Reason why this victim was taken). Tokens
@@ -119,6 +122,18 @@ type Event struct {
 	Reason PreemptReason
 	// SLOMet qualifies finish events.
 	SLOMet bool
+	// Round-costing components, set on EvDecodeRound only: the round's raw
+	// (pre-noise) prefill/decode/swap-transfer model costs, and — when the
+	// run carries a clear-hardware counterfactual coster — the same step
+	// shapes priced with every TEE mechanism neutralized. The noise-scaled
+	// round duration is the gap between consecutive round timestamps; the
+	// components give its split and the Clear side its TEE tax.
+	PrefillSec      float64
+	DecodeSec       float64
+	SwapSec         float64
+	ClearPrefillSec float64
+	ClearDecodeSec  float64
+	ClearSwapSec    float64
 }
 
 // Sample is one per-round gauge snapshot, taken at the end of every

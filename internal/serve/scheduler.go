@@ -87,6 +87,11 @@ type scheduler struct {
 	noise  *sim.Noise
 	kv     *BlockManager
 	coster *perf.StepCoster
+	// clear is the counterfactual clear-hardware coster (Config.ClearCoster):
+	// when set and an observer is attached, every round's step shapes are
+	// priced a second time with the TEE mechanisms neutralized and emitted on
+	// the round event. It never feeds the engine clock.
+	clear *perf.StepCoster
 
 	// obs receives lifecycle events and gauge samples; nil (the default)
 	// disables observation, and every emission site checks that first, so
@@ -124,6 +129,16 @@ type scheduler struct {
 	// roundProduced is the current round's production, consumed by the
 	// per-round decode event (reset in finishIteration).
 	roundProduced int
+	// Round-costing components for the in-flight round (observer runs only):
+	// the raw pre-noise prefill/decode/swap costs iterationTime computed, and
+	// their clear-twin counterfactuals when a clear coster is attached.
+	// Overwritten by every iterationTime call, consumed by the round event.
+	roundPrefill      float64
+	roundDecode       float64
+	roundSwap         float64
+	roundClearPrefill float64
+	roundClearDecode  float64
+	roundClearSwap    float64
 	// sink, when non-nil, streams completed/dropped outcomes into
 	// bounded-memory sketches as they happen (QuantileSketch mode): the
 	// run retains no per-request state, so the report is assembled from
@@ -169,7 +184,15 @@ func newScheduler(be Backend, cfg Config, eng *sim.Engine, noise *sim.Noise) (*s
 		}
 		kv.ConfigureSwapPool(int(math.Round(frac * float64(kv.TotalBlocks()))))
 	}
-	s := &scheduler{cfg: cfg, be: be, eng: eng, noise: noise, kv: kv, coster: coster, obs: cfg.Observer}
+	var clear *perf.StepCoster
+	if cfg.ClearCoster != nil && cfg.Observer != nil {
+		if !cfg.ClearCoster.CompatibleWith(cfg.Workload.Model, cfg.Workload.Kind, cfg.CostBucket) {
+			return nil, fmt.Errorf("serve: clear coster was built for a different model/datatype/cost-bucket than %s/%s/bucket %d",
+				cfg.Workload.Model.Name, cfg.Workload.Kind, cfg.CostBucket)
+		}
+		clear = cfg.ClearCoster
+	}
+	s := &scheduler{cfg: cfg, be: be, eng: eng, noise: noise, kv: kv, coster: coster, clear: clear, obs: cfg.Observer}
 	s.finishFn = func(*sim.Engine) { s.finishIteration() }
 	return s, nil
 }
@@ -742,6 +765,13 @@ func (s *scheduler) swapCheaper(r *reqState, tokens int) bool {
 // approximation the decode batch uses).
 func (s *scheduler) iterationTime(decoding []*reqState, chunks []chunkWork) (float64, error) {
 	var total float64
+	// With an observer attached the per-component costs are kept for the
+	// round event's attribution payload; with a clear coster the same step
+	// shapes are also priced on the clear-hardware twin. Neither feeds the
+	// engine clock, and total accumulates in the same order regardless, so
+	// observed runs stay bit-identical to bare ones.
+	wantClear := s.obs != nil && s.clear != nil
+	var prefT, decT, swapT, clearPrefT, clearDecT, clearSwapT float64
 	if len(chunks) > 0 {
 		sumTok, sumHist := 0, 0
 		for _, cw := range chunks {
@@ -754,14 +784,31 @@ func (s *scheduler) iterationTime(decoding []*reqState, chunks []chunkWork) (flo
 		if err != nil {
 			return 0, err
 		}
+		prefT = t
 		total += t
+		if wantClear {
+			ct, err := s.clear.ChunkTime(len(chunks), meanTok, meanHist)
+			if err != nil {
+				return 0, err
+			}
+			clearPrefT = ct
+		}
 	}
 	if len(decoding) > 0 {
-		t, err := s.decodeTime(decoding)
+		batch, meanCtx, shared := s.decodeShape(decoding)
+		t, err := s.coster.DecodeTime(batch, meanCtx, shared)
 		if err != nil {
 			return 0, err
 		}
+		decT = t
 		total += t
+		if wantClear {
+			ct, err := s.clear.DecodeTime(batch, meanCtx, shared)
+			if err != nil {
+				return 0, err
+			}
+			clearDecT = ct
+		}
 	}
 	// Swap transfers of the round: one coalesced copy per direction at the
 	// backend's swap bandwidth (cGPU's encrypted bounce buffer, a CPU TEE's
@@ -771,30 +818,50 @@ func (s *scheduler) iterationTime(decoding []*reqState, chunks []chunkWork) (flo
 		if err != nil {
 			return 0, err
 		}
+		swapT += t
 		total += t
+		if wantClear {
+			ct, err := s.clear.SwapTime(s.swapOutTok)
+			if err != nil {
+				return 0, err
+			}
+			clearSwapT += ct
+		}
 	}
 	if s.swapInTok > 0 {
 		t, err := s.coster.SwapTime(s.swapInTok)
 		if err != nil {
 			return 0, err
 		}
+		swapT += t
 		total += t
+		if wantClear {
+			ct, err := s.clear.SwapTime(s.swapInTok)
+			if err != nil {
+				return 0, err
+			}
+			clearSwapT += ct
+		}
+	}
+	if s.obs != nil {
+		s.roundPrefill, s.roundDecode, s.roundSwap = prefT, decT, swapT
+		s.roundClearPrefill, s.roundClearDecode, s.roundClearSwap = clearPrefT, clearDecT, clearSwapT
 	}
 	return total, nil
 }
 
-// decodeTime costs one decode step over the running batch via the memoized
-// step coster. KV traffic is linear in total context, so costing at the
-// mean context length is exact for the memory-bound path. When prefix
-// sharing is on, repeat reads of shared blocks are flagged so the
-// roofline's TLB/enclave working set counts each shared page once.
-func (s *scheduler) decodeTime(decoding []*reqState) (float64, error) {
+// decodeShape reduces the decode batch to the shape the coster prices: the
+// batch size, the mean context length, and the prefix-shared token count.
+// KV traffic is linear in total context, so costing at the mean context
+// length is exact for the memory-bound path. When prefix sharing is on,
+// repeat reads of shared blocks are flagged so the roofline's TLB/enclave
+// working set counts each shared page once.
+func (s *scheduler) decodeShape(decoding []*reqState) (batch, meanCtx, shared int) {
 	ctx := 0
 	for _, r := range decoding {
 		ctx += r.ctxTokens()
 	}
-	meanCtx := (ctx + len(decoding) - 1) / len(decoding)
-	shared := 0
+	meanCtx = (ctx + len(decoding) - 1) / len(decoding)
 	if s.cfg.PrefixSharing {
 		ids := s.idBuf[:0]
 		for _, r := range decoding {
@@ -803,7 +870,7 @@ func (s *scheduler) decodeTime(decoding []*reqState) (float64, error) {
 		s.idBuf = ids
 		shared = s.kv.DedupSavedTokens(ids)
 	}
-	return s.coster.DecodeTime(len(decoding), meanCtx, shared)
+	return len(decoding), meanCtx, shared
 }
 
 // chunkTime costs a batched prefill-chunk step: batch rows each computing
@@ -879,7 +946,9 @@ func (s *scheduler) finishIteration() {
 		}
 	}
 	if s.obs != nil {
-		s.event(Event{Kind: EvDecodeRound, ReqID: -1, Tokens: s.roundProduced, Hist: len(decoding)})
+		s.event(Event{Kind: EvDecodeRound, ReqID: -1, Tokens: s.roundProduced, Hist: len(decoding),
+			PrefillSec: s.roundPrefill, DecodeSec: s.roundDecode, SwapSec: s.roundSwap,
+			ClearPrefillSec: s.roundClearPrefill, ClearDecodeSec: s.roundClearDecode, ClearSwapSec: s.roundClearSwap})
 		s.obs.Sample(Sample{
 			TimeSec:         now,
 			Replica:         s.replica,

@@ -123,6 +123,25 @@ func NewStepCoster(be Backend, cfg Config) (*perf.StepCoster, error) {
 	return perf.NewCPUStepCoster(c, cfg.CostBucket)
 }
 
+// NewClearStepCoster builds the counterfactual coster for TEE-tax
+// attribution: the backend's memoized step-costing table with the platform
+// replaced by its clear-hardware twin (tee.Platform.Clear) — same silicon,
+// every TEE mechanism neutralized. Costing a step here answers "what would
+// this exact shape have cost without confidential computing". Like
+// NewStepCoster it is safe to share across replicas and runs of the same
+// model/datatype/cost-bucket via Config.ClearCoster. For unprotected
+// backends the twin is the platform itself, so the clear costs it emits
+// equal the real raw costs and the attributed tax is exactly zero.
+func NewClearStepCoster(be Backend, cfg Config) (*perf.StepCoster, error) {
+	if be.IsGPU {
+		be.GPU.Platform = be.GPU.Platform.Clear()
+	} else {
+		be.CPU.Platform = be.CPU.Platform.Clear()
+	}
+	be.Coster = nil
+	return NewStepCoster(be, cfg)
+}
+
 // platformName returns the TEE platform label of the backend.
 func (b Backend) platformName() string {
 	if b.IsGPU {
@@ -256,6 +275,13 @@ type Config struct {
 	// keeps the scheduler's fast path branch-only and allocation-free. Not
 	// for concurrent runs: see the interface's contract.
 	Observer Observer
+	// ClearCoster, when non-nil alongside Observer, prices every round's
+	// step shapes a second time on the platform's clear-hardware twin (see
+	// tee.Platform.Clear and NewClearStepCoster) and emits the results on
+	// the round event — the counterfactual side of TEE-tax attribution. It
+	// never influences scheduling or timing: the real coster alone drives
+	// the simulation. Ignored when Observer is nil.
+	ClearCoster *perf.StepCoster
 }
 
 // Normalize validates the config and fills defaults in place. Exported for

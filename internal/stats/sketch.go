@@ -234,6 +234,37 @@ func (s *Sketch) Quantile(q float64) float64 {
 	return s.max
 }
 
+// CountLE estimates how many observations are ≤ x, for x ≥ 0 — the CDF
+// counts a cumulative histogram export needs (Prometheus le-buckets). A
+// positive bucket k holds values in (gamma^(k-1), gamma^k], so every
+// bucket with k ≤ key(x) counts fully; the boundary bucket can misplace
+// values within alpha relative error of x, the same bound Quantile
+// carries. Negative x is rejected as 0 matches (latency phases are never
+// negative; the negative-bucket side exists for generic merges).
+// Monotone nondecreasing in x and deterministic.
+func (s *Sketch) CountLE(x float64) int64 {
+	if x < 0 || math.IsNaN(x) {
+		return 0
+	}
+	n := s.zero
+	for _, c := range s.neg {
+		n += c
+	}
+	if x == 0 {
+		return n
+	}
+	if math.IsInf(x, 1) || x >= s.max {
+		return s.count
+	}
+	kx := s.key(x)
+	for k, c := range s.pos {
+		if k <= kx {
+			n += c
+		}
+	}
+	return n
+}
+
 // clamp bounds a bucket midpoint by the exact observed envelope: an
 // estimate outside [min, max] can only move closer to the true order
 // statistic by clamping, so the error bound survives and Quantile(0)/

@@ -308,3 +308,51 @@ func TestSketchBoundedBuckets(t *testing.T) {
 		t.Errorf("%d buckets for a 3-decade stream of 200k values", sk.Buckets())
 	}
 }
+
+// TestSketchCountLE is the CDF contract behind the histogram export: for
+// any threshold, the reported count is exact over the sample multiset
+// re-thresholded at (1±alpha)·x — a boundary bucket can only misplace
+// values within the sketch's relative-error bound.
+func TestSketchCountLE(t *testing.T) {
+	for _, dist := range sketchDistributions {
+		rng := rand.New(rand.NewSource(11))
+		xs := dist.gen(rng, 50_000)
+		sk, _ := NewSketch(DefaultSketchAlpha)
+		for _, x := range xs {
+			_ = sk.Add(x)
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		countLE := func(th float64) int64 {
+			n := sort.SearchFloat64s(sorted, math.Nextafter(th, math.Inf(1)))
+			return int64(n)
+		}
+		thresholds := []float64{0, sorted[0], sorted[len(sorted)/2], sorted[len(sorted)-1], sorted[len(sorted)-1] * 2}
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+			thresholds = append(thresholds, exactRank(sorted, q))
+		}
+		prev := int64(-1)
+		for _, th := range thresholds {
+			got := sk.CountLE(th)
+			lo := countLE(th * (1 - 2*DefaultSketchAlpha))
+			hi := countLE(th * (1 + 2*DefaultSketchAlpha))
+			if got < lo || got > hi {
+				t.Errorf("%s: CountLE(%g) = %d outside [%d, %d]", dist.name, th, got, lo, hi)
+			}
+			if th >= sorted[len(sorted)-1] && got != int64(len(xs)) {
+				t.Errorf("%s: CountLE at max = %d, want all %d", dist.name, got, len(xs))
+			}
+		}
+		// Monotone over an ascending ladder.
+		for _, th := range []float64{0, 1e-6, 1e-3, 0.1, 1, 10, 1e3, 1e6} {
+			got := sk.CountLE(th)
+			if got < prev {
+				t.Errorf("%s: CountLE not monotone at %g: %d < %d", dist.name, th, got, prev)
+			}
+			prev = got
+		}
+		if sk.CountLE(-1) != 0 {
+			t.Error("negative threshold should count nothing for a nonnegative stream")
+		}
+	}
+}

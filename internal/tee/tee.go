@@ -219,6 +219,50 @@ func CGPU() Platform {
 	}
 }
 
+// Clear returns the platform's clear-hardware twin: the same machine with
+// every TEE mechanism neutralized — no memory-encryption bandwidth factor,
+// no secure-EPT walk amplification, no enclave exits or EPC ceiling, no
+// per-op encryption-pipeline cost, no AES-GCM bounce buffer or encrypted
+// launch path. Non-TEE mechanics survive: a confidential VM's twin is a
+// plain VM (virtualization compute tax and nested-EPT walks stay), SGX's
+// twin is bare metal, cGPU's twin is the plain GPU runtime. The
+// counterfactual step coster behind latency attribution prices rounds on
+// the twin; the per-step delta against the real platform is the TEE tax.
+// Unprotected platforms are their own twin.
+func (p Platform) Clear() Platform {
+	if !p.Protected {
+		return p
+	}
+	c := p
+	c.Name = p.Name + "-clear"
+	c.Protected = false
+	c.MemBWFactor = 1
+	c.UPIEncrypted = false
+	c.ExitCostSec = 0
+	c.ExitsPerToken = 0
+	c.EPC = mem.EPC{}
+	c.PerOpCostSec = 0
+	c.KernelLaunchExtraSec = 0
+	c.StepExtraSec = 0
+	c.PCIeBWFactor = 1
+	switch p.Class {
+	case ClassVM:
+		// Secure-EPT's extra walk cost, the forced page policy and the
+		// broken NUMA bindings are TEE artifacts; plain-VM nested paging,
+		// transparent hugepages and working NUMA bindings come back.
+		c.PageWalkAmp = hw.VMPageWalkAmplification
+		c.Pages = mem.PolicyTransparentHuge
+		c.NUMA = mem.NUMABound
+	case ClassProcess:
+		// SGX runs on bare metal; without the enclave the single-node NUMA
+		// presentation goes away too.
+		c.PageWalkAmp = 1
+		c.NUMA = mem.NUMABound
+	}
+	c.Class = ClassNone
+	return c
+}
+
 // WithSNC returns a copy of the platform running with sub-NUMA clustering
 // enabled, which TEE drivers mishandle (§IV-A.1: ~5% → ~42% overhead).
 func (p Platform) WithSNC() Platform {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cllm/internal/gramine"
+	"cllm/internal/hw"
 	"cllm/internal/mem"
 )
 
@@ -115,6 +116,60 @@ func TestCGPUMechanisms(t *testing.T) {
 	// No memory-encryption cost on the HBM path (Fig 11's low noise).
 	if c.MemBWFactor != 1 {
 		t.Error("cGPU HBM bandwidth degraded but H100 does not encrypt HBM")
+	}
+}
+
+func TestClearTwins(t *testing.T) {
+	// cGPU's twin is exactly the plain GPU runtime, mechanism for
+	// mechanism — only the name differs (this is what makes the
+	// clear-baseline coster byte-identical to costing on GPU()).
+	cg := CGPU().Clear()
+	want := GPU()
+	want.Name = "cGPU-clear"
+	if cg != want {
+		t.Errorf("CGPU().Clear() = %+v, want GPU mechanics %+v", cg, want)
+	}
+
+	// TDX's twin is a plain VM: virtualization survives, TEE costs do not.
+	td := TDX().Clear()
+	if td.Protected || td.Class != ClassNone {
+		t.Errorf("TDX twin still protected: %+v", td)
+	}
+	if td.ComputeTax != hw.VMComputeTax {
+		t.Error("TDX twin lost the virtualization compute tax")
+	}
+	if td.MemBWFactor != 1 || td.UPIEncrypted || td.PerOpCostSec != 0 {
+		t.Errorf("TDX twin still pays encryption costs: %+v", td)
+	}
+	if td.PageWalkAmp != hw.VMPageWalkAmplification {
+		t.Error("TDX twin does not walk like a plain VM")
+	}
+	if td.NUMA != mem.NUMABound || td.Pages != mem.PolicyTransparentHuge {
+		t.Errorf("TDX twin memory placement not plain-VM: %+v", td)
+	}
+
+	// SGX's twin is bare metal: no exits, no EPC ceiling, native NUMA.
+	m := gramine.DefaultManifest("/models/w.bin", 64<<30, 32)
+	sgx, err := SGX(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sgx.Clear()
+	if sc.ExitCostSec != 0 || sc.ExitsPerToken != 0 {
+		t.Error("SGX twin still pays enclave exits")
+	}
+	if sc.EPC.Size != 0 {
+		t.Error("SGX twin still has an EPC ceiling")
+	}
+	if sc.MemBWFactor != 1 || sc.NUMA != mem.NUMABound || sc.PerOpCostSec != 0 {
+		t.Errorf("SGX twin not bare-metal-like: %+v", sc)
+	}
+
+	// Unprotected platforms are their own twin, unchanged.
+	for _, p := range []Platform{Baremetal(), VM(VMTransparentHuge), GPU()} {
+		if p.Clear() != p {
+			t.Errorf("%s twin differs from itself", p.Name)
+		}
 	}
 }
 

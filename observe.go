@@ -24,16 +24,28 @@ type ServeObservation struct {
 	// TimeseriesCSV is the merged windowed time series (queue depth,
 	// running batch, KV/swap occupancy, prefix hit rate, token rates).
 	TimeseriesCSV []byte
+	// PhaseCSV is the latency-attribution phase breakdown (one row per
+	// phase, plus TEE-tax rows). Nil unless attribution was enabled
+	// alongside observation.
+	PhaseCSV []byte
 }
 
 // buildObservation renders the recorder's stream against the run's
-// aggregate report.
-func buildObservation(rec *obs.Recorder, rep *serve.Report) *ServeObservation {
-	return &ServeObservation{
+// aggregate report. With an attribution engine attached, the trace gains
+// the phase/tax counter tracks, the Prometheus snapshot the per-phase
+// histogram families, and PhaseCSV the phase breakdown.
+func buildObservation(rec *obs.Recorder, attrib *obs.Attribution, rep *serve.Report) *ServeObservation {
+	o := &ServeObservation{
 		Events:         len(rec.Events()),
 		Windows:        len(rec.Series().Merged()),
 		TraceJSON:      rec.PerfettoTrace(),
 		PrometheusText: obs.PrometheusText(rep),
 		TimeseriesCSV:  rec.TimeseriesCSV(),
 	}
+	if attrib != nil {
+		o.TraceJSON = rec.PerfettoTraceWithCounters(attrib)
+		o.PrometheusText = append(o.PrometheusText, attrib.PrometheusText(rep.Platform)...)
+		o.PhaseCSV = attrib.Report(rep.Platform).PhaseCSV()
+	}
+	return o
 }

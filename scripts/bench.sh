@@ -3,11 +3,11 @@
 #
 # Runs the serving-path benchmarks (scheduler hot loop — disabled and
 # observed — plus the serving / fleet / autoscale / observability
-# experiment sweeps) and distills them into BENCH_7.json so future PRs
+# experiment sweeps) and distills them into BENCH_8.json so future PRs
 # have a perf baseline to compare against (the CI gate,
 # scripts/bench_compare.sh, diffs new runs against the newest BENCH_*.json):
 #
-#   sh scripts/bench.sh            # writes BENCH_7.json in the repo root
+#   sh scripts/bench.sh            # writes BENCH_8.json in the repo root
 #   sh scripts/bench.sh out.json   # custom output path
 #
 # Schema: {"benchmarks": [{"name", "runs", "ns_per_op", "allocs_per_op",
@@ -15,11 +15,11 @@
 # benchmark, each field the mean over -count=3 runs.
 set -eu
 
-out=${1:-BENCH_7.json}
+out=${1:-BENCH_8.json}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'ServeScheduler|ServingCurves|FleetPolicies|Autoscaling|Observability' \
+go test -run '^$' -bench 'ServeScheduler|ServingCurves|FleetPolicies|Autoscaling|Observability|Attribution' \
 	-benchmem -count=3 . | tee "$raw"
 
 awk -v out="$out" '

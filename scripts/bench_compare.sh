@@ -1,13 +1,15 @@
 #!/bin/sh
 # bench_compare.sh — serving-simulator bench-regression gate.
 #
-# Re-runs BenchmarkServeScheduler and compares its simreq/s (simulated
-# requests completed per wall-clock second, mean over -count=3) and its
-# allocs/op against the newest BENCH_*.json baseline in the repo root.
-# Fails when throughput regresses by more than the threshold (default 25%)
-# or allocations grow by more than the same threshold — the allocs gate is
-# what keeps the disabled observability path allocation-free. Getting
-# faster or leaner never fails. Usage:
+# Re-runs BenchmarkServeScheduler (observability disabled) and
+# BenchmarkServeSchedulerObserved (observer + exporters on) and compares
+# each leg's simreq/s (simulated requests completed per wall-clock second,
+# mean over -count=3) and allocs/op against the newest BENCH_*.json
+# baseline in the repo root. Fails when throughput regresses by more than
+# the threshold (default 25%) or allocations grow by more than the same
+# threshold — the disabled-leg allocs gate keeps the nil-observer path
+# allocation-free, the observed-leg gate keeps the observation tax from
+# regressing silently. Getting faster or leaner never fails. Usage:
 #
 #   sh scripts/bench_compare.sh             # gate against newest BENCH_*.json
 #   sh scripts/bench_compare.sh 10          # custom threshold (percent)
@@ -20,59 +22,67 @@ if [ -z "$baseline_file" ]; then
     echo "bench_compare: no BENCH_*.json baseline found in repo root" >&2
     exit 1
 fi
-# Extract BenchmarkServeScheduler's baseline figures without depending on
-# jq: isolate its object (the exact name match — the closing quote keeps
-# BenchmarkServeSchedulerObserved out), cut at the next object's "name" so
-# greedy matches cannot leak into later entries, then pull each field.
-chunk=$(tr -d '\n' <"$baseline_file" |
-    sed 's/.*"name": "BenchmarkServeScheduler"//' |
-    sed 's/"name":.*//')
-baseline=$(printf '%s' "$chunk" | sed 's/.*"simreq\/s": \([0-9.]*\).*/\1/')
-base_allocs=$(printf '%s' "$chunk" | sed 's/.*"allocs_per_op": \([0-9.]*\).*/\1/')
-for v in "$baseline" "$base_allocs"; do
-    case "$v" in
-    '' | *[!0-9.]*)
-        echo "bench_compare: missing simreq/s or allocs_per_op for BenchmarkServeScheduler in $baseline_file" >&2
-        exit 1
-        ;;
-    esac
-done
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
-go test -run '^$' -bench '^BenchmarkServeScheduler$' -benchmem -count=3 . | tee "$raw"
+go test -run '^$' -bench '^BenchmarkServeScheduler(Observed)?$' -benchmem -count=3 . | tee "$raw"
 
-# Exact name match (with or without the -GOMAXPROCS suffix, which Go
-# omits when GOMAXPROCS=1): never the Observed variant.
-current=$(awk '$1 ~ /^BenchmarkServeScheduler(-[0-9]+)?$/ {
-    for (i = 2; i <= NF; i++) if ($(i) == "simreq/s") { sum += $(i - 1); n++ }
-} END { if (n > 0) printf "%.1f", sum / n }' "$raw")
-cur_allocs=$(awk '$1 ~ /^BenchmarkServeScheduler(-[0-9]+)?$/ {
-    for (i = 2; i <= NF; i++) if ($(i) == "allocs/op") { sum += $(i - 1); n++ }
-} END { if (n > 0) printf "%.1f", sum / n }' "$raw")
-if [ -z "$current" ] || [ -z "$cur_allocs" ]; then
-    echo "bench_compare: benchmark produced no simreq/s or allocs/op metric" >&2
+fail=0
+for name in BenchmarkServeScheduler BenchmarkServeSchedulerObserved; do
+    # Extract the baseline figures without depending on jq: isolate the
+    # benchmark's object (exact name match — the closing quote keeps
+    # longer names out), cut at the next object's "name" so greedy matches
+    # cannot leak into later entries, then pull each field.
+    chunk=$(tr -d '\n' <"$baseline_file" |
+        sed "s/.*\"name\": \"$name\"//" |
+        sed 's/"name":.*//')
+    baseline=$(printf '%s' "$chunk" | sed 's/.*"simreq\/s": \([0-9.]*\).*/\1/')
+    base_allocs=$(printf '%s' "$chunk" | sed 's/.*"allocs_per_op": \([0-9.]*\).*/\1/')
+    for v in "$baseline" "$base_allocs"; do
+        case "$v" in
+        '' | *[!0-9.]*)
+            echo "bench_compare: missing simreq/s or allocs_per_op for $name in $baseline_file" >&2
+            exit 1
+            ;;
+        esac
+    done
+
+    # Exact name match (with or without the -GOMAXPROCS suffix, which Go
+    # omits when GOMAXPROCS=1).
+    current=$(awk -v n="$name" '$1 ~ ("^" n "(-[0-9]+)?$") {
+        for (i = 2; i <= NF; i++) if ($(i) == "simreq/s") { sum += $(i - 1); cnt++ }
+    } END { if (cnt > 0) printf "%.1f", sum / cnt }' "$raw")
+    cur_allocs=$(awk -v n="$name" '$1 ~ ("^" n "(-[0-9]+)?$") {
+        for (i = 2; i <= NF; i++) if ($(i) == "allocs/op") { sum += $(i - 1); cnt++ }
+    } END { if (cnt > 0) printf "%.1f", sum / cnt }' "$raw")
+    if [ -z "$current" ] || [ -z "$cur_allocs" ]; then
+        echo "bench_compare: $name produced no simreq/s or allocs/op metric" >&2
+        exit 1
+    fi
+
+    awk -v name="$name" -v cur="$current" -v base="$baseline" \
+        -v curA="$cur_allocs" -v baseA="$base_allocs" \
+        -v thr="$threshold" -v file="$baseline_file" 'BEGIN {
+        change = (cur - base) / base * 100
+        printf "bench_compare: %s simreq/s %.1f vs baseline %.1f (%s) → %+.1f%% (threshold -%s%%)\n",
+            name, cur, base, file, change, thr
+        achange = (curA - baseA) / baseA * 100
+        printf "bench_compare: %s allocs/op %.1f vs baseline %.1f → %+.1f%% (threshold +%s%%)\n",
+            name, curA, baseA, achange, thr
+        bad = 0
+        if (change < -thr) {
+            print "bench_compare: FAIL — " name " throughput regressed past the threshold" > "/dev/stderr"
+            bad = 1
+        }
+        if (achange > thr) {
+            print "bench_compare: FAIL — " name " allocations grew past the threshold" > "/dev/stderr"
+            bad = 1
+        }
+        exit bad
+    }' || fail=1
+done
+
+if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-
-awk -v cur="$current" -v base="$baseline" \
-    -v curA="$cur_allocs" -v baseA="$base_allocs" \
-    -v thr="$threshold" -v file="$baseline_file" 'BEGIN {
-    change = (cur - base) / base * 100
-    printf "bench_compare: simreq/s %.1f vs baseline %.1f (%s) → %+.1f%% (threshold -%s%%)\n",
-        cur, base, file, change, thr
-    achange = (curA - baseA) / baseA * 100
-    printf "bench_compare: allocs/op %.1f vs baseline %.1f → %+.1f%% (threshold +%s%%)\n",
-        curA, baseA, achange, thr
-    fail = 0
-    if (change < -thr) {
-        print "bench_compare: FAIL — serving-scheduler throughput regressed past the threshold" > "/dev/stderr"
-        fail = 1
-    }
-    if (achange > thr) {
-        print "bench_compare: FAIL — serving-scheduler allocations grew past the threshold" > "/dev/stderr"
-        fail = 1
-    }
-    if (fail) exit 1
-    print "bench_compare: OK"
-}'
+echo "bench_compare: OK"

@@ -101,6 +101,16 @@ type ServeConfig struct {
 	// run outgrows the window budget, windows coalesce and the width
 	// doubles.
 	ObserveWindowSec float64
+	// Attribution folds the run's event stream into per-request phase
+	// vectors (queue wait, prefill, decode, preemption stall, swap
+	// transfer — summing exactly to each request's latency) and prices a
+	// clear-hardware counterfactual alongside the real run to attribute
+	// the per-phase TEE tax. The result is attached as Attrib; with
+	// Observe also set, the observation artifacts gain the phase CSV,
+	// phase histogram families and Perfetto counter tracks. Memory stays
+	// bounded by in-flight requests, so it composes with sketch mode on
+	// 10⁸-request runs. Off by default.
+	Attribution bool
 }
 
 // ServeReport summarizes a serving run: load-level throughput and tail
@@ -149,6 +159,9 @@ type ServeReport struct {
 	// Observation holds the rendered observability artifacts (nil unless
 	// ServeConfig.Observe was set).
 	Observation *ServeObservation
+	// Attrib holds the latency attribution and TEE-tax decomposition (nil
+	// unless ServeConfig.Attribution was set).
+	Attrib *obs.AttribReport
 	// Sketched reports that quantiles came from streaming sketches with
 	// relative error bound SketchAlpha rather than exact order statistics.
 	Sketched    bool
@@ -231,14 +244,29 @@ func (s *Session) Serve(cfg ServeConfig) (*ServeReport, error) {
 	var rec *obs.Recorder
 	if cfg.Observe {
 		rec = obs.NewRecorderWindow(cfg.ObserveWindowSec, 512)
-		scfg.Observer = rec
 	}
+	var attrib *obs.Attribution
+	if cfg.Attribution {
+		attrib, err = obs.NewAttributionWindow(cfg.SketchAlpha, true, cfg.ObserveWindowSec, 512)
+		if err != nil {
+			return nil, err
+		}
+	}
+	scfg.Observer = obs.Multi(rec, attrib)
 	// Reuse the session's memoized costing table for this deployment shape:
 	// sweeps calling Serve repeatedly re-cost identical iteration shapes
 	// from the table (bit-identical floats; see serve.Backend.Coster).
 	be.Coster, err = s.costerFor(be, scfg)
 	if err != nil {
 		return nil, err
+	}
+	if attrib != nil {
+		// The clear-twin coster shares the session memo too: sweeps re-price
+		// the counterfactual from the same table.
+		scfg.ClearCoster, err = s.clearCosterFor(be, scfg)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	var rep *serve.Report
@@ -285,8 +313,12 @@ func (s *Session) Serve(cfg ServeConfig) (*ServeReport, error) {
 		Sketched:              rep.Sketched,
 		SketchAlpha:           rep.SketchAlpha,
 	}
+	if attrib != nil {
+		out.Attrib = attrib.Report(rep.Platform)
+	}
 	if rec != nil {
-		out.Observation = buildObservation(rec, rep)
+		out.Observation = buildObservation(rec, attrib, rep)
+		rec.Recycle()
 	}
 
 	hourly, err := s.serveHourlyUSD(cfg)
@@ -328,6 +360,33 @@ func (s *Session) costerFor(be serve.Backend, scfg serve.Config) (*perf.StepCost
 		return c, nil
 	}
 	c, err := serve.NewStepCoster(be, scfg)
+	if err != nil {
+		return nil, err
+	}
+	if s.costers == nil {
+		s.costers = make(map[string]*perf.StepCoster)
+	}
+	s.costers[key] = c
+	return c, nil
+}
+
+// clearCosterFor returns the session's shared clear-hardware twin coster
+// for one deployment shape (the counterfactual side of TEE-tax
+// attribution), building it on first use under a key disjoint from the
+// real costers'.
+func (s *Session) clearCosterFor(be serve.Backend, scfg serve.Config) (*perf.StepCoster, error) {
+	bucket := scfg.CostBucket
+	if bucket < 1 {
+		bucket = 1
+	}
+	key := fmt.Sprintf("%s|%s|%d|%d|%d|%v|clear",
+		scfg.Workload.Model.Name, scfg.Workload.Kind, be.CPU.Sockets, be.CPU.CoresPerSocket, bucket, be.IsGPU)
+	s.costerMu.Lock()
+	defer s.costerMu.Unlock()
+	if c, ok := s.costers[key]; ok {
+		return c, nil
+	}
+	c, err := serve.NewClearStepCoster(be, scfg)
 	if err != nil {
 		return nil, err
 	}
