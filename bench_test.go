@@ -60,6 +60,7 @@ func BenchmarkAutoscaling(b *testing.B)      { benchExperiment(b, "autoscale") }
 func BenchmarkPreemptPolicies(b *testing.B)  { benchExperiment(b, "preempt") }
 func BenchmarkObservability(b *testing.B)    { benchExperiment(b, "obs") }
 func BenchmarkAttribution(b *testing.B)      { benchExperiment(b, "attrib") }
+func BenchmarkOverload(b *testing.B)         { benchExperiment(b, "overload") }
 
 // BenchmarkServeScheduler measures the serving simulator itself: simulated
 // requests completed per wall-clock second of scheduler execution.
@@ -216,7 +217,7 @@ func TestBenchmarkCoverage(t *testing.T) {
 		"spr": true, "ablation": true, "serving": true,
 		"chunked": true, "prefix": true, "fleet": true,
 		"hetero": true, "autoscale": true, "preempt": true, "obs": true,
-		"attrib": true,
+		"attrib": true, "overload": true,
 	}
 	for _, e := range Experiments() {
 		if !covered[e.ID] {

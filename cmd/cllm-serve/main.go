@@ -80,6 +80,12 @@ func main() {
 	compare := flag.String("compare", "", "diff the attributed run against a baseline attribution JSON (from -attrib-out); prints movements beyond the sketch error bounds and exits 1 on regression (requires -attrib)")
 	compareSlack := flag.Float64("compare-slack", 0.02, "extra tolerance added to the sketch error bounds when diffing with -compare")
 	demandAlpha := flag.Float64("demand-alpha", 0, "autoscaler EWMA demand-smoothing factor in (0,1]; 0 or 1 keeps the raw one-window estimator")
+	failMTBF := flag.Float64("fail-mtbf", 0, "inject Poisson replica failures with this mean time between failures in seconds (0 = no failures); a crashed replica pays the platform's full TEE cold start before serving again")
+	failPlan := flag.String("fail-plan", "", "inject scripted failures instead: comma-separated replica@seconds points (bare seconds = replica 0)")
+	failPolicy := flag.String("fail-policy", "requeue", "what a crash does to in-flight requests: requeue (restart on recovery) or lost (consume retry budget or drop)")
+	admission := flag.String("admission", "fifo", "queue admission policy: fifo|deadline|shed (deadline = EDF order with expired-request drops; shed also rejects requests that cannot start before their deadline)")
+	retryMax := flag.Int("retry-max", 0, "per-request retry budget for shed and failure-lost requests (0 = no retries)")
+	retryBackoff := flag.Float64("retry-backoff", 0, "exponential retry backoff base in seconds with deterministic jitter (0 = 1s default; needs -retry-max)")
 	sloTTFT := flag.Float64("slo-ttft", 5, "TTFT SLO (seconds)")
 	sloTPOT := flag.Float64("slo-tpot", 0.5, "TPOT SLO (seconds/token)")
 	sockets := flag.Int("sockets", 1, "CPU sockets")
@@ -90,6 +96,8 @@ func main() {
 		format: *format, obsWindow: *obsWindow, sketchAlpha: *sketchAlpha,
 		attrib: *attribF, attribOut: *attribOut, attribCSV: *attribCSV,
 		compare: *compare, autoscale: *autoscaleF,
+		failMTBF: *failMTBF, failPlan: *failPlan, failPolicy: *failPolicy,
+		admission: *admission, retryMax: *retryMax, retryBackoff: *retryBackoff,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "cllm-serve: %v\n", err)
 		os.Exit(1)
@@ -150,7 +158,9 @@ func main() {
 	machine := *format != "table"
 	if machine {
 		header = append(header, "completed", "dropped", "unfinished",
-			"kv-blocks", "kv-peak", "prefix-miss(tok)", "evicted-blocks", "swap-out", "swap-in")
+			"kv-blocks", "kv-peak", "prefix-miss(tok)", "evicted-blocks", "swap-out", "swap-in",
+			"shed", "dropped-kv", "dropped-shed", "dropped-deadline", "dropped-lost",
+			"retries", "crashes", "downtime(s)")
 	}
 	// The export artifacts come from one observed run: the first platform's
 	// base-rate (×1) sweep point. Attribution follows the same rule.
@@ -200,18 +210,24 @@ func main() {
 				Scenario:   *scenario,
 				RatePerSec: *rate * m, Requests: *requests,
 				MaxBatch: *batch, Sockets: *sockets,
-				ChunkTokens:   *chunkSize,
-				PrefixSharing: *prefixShare,
-				PrefixGroups:  *prefixGroups,
-				PrefixFrac:    *prefixFrac,
-				Replicas:      *replicas,
-				LBPolicy:      *lbPolicy,
-				CostBucket:    *costBucket,
-				PreemptPolicy: preemptPol.String(),
-				QuantileMode:  *quantileMode,
-				SketchAlpha:   *sketchAlpha,
-				EpochRequests: *epochRequests,
-				TTFTSLOSec:    *sloTTFT, TPOTSLOSec: *sloTPOT,
+				ChunkTokens:     *chunkSize,
+				PrefixSharing:   *prefixShare,
+				PrefixGroups:    *prefixGroups,
+				PrefixFrac:      *prefixFrac,
+				Replicas:        *replicas,
+				LBPolicy:        *lbPolicy,
+				CostBucket:      *costBucket,
+				PreemptPolicy:   preemptPol.String(),
+				QuantileMode:    *quantileMode,
+				SketchAlpha:     *sketchAlpha,
+				EpochRequests:   *epochRequests,
+				FailMTBFSec:     *failMTBF,
+				FailPlan:        *failPlan,
+				FailPolicy:      *failPolicy,
+				Admission:       *admission,
+				RetryMax:        *retryMax,
+				RetryBackoffSec: *retryBackoff,
+				TTFTSLOSec:      *sloTTFT, TPOTSLOSec: *sloTPOT,
 			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "cllm-serve: %s at rate %.2f: %v\n", plat, *rate*m, err)
@@ -251,7 +267,15 @@ func main() {
 					fmt.Sprintf("%d", rep.PrefixCacheMissTokens),
 					fmt.Sprintf("%d", rep.EvictedKVBlocks),
 					fmt.Sprintf("%d", rep.SwapOuts),
-					fmt.Sprintf("%d", rep.SwapIns))
+					fmt.Sprintf("%d", rep.SwapIns),
+					fmt.Sprintf("%d", rep.Sheds),
+					fmt.Sprintf("%d", rep.DroppedByReason[serve.DropKVExhausted]),
+					fmt.Sprintf("%d", rep.DroppedByReason[serve.DropAdmissionShed]),
+					fmt.Sprintf("%d", rep.DroppedByReason[serve.DropDeadlineExpired]),
+					fmt.Sprintf("%d", rep.DroppedByReason[serve.DropFailureLost]),
+					fmt.Sprintf("%d", rep.Retries),
+					fmt.Sprintf("%d", rep.Crashes),
+					fmt.Sprintf("%.3f", rep.DowntimeSec))
 			}
 			table.Rows = append(table.Rows, row)
 			if observe {
@@ -277,14 +301,20 @@ func main() {
 // flagOpts carries the flag values that are cross-validated before any
 // simulation runs, so misuse fails fast with a clear message.
 type flagOpts struct {
-	format      string
-	obsWindow   float64
-	sketchAlpha float64
-	attrib      bool
-	attribOut   string
-	attribCSV   string
-	compare     string
-	autoscale   bool
+	format       string
+	obsWindow    float64
+	sketchAlpha  float64
+	attrib       bool
+	attribOut    string
+	attribCSV    string
+	compare      string
+	autoscale    bool
+	failMTBF     float64
+	failPlan     string
+	failPolicy   string
+	admission    string
+	retryMax     int
+	retryBackoff float64
 }
 
 // validateFlags rejects inconsistent flag combinations at parse time.
@@ -297,6 +327,36 @@ func validateFlags(o flagOpts) error {
 	}
 	if o.sketchAlpha < 0 || o.sketchAlpha >= 1 {
 		return fmt.Errorf("-sketch-alpha %g outside [0, 1) (0 = 0.01 default)", o.sketchAlpha)
+	}
+	if o.failMTBF < 0 {
+		return fmt.Errorf("-fail-mtbf %g is negative; pass a mean time between failures in seconds (0 = no failures)", o.failMTBF)
+	}
+	if _, err := serve.ParseFailPlan(o.failPlan); err != nil {
+		return fmt.Errorf("-fail-plan: %w", err)
+	}
+	if o.failMTBF > 0 && o.failPlan != "" {
+		return fmt.Errorf("-fail-mtbf and -fail-plan are mutually exclusive (Poisson vs scripted failures)")
+	}
+	if _, err := serve.ParseFailurePolicy(o.failPolicy); err != nil {
+		return fmt.Errorf("-fail-policy: %w", err)
+	}
+	if _, err := serve.ParseAdmissionPolicy(o.admission); err != nil {
+		return fmt.Errorf("-admission: %w", err)
+	}
+	if o.retryMax < 0 {
+		return fmt.Errorf("-retry-max %d is negative; pass a per-request retry budget (0 = no retries)", o.retryMax)
+	}
+	if o.retryBackoff < 0 {
+		return fmt.Errorf("-retry-backoff %g is negative; pass a backoff base in seconds (0 = 1s default)", o.retryBackoff)
+	}
+	if o.retryBackoff > 0 && o.retryMax == 0 {
+		return fmt.Errorf("-retry-backoff requires -retry-max > 0 (there is nothing to back off without a retry budget)")
+	}
+	if o.autoscale && (o.failMTBF > 0 || o.failPlan != "" || o.retryMax > 0) {
+		return fmt.Errorf("fault injection and retries are not supported with -autoscale yet (run a fixed fleet)")
+	}
+	if o.autoscale && o.admission != "fifo" && o.admission != "" {
+		return fmt.Errorf("-admission is not supported with -autoscale yet (run a fixed fleet)")
 	}
 	for name, v := range map[string]string{
 		"-attrib-out": o.attribOut, "-attrib-csv": o.attribCSV, "-compare": o.compare,

@@ -16,6 +16,12 @@ func TestValidateFlagsAccepts(t *testing.T) {
 		{format: "json", attrib: true, attribOut: "a.json", attribCSV: "a.csv", compare: "base.json"},
 		{format: "table", attrib: true},
 		{format: "table", autoscale: true},
+		{format: "table", failMTBF: 120, failPolicy: "requeue", admission: "shed", retryMax: 3, retryBackoff: 0.5},
+		{format: "table", failPlan: "0@30,1@45.5", failPolicy: "lost"},
+		{format: "table", failPlan: "30"},
+		{format: "table", admission: "deadline"},
+		{format: "table", retryMax: 2},
+		{format: "table", autoscale: true, admission: "fifo"},
 	}
 	for _, o := range cases {
 		if err := validateFlags(o); err != nil {
@@ -39,6 +45,17 @@ func TestValidateFlagsRejects(t *testing.T) {
 		{"attrib-csv without attrib", func(o *flagOpts) { o.attribCSV = "a.csv" }, "-attrib-csv"},
 		{"compare without attrib", func(o *flagOpts) { o.compare = "base.json" }, "-compare"},
 		{"attrib with autoscale", func(o *flagOpts) { o.attrib = true; o.autoscale = true }, "-autoscale"},
+		{"negative fail mtbf", func(o *flagOpts) { o.failMTBF = -1 }, "-fail-mtbf"},
+		{"malformed fail plan", func(o *flagOpts) { o.failPlan = "a@30" }, "-fail-plan"},
+		{"fail plan negative time", func(o *flagOpts) { o.failPlan = "0@-5" }, "-fail-plan"},
+		{"mtbf and plan together", func(o *flagOpts) { o.failMTBF = 60; o.failPlan = "30" }, "-fail-mtbf"},
+		{"unknown fail policy", func(o *flagOpts) { o.failPolicy = "explode" }, "-fail-policy"},
+		{"unknown admission", func(o *flagOpts) { o.admission = "lottery" }, "-admission"},
+		{"negative retry max", func(o *flagOpts) { o.retryMax = -1 }, "-retry-max"},
+		{"negative retry backoff", func(o *flagOpts) { o.retryMax = 1; o.retryBackoff = -0.5 }, "-retry-backoff"},
+		{"backoff without budget", func(o *flagOpts) { o.retryBackoff = 2 }, "-retry-backoff"},
+		{"fail mtbf with autoscale", func(o *flagOpts) { o.autoscale = true; o.failMTBF = 60 }, "-autoscale"},
+		{"admission with autoscale", func(o *flagOpts) { o.autoscale = true; o.admission = "shed" }, "-autoscale"},
 	}
 	for _, tc := range cases {
 		o := okOpts()

@@ -18,11 +18,9 @@ import (
 	"math"
 	"sort"
 
-	"cllm/internal/gramine"
 	"cllm/internal/par"
 	"cllm/internal/serve"
 	"cllm/internal/sim"
-	"cllm/internal/tee"
 	"cllm/internal/trace"
 )
 
@@ -53,36 +51,11 @@ type Class struct {
 }
 
 // ColdStartSec models provisioning a fresh replica of the backend for a
-// workload: base boot, streaming the weight image from storage, TEE
-// memory preparation (TD page acceptance for VM TEEs, EADD+EEXTEND enclave
-// build for SGX, bounce-buffered weight upload for confidential GPUs) and
-// — for protected platforms — the attestation round-trip before secrets
-// are released. Constants live in internal/tee and internal/gramine next
-// to the mechanisms they time.
+// workload. It delegates to serve.ColdStartSec — the same formula prices
+// failure recovery in the scheduler's fault injector, so elasticity and
+// recovery share one cold-start model.
 func ColdStartSec(be serve.Backend, w trace.Workload) float64 {
-	weights := trace.WeightFootprint(w)
-	var p tee.Platform
-	if be.IsGPU {
-		p = be.GPU.Platform
-	} else {
-		p = be.CPU.Platform
-	}
-	t := tee.BaseBootSec + weights/tee.WeightLoadBytesPerSec
-	if be.IsGPU {
-		// Weights cross the host-GPU link; confidential mode routes them
-		// through the encrypted bounce buffer (PCIeBWFactor < 1).
-		t += weights / (be.GPU.GPU.PCIeBandwidth * p.PCIeBWFactor)
-	}
-	switch p.Class {
-	case tee.ClassVM:
-		t += weights / tee.TDXAcceptBytesPerSec
-	case tee.ClassProcess:
-		t += weights / gramine.EnclaveBuildBytesPerSec
-	}
-	if p.Protected {
-		t += tee.AttestationRTTSec
-	}
-	return t
+	return serve.ColdStartSec(be, w)
 }
 
 // Dispatch selects how arrivals are routed across the active fleet.
@@ -271,6 +244,11 @@ func ProbeCapacity(be serve.Backend, scfg serve.Config) (float64, error) {
 	// safe for concurrent use and its timeline should hold only the real
 	// fleet's events.
 	cfg.Observer = nil
+	// A capacity probe measures the healthy saturated rate: fault injection,
+	// admission shedding and retries would contaminate it with downtime and
+	// turned-away load, so the probe twin runs failure-free and open-door.
+	cfg.FailMTBFSec, cfg.FailPlan = 0, nil
+	cfg.Admission, cfg.RetryMax = serve.AdmitFIFO, 0
 	// Probes need only Completed and MakespanSec. Sketch mode skips the
 	// per-request ledger and its quantile sort; a trace run's event stream
 	// is identical in both modes, so the measured rate is unchanged.
@@ -476,6 +454,10 @@ type fleet struct {
 	// across control windows (see Config.DemandAlpha).
 	prevDemand float64
 	haveDemand bool
+	// lastSheds is the fleet-wide admission-shed total at the previous tick;
+	// the per-window delta feeds the demand estimate (shed requests are
+	// offered load the fleet turned away — invisible to the backlog signal).
+	lastSheds  int
 	coldStarts []int // per class
 	// overSince tracks, per class, when it started exceeding its desired
 	// count (scale-down hysteresis); -1 means not currently over.
@@ -528,6 +510,11 @@ func (f *fleet) pick(now float64) *slot {
 	var bestKey [2]float64
 	for _, s := range f.slots {
 		if !s.servable(now) {
+			continue
+		}
+		if s.rep.Down() {
+			// Crashed mid-recovery (fault injection): still billed, not a
+			// dispatch target until its TEE cold start completes.
 			continue
 		}
 		var key [2]float64
@@ -599,6 +586,19 @@ func (f *fleet) tick(*sim.Engine) {
 	// estimate is EWMA-smoothed across windows; alpha = 1 branches to the
 	// raw value so the default stays bit-identical to the unsmoothed loop.
 	demand := float64(arrived)/interval + float64(backlog)/interval
+	// Shed requests left neither queue nor batch, so backlog cannot see
+	// them — count the window's sheds as demand the fleet failed to carry.
+	// Without admission control the delta is always zero.
+	totalSheds := 0
+	for _, s := range f.slots {
+		if s.rep != nil {
+			totalSheds += s.rep.Sheds()
+		}
+	}
+	if d := totalSheds - f.lastSheds; d > 0 {
+		demand += float64(d) / interval
+	}
+	f.lastSheds = totalSheds
 	if f.cfg.DemandAlpha < 1 && f.haveDemand {
 		demand = f.cfg.DemandAlpha*demand + (1-f.cfg.DemandAlpha)*f.prevDemand
 	}

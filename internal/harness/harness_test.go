@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10", "fig11", "fig12", "fig13", "fig14", "table1", "othermodels", "snc",
 		"sev", "b100", "scaleout", "hybrid", "spr", "ablation", "serving",
 		"chunked", "prefix", "fleet", "hetero", "autoscale", "preempt", "obs",
-		"attrib",
+		"attrib", "overload",
 	}
 	for _, id := range want {
 		if _, err := Lookup(id); err != nil {
@@ -95,7 +95,7 @@ func TestChecksHelpers(t *testing.T) {
 // on the worker pool must render the identical Result at workers=1 and
 // workers=NumCPU — rows, checks and notes byte for byte.
 func TestSweepExperimentsParallelMatchSerial(t *testing.T) {
-	for _, id := range []string{"serving", "fleet", "hetero", "autoscale", "preempt", "obs", "attrib"} {
+	for _, id := range []string{"serving", "fleet", "hetero", "autoscale", "preempt", "obs", "attrib", "overload"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			e, err := Lookup(id)

@@ -102,6 +102,21 @@ func (r *Recorder) perfettoTrace(a *Attribution) []byte {
 	}
 	tracks := map[int]*track{}
 	for _, ev := range r.events {
+		switch ev.Kind {
+		case serve.EvCrash, serve.EvRecover:
+			// Per-replica fault events (ReqID -1): process-scoped instants so
+			// the outage brackets every request track of the replica.
+			str(`{"name":`, ev.Kind.String())
+			scratch = append(scratch, `,"cat":"fault","ph":"i","s":"p"`...)
+			num(`,"pid":`, ev.Replica)
+			ts(`,"ts":`, ev.TimeSec)
+			num(`,"args":{"inflight":`, ev.Tokens)
+			scratch = append(scratch, `,"recovery_s":`...)
+			scratch = strconv.AppendFloat(scratch, ev.XferSec, 'g', 6, 64)
+			scratch = append(scratch, "}}"...)
+			flush()
+			continue
+		}
 		t := tracks[ev.ReqID]
 		if t == nil && ev.Kind != serve.EvDecodeRound {
 			t = &track{}
@@ -130,7 +145,24 @@ func (r *Recorder) perfettoTrace(a *Attribution) []byte {
 			num(`,"pid":`, ev.Replica)
 			num(`,"tid":`, ev.ReqID)
 			ts(`,"ts":`, ev.TimeSec)
+			str(`,"args":{"reason":`, ev.Drop.String())
+			num(`,"tokens":`, ev.Tokens)
+			scratch = append(scratch, "}}"...)
+			flush()
+		case serve.EvShed:
+			scratch = append(scratch, `{"name":"shed","cat":"sched","ph":"i","s":"t"`...)
+			num(`,"pid":`, ev.Replica)
+			num(`,"tid":`, ev.ReqID)
+			ts(`,"ts":`, ev.TimeSec)
 			num(`,"args":{"tokens":`, ev.Tokens)
+			scratch = append(scratch, "}}"...)
+			flush()
+		case serve.EvRetry:
+			scratch = append(scratch, `{"name":"retry","cat":"sched","ph":"i","s":"t"`...)
+			num(`,"pid":`, ev.Replica)
+			num(`,"tid":`, ev.ReqID)
+			ts(`,"ts":`, ev.TimeSec)
+			num(`,"args":{"attempt":`, ev.Hist)
 			scratch = append(scratch, "}}"...)
 			flush()
 		case serve.EvPreempt:
@@ -199,7 +231,15 @@ func PrometheusText(rep *serve.Report) []byte {
 		fmt.Fprintf(&buf, "cllm_%s_count{%s} %d\n", name, lbl, n)
 	}
 	counter("requests_completed_total", "Requests completed within the run.", rep.Completed)
-	counter("requests_dropped_total", "Requests shed because they could never fit the KV pool.", rep.Dropped)
+	counter("requests_dropped_total", "Requests that left the run unserved (all reasons).", rep.Dropped)
+	buf.WriteString("# HELP cllm_requests_dropped_reason_total Requests dropped, by reason; sums to cllm_requests_dropped_total.\n" +
+		"# TYPE cllm_requests_dropped_reason_total counter\n")
+	for i, n := range rep.DroppedByReason {
+		fmt.Fprintf(&buf, "cllm_requests_dropped_reason_total{%s,reason=%q} %d\n", lbl, serve.DropReason(i).String(), n)
+	}
+	counter("requests_shed_total", "Requests declined by deadline-aware admission control.", rep.Sheds)
+	counter("request_retries_total", "Shed or failure-lost requests re-entering after backoff.", rep.Retries)
+	counter("replica_crashes_total", "Injected replica failures.", rep.Crashes)
 	counter("requests_unfinished_total", "Requests still queued or running at the horizon.", rep.Unfinished)
 	counter("preemptions_total", "Sequences evicted from the running batch.", rep.Preemptions)
 	counter("swap_outs_total", "Preemption victims parked in the host swap pool.", rep.SwapOuts)
@@ -214,6 +254,7 @@ func PrometheusText(rep *serve.Report) []byte {
 	gauge("swap_blocks_peak", "Host swap pool occupancy high-water mark.", float64(rep.PeakSwapBlocksInUse))
 	gauge("offered_rate_req_per_sec", "Offered arrival rate.", rep.OfferedRate)
 	gauge("makespan_seconds", "Simulated time from first arrival to last event.", rep.MakespanSec)
+	gauge("replica_downtime_seconds", "Simulated seconds replicas spent in TEE cold-start recovery.", rep.DowntimeSec)
 	gauge("throughput_tokens_per_sec", "Aggregate generation throughput.", rep.TokensPerSec)
 	gauge("goodput_tokens_per_sec", "Throughput counting only SLO-compliant requests' tokens.", rep.GoodputTokensPerSec)
 	gauge("slo_attainment", "Fraction of offered requests served within SLO.", rep.SLOAttainment())

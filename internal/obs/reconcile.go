@@ -38,7 +38,22 @@ func ReconcileReport(events []serve.Event, rep *serve.Report) []string {
 	tracks := map[int]*reqTrack{}
 	order := map[int][]int{} // replica -> request IDs in arrival order
 	var arrivals, drops, finishes, preempts, swapOuts, swapIns, roundTokens int
+	var crashes, recovers, sheds, retries int
+	var downtime float64
+	var dropsByReason [serve.NumDropReasons]int
 	for _, ev := range events {
+		switch ev.Kind {
+		case serve.EvCrash:
+			// Per-replica (ReqID -1): no request track. XferSec is the
+			// recovery ahead; summing it in event order reproduces the
+			// report's accumulator bit for bit.
+			crashes++
+			downtime += ev.XferSec
+			continue
+		case serve.EvRecover:
+			recovers++
+			continue
+		}
 		t := tracks[ev.ReqID]
 		if t == nil && ev.Kind != serve.EvDecodeRound {
 			t = &reqTrack{}
@@ -66,7 +81,12 @@ func ReconcileReport(events []serve.Event, rep *serve.Report) []string {
 			swapIns++
 		case serve.EvDrop:
 			drops++
+			dropsByReason[ev.Drop]++
 			t.dropped = true
+		case serve.EvShed:
+			sheds++
+		case serve.EvRetry:
+			retries++
 		case serve.EvFinish:
 			finishes++
 			t.finished = true
@@ -90,6 +110,19 @@ func ReconcileReport(events []serve.Event, rep *serve.Report) []string {
 	check("swap-outs", swapOuts, rep.SwapOuts)
 	check("swap-ins", swapIns, rep.SwapIns)
 	check("total tokens (per-round sum)", roundTokens, rep.TotalTokens)
+	check("crashes", crashes, rep.Crashes)
+	check("sheds", sheds, rep.Sheds)
+	check("retries", retries, rep.Retries)
+	for i, n := range dropsByReason {
+		check(fmt.Sprintf("dropped[%s]", serve.DropReason(i)), n, rep.DroppedByReason[i])
+	}
+	if recovers > crashes {
+		// A run may end mid-recovery, never the other way around.
+		mismatch("recoveries: events say %d recoveries for %d crashes", recovers, crashes)
+	}
+	if downtime != rep.DowntimeSec {
+		mismatch("downtime: events sum %g s, report says %g s", downtime, rep.DowntimeSec)
+	}
 
 	if rep.Sketched {
 		// Sketched reports carry no per-request ledger: rebuild the three

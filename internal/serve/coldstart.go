@@ -1,0 +1,58 @@
+package serve
+
+// Replica cold-start model: how long a freshly provisioned replica of a
+// backend takes from activation to servable. The autoscaler prices
+// elasticity with it; the failure injector prices *recovery* with it — a
+// crashed confidential replica pays the full enclave/TD rebuild plus
+// attestation before it can serve again, so the same MTBF costs different
+// fleets visibly different unavailability.
+
+import (
+	"cllm/internal/gramine"
+	"cllm/internal/tee"
+	"cllm/internal/trace"
+)
+
+// ColdStartSec models provisioning a fresh replica of the backend for a
+// workload: base boot, streaming the weight image from storage, TEE
+// memory preparation (TD page acceptance for VM TEEs, EADD+EEXTEND enclave
+// build for SGX, bounce-buffered weight upload for confidential GPUs) and
+// — for protected platforms — the attestation round-trip before secrets
+// are released. Constants live in internal/tee and internal/gramine next
+// to the mechanisms they time.
+//
+// A confidential GPU boots behind a host CVM (Hopper CC mode requires the
+// driver to run inside a TD/SEV-SNP guest), so it additionally pays the
+// host VM's memory acceptance over the weight image and a second
+// attestation leg: the GPU's SPDM/NRAS quote is verified alongside the
+// host TD quote before the session key is released.
+func ColdStartSec(be Backend, w trace.Workload) float64 {
+	weights := trace.WeightFootprint(w)
+	var p tee.Platform
+	if be.IsGPU {
+		p = be.GPU.Platform
+	} else {
+		p = be.CPU.Platform
+	}
+	t := tee.BaseBootSec + weights/tee.WeightLoadBytesPerSec
+	if be.IsGPU {
+		// Weights cross the host-GPU link; confidential mode routes them
+		// through the encrypted bounce buffer (PCIeBWFactor < 1).
+		t += weights / (be.GPU.GPU.PCIeBandwidth * p.PCIeBWFactor)
+		if p.Protected {
+			// Host CVM memory acceptance plus the GPU attestation leg on
+			// top of the host quote below.
+			t += weights/tee.TDXAcceptBytesPerSec + tee.AttestationRTTSec
+		}
+	}
+	switch p.Class {
+	case tee.ClassVM:
+		t += weights / tee.TDXAcceptBytesPerSec
+	case tee.ClassProcess:
+		t += weights / gramine.EnclaveBuildBytesPerSec
+	}
+	if p.Protected {
+		t += tee.AttestationRTTSec
+	}
+	return t
+}

@@ -40,6 +40,36 @@ func (d *reqDeque) PushFront(r *reqState) {
 	d.n++
 }
 
+// At returns the i-th queued request from the front without removing it.
+// Deadline-aware admission scans the queue with it; callers keep i < Len.
+func (d *reqDeque) At(i int) *reqState {
+	return d.buf[(d.head+i)%len(d.buf)]
+}
+
+// RemoveAt removes and returns the i-th queued request from the front,
+// shifting the shorter side of the ring to close the gap; nil when out of
+// range. O(min(i, n-i)) — EDF admission mostly removes near the front.
+func (d *reqDeque) RemoveAt(i int) *reqState {
+	if i < 0 || i >= d.n {
+		return nil
+	}
+	r := d.At(i)
+	if i < d.n-1-i {
+		for j := i; j > 0; j-- {
+			d.buf[(d.head+j)%len(d.buf)] = d.buf[(d.head+j-1)%len(d.buf)]
+		}
+		d.buf[d.head] = nil // release for GC
+		d.head = (d.head + 1) % len(d.buf)
+	} else {
+		for j := i; j < d.n-1; j++ {
+			d.buf[(d.head+j)%len(d.buf)] = d.buf[(d.head+j+1)%len(d.buf)]
+		}
+		d.buf[(d.head+d.n-1)%len(d.buf)] = nil
+	}
+	d.n--
+	return r
+}
+
 // PopFront removes and returns the oldest queued request; nil when empty.
 func (d *reqDeque) PopFront() *reqState {
 	if d.n == 0 {

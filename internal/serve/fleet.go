@@ -148,11 +148,27 @@ func RunFleet(be Backend, cfg Config, fc FleetConfig) (*FleetReport, error) {
 	perReplica := make([][]*reqState, fc.Replicas)
 	rr := 0
 	leastLoaded := func() (int, int) {
-		// Fewest outstanding requests, lowest index on ties (deterministic).
-		best, load := 0, reps[0].outstanding()
-		for i := 1; i < fc.Replicas; i++ {
-			if l := reps[i].outstanding(); l < load {
+		// Fewest outstanding requests among servable replicas, lowest index
+		// on ties (deterministic). Crashed replicas are skipped — the
+		// balancer sees the failure — unless the whole fleet is down, in
+		// which case arrivals queue on the least-loaded replica anyway and
+		// wait out its recovery. Without fault injection no replica is ever
+		// down, so dispatch is byte-identical to prior releases.
+		best, load := -1, 0
+		for i := 0; i < fc.Replicas; i++ {
+			if reps[i].down {
+				continue
+			}
+			if l := reps[i].outstanding(); best < 0 || l < load {
 				best, load = i, l
+			}
+		}
+		if best < 0 {
+			best, load = 0, reps[0].outstanding()
+			for i := 1; i < fc.Replicas; i++ {
+				if l := reps[i].outstanding(); l < load {
+					best, load = i, l
+				}
 			}
 		}
 		return best, load
@@ -162,12 +178,21 @@ func RunFleet(be Backend, cfg Config, fc FleetConfig) (*FleetReport, error) {
 		case RoundRobin:
 			i := rr % fc.Replicas
 			rr++
+			if reps[i].down {
+				// Failover: route past the crashed replica without
+				// disturbing the survivors' rotation order.
+				for j := 1; j < fc.Replicas; j++ {
+					if cand := (i + j) % fc.Replicas; !reps[cand].down {
+						return cand
+					}
+				}
+			}
 			return i
 		case PrefixAffinity:
 			if req.PrefixID != 0 {
 				home := int(prefixHash(req.PrefixID) % uint64(fc.Replicas))
 				best, load := leastLoaded()
-				if reps[home].outstanding() <= 2*load+affinityOverloadSlack {
+				if !reps[home].down && reps[home].outstanding() <= 2*load+affinityOverloadSlack {
 					return home
 				}
 				return best
@@ -312,6 +337,19 @@ func MergeReports(offeredRate float64, reps []*Report) *Report {
 		agg.SwapPoolBlocks += r.SwapPoolBlocks
 		agg.PeakSwapBlocksInUse += r.PeakSwapBlocksInUse
 		agg.SwapBlocksAtEnd += r.SwapBlocksAtEnd
+		for i, n := range r.DroppedByReason {
+			agg.DroppedByReason[i] += n
+		}
+		agg.Sheds += r.Sheds
+		agg.Retries += r.Retries
+		agg.Crashes += r.Crashes
+		agg.DowntimeSec += r.DowntimeSec
+		for i, n := range r.CompletedByClass {
+			agg.CompletedByClass[i] += n
+		}
+		for i, n := range r.GoodTokensByClass {
+			agg.GoodTokensByClass[i] += n
+		}
 		if r.MakespanSec > agg.MakespanSec {
 			agg.MakespanSec = r.MakespanSec
 		}

@@ -260,6 +260,24 @@ func (m *BlockManager) evictOne() bool {
 	return true
 }
 
+// FlushCache reclaims every cached (refcount-zero) prefix block and
+// returns how many were freed. A replica crash calls this: the cache's
+// contents die with the TEE whose keys sealed them, so post-recovery
+// sharers recompute. Pinned blocks (nonzero refcount) are untouched.
+func (m *BlockManager) FlushCache() int {
+	n := 0
+	for key, b := range m.shared {
+		if b.refs != 0 {
+			continue
+		}
+		delete(m.shared, key)
+		m.free++
+		m.evicted++
+		n++
+	}
+	return n
+}
+
 // reserve frees up n blocks for allocation, evicting cached blocks as
 // needed. It reports whether n blocks are now free; on false the pool is
 // left as reclaimed so far (eviction is not undone — evicted cache entries

@@ -40,11 +40,30 @@ const (
 	// entries actually transferred (entries re-acquired from shared prefix
 	// blocks skip the copy, so Tokens can be 0).
 	EvSwapIn
-	// EvDrop: the request could never fit the KV pool and was shed.
+	// EvDrop: the request left the run unserved. Drop carries the reason
+	// taxonomy (KV exhaustion, admission shed, deadline expiry, failure
+	// loss); Tokens is kind-specific (see the emitting sites).
 	EvDrop
 	// EvFinish: the request completed; Tokens is its output length and
 	// SLOMet whether it met both latency SLOs.
 	EvFinish
+	// EvCrash: the replica failed (fault injection). ReqID is -1 — the
+	// event is per-replica; Tokens counts the in-flight requests that lost
+	// their KV state, XferSec the recovery time ahead (the platform cold
+	// start).
+	EvCrash
+	// EvRecover: the crashed replica finished its TEE cold start (boot,
+	// weight load, enclave/TD rebuild, attestation) and resumed serving.
+	// ReqID is -1; XferSec echoes the downtime just paid.
+	EvRecover
+	// EvShed: admission control declined the request (deadline infeasible
+	// or already expired). Telemetry only — the terminal outcome is a
+	// following EvDrop, or an EvRetry if budget remains.
+	EvShed
+	// EvRetry: a shed or failure-lost request re-entered the arrival
+	// stream after its backoff. Tokens is its prompt length, Hist the
+	// retry attempt number (1-based).
+	EvRetry
 )
 
 // String names the kind as the exporters spell it.
@@ -70,6 +89,14 @@ func (k EventKind) String() string {
 		return "drop"
 	case EvFinish:
 		return "finish"
+	case EvCrash:
+		return "crash"
+	case EvRecover:
+		return "recover"
+	case EvShed:
+		return "shed"
+	case EvRetry:
+		return "retry"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -84,6 +111,9 @@ const (
 	// ReasonDecodeStall: a fully-prefilled sequence could not append one
 	// token's KV entry.
 	ReasonDecodeStall
+	// ReasonCrash: a replica failure destroyed the batch's KV state — every
+	// running sequence is evicted at once (fault injection).
+	ReasonCrash
 )
 
 // String names the reason as the exporters spell it.
@@ -95,6 +125,8 @@ func (r PreemptReason) String() string {
 		return "prefill-stall"
 	case ReasonDecodeStall:
 		return "decode-stall"
+	case ReasonCrash:
+		return "crash"
 	}
 	return fmt.Sprintf("PreemptReason(%d)", int(r))
 }
@@ -120,6 +152,9 @@ type Event struct {
 	// Policy and Reason qualify preemption events.
 	Policy PreemptPolicy
 	Reason PreemptReason
+	// Drop qualifies EvDrop events with the drop-reason taxonomy (zero =
+	// DropKVExhausted, the historical meaning).
+	Drop DropReason
 	// SLOMet qualifies finish events.
 	SLOMet bool
 	// Round-costing components, set on EvDecodeRound only: the round's raw

@@ -49,6 +49,16 @@ func (r *Replica) Submit(req Request) {
 // Outstanding is the replica's current load: queued plus running requests.
 func (r *Replica) Outstanding() int { return r.s.outstanding() }
 
+// Down reports whether the replica is currently crashed and paying its TEE
+// cold-start recovery (fault injection). Always false without fault
+// injection configured.
+func (r *Replica) Down() bool { return r.s.down }
+
+// Sheds counts requests admission control has declined so far. Control
+// loops read it as an overload signal: a rising shed rate means offered
+// load the fleet is turning away, i.e. demand beyond current capacity.
+func (r *Replica) Sheds() int { return r.s.sheds }
+
 // Submitted counts requests ever dispatched to this replica.
 func (r *Replica) Submitted() int { return len(r.states) }
 

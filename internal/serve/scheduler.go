@@ -42,9 +42,17 @@ type reqState struct {
 	// Re-admission transfers the copy back instead of recomputing it.
 	swapped       bool
 	swappedTokens int
-	admittedAt    float64 // first admission time
-	firstTokenAt  float64
-	finishedAt    float64
+	// admitted marks the first admission (the queue-delay endpoint and the
+	// audit-trail entry); retried requests keep it across re-entries.
+	admitted     bool
+	admittedAt   float64 // first admission time
+	firstTokenAt float64
+	finishedAt   float64
+	// deadline is the absolute admission deadline under deadline-aware
+	// admission (renewed per retry attempt); attempt counts retries
+	// consumed from the per-request budget.
+	deadline float64
+	attempt  int
 }
 
 // ctxTokens is the KV-cache footprint the request needs for its next decode
@@ -146,6 +154,25 @@ type scheduler struct {
 	// the admit-order audit trail, whose memory is linear in admissions.
 	sink    *streamAccum
 	noAudit bool
+	// Failure/overload machinery (see failure.go and admission.go). All of
+	// it stays zero on the default path: failEnabled guards every crash
+	// hook, down parks the iteration loop during recovery, abortRound
+	// discards the round a crash interrupted, and recoverySec is the
+	// priced cold start. drops is the per-reason drop taxonomy; sheds,
+	// retries, crashes, downtimeSec and wastedTokens feed the report.
+	failEnabled  bool
+	failArmed    bool
+	down         bool
+	abortRound   bool
+	recoverySec  float64
+	failRNG      *rand.Rand
+	lastProgress float64
+	crashes      int
+	downtimeSec  float64
+	sheds        int
+	retries      int
+	wastedTokens int
+	drops        [NumDropReasons]int
 	// err records a costing failure (a backend misconfiguration); it halts
 	// the loop and fails the run instead of reporting zeros as data.
 	err error
@@ -194,6 +221,13 @@ func newScheduler(be Backend, cfg Config, eng *sim.Engine, noise *sim.Noise) (*s
 	}
 	s := &scheduler{cfg: cfg, be: be, eng: eng, noise: noise, kv: kv, coster: coster, clear: clear, obs: cfg.Observer}
 	s.finishFn = func(*sim.Engine) { s.finishIteration() }
+	s.failEnabled = cfg.FailMTBFSec > 0 || len(cfg.FailPlan) > 0
+	if s.failEnabled {
+		s.recoverySec = cfg.RecoverySec
+		if s.recoverySec <= 0 {
+			s.recoverySec = ColdStartSec(be, cfg.Workload)
+		}
+	}
 	return s, nil
 }
 
@@ -222,6 +256,13 @@ func (s *scheduler) swapEvent(kind EventKind, reqID, tokens int) {
 
 // submit enqueues an arrived request and wakes the iteration loop.
 func (s *scheduler) submit(st *reqState) {
+	if s.failEnabled {
+		s.armFailures()
+		s.lastProgress = float64(s.eng.Now())
+	}
+	if s.cfg.Admission != AdmitFIFO {
+		st.deadline = float64(s.eng.Now()) + st.req.Class.deadlineMult()*s.cfg.DeadlineSec
+	}
 	if s.obs != nil {
 		s.event(Event{Kind: EvArrive, ReqID: st.req.ID, Tokens: st.req.InputLen, Hist: st.req.OutputLen})
 	}
@@ -393,6 +434,7 @@ func scenarioArrivals(cfg Config, rng *rand.Rand) ([]Request, error) {
 			ID: i, ArrivalSec: wr.ArrivalSec,
 			InputLen: wr.InputLen, OutputLen: wr.OutputLen,
 			PrefixID: wr.PrefixID, PrefixLen: wr.PrefixLen,
+			Class: classOfShape(wr.Shape),
 		}, cfg.Workload.Model.ContextLen)
 	}
 	return out, nil
@@ -417,9 +459,10 @@ func prefixHash(prefixID int) uint64 {
 	return mix64(uint64(prefixID) + 0x9e3779b97f4a7c15)
 }
 
-// kick starts the iteration loop if it is idle.
+// kick starts the iteration loop if it is idle. A crashed replica stays
+// parked until its recovery event clears down and kicks again.
 func (s *scheduler) kick() {
-	if s.iterating {
+	if s.iterating || s.down {
 		return
 	}
 	if len(s.running) == 0 && s.queue.Len() == 0 {
@@ -473,7 +516,7 @@ func (s *scheduler) iterate() {
 		}
 		stalled := false
 		for !s.kv.Grow(r.req.ID, need) {
-			victim := s.running[len(s.running)-1]
+			victim := s.victim()
 			s.preempt(victim, ReasonPrefillStall)
 			chunks = dropChunk(chunks, victim)
 			if victim == r {
@@ -507,7 +550,7 @@ func (s *scheduler) iterate() {
 			i++
 			continue
 		}
-		victim := s.running[len(s.running)-1]
+		victim := s.victim()
 		s.preempt(victim, ReasonDecodeStall)
 		chunks = dropChunk(chunks, victim)
 		if victim == r {
@@ -517,25 +560,23 @@ func (s *scheduler) iterate() {
 		i = 0 // pool changed; re-run the pass from the oldest sequence
 	}
 
-	// 3. Admission pass (FIFO): fill remaining batch slots while chunk
-	// budget and the pool allow. A request that cannot fit even an empty
-	// pool is dropped — no amount of waiting makes the enclave bigger.
+	// 3. Admission pass: fill remaining batch slots while chunk budget and
+	// the pool allow — FIFO by default; deadline-aware policies move the
+	// earliest-deadline request to the front first (dropping or shedding
+	// infeasible ones on the way, see admitNext). A request that cannot
+	// fit even an empty pool is dropped — no amount of waiting makes the
+	// enclave bigger.
 	for s.queue.Len() > 0 && len(s.running) < s.cfg.MaxBatch {
 		head := s.queue.Front()
+		if s.cfg.Admission != AdmitFIFO {
+			if head = s.admitNext(now); head == nil {
+				break // queue drained by expiry/shedding, or a costing error
+			}
+		}
 		target := head.ctxTokens() // prompt plus pre-preemption tokens to re-prefill
 		if s.kv.BlocksFor(target+1) > s.kv.TotalBlocks() {
 			s.queue.PopFront()
-			if head.swapped {
-				s.kv.SwapIn(head.req.ID) // discard the parked copy
-				head.swapped, head.swappedTokens = false, 0
-			}
-			head.phase = phaseDropped
-			if s.sink != nil {
-				s.sink.dropped++
-			}
-			if s.obs != nil {
-				s.event(Event{Kind: EvDrop, ReqID: head.req.ID, Tokens: target})
-			}
+			s.dropQueued(head, DropKVExhausted, target)
 			continue
 		}
 		// A fully-parked swap copy needs no chunk budget — swap-in is a
@@ -585,7 +626,8 @@ func (s *scheduler) iterate() {
 		}
 		s.kv.creditPrefixStats(head.req.ID, cached)
 		s.queue.PopFront()
-		if head.phase == phaseWaiting && head.preemptions == 0 {
+		if !head.admitted {
+			head.admitted = true
 			head.admittedAt = now
 			head.admitSeq = s.admitCount
 			s.admitCount++
@@ -697,7 +739,13 @@ func (s *scheduler) preempt(r *reqState, reason PreemptReason) {
 			}
 		}
 	}
-	if !s.trySwapOut(r) {
+	if reason == ReasonCrash {
+		// The device KV dies with the replica: nothing to park, nothing to
+		// swap — the victim recomputes from scratch.
+		s.kv.Release(r.req.ID)
+		r.prefilled = 0
+		r.prefillTarget = 0
+	} else if !s.trySwapOut(r) {
 		s.kv.Release(r.req.ID)
 		r.prefilled = 0
 		r.prefillTarget = 0
@@ -883,6 +931,18 @@ func (s *scheduler) chunkTime(batch, chunk, hist int) (float64, error) {
 // production at its end time. It consumes the scratch slices iterate left
 // on the scheduler — at most one round is ever in flight.
 func (s *scheduler) finishIteration() {
+	if s.abortRound {
+		// A crash interrupted this round: its KV writes and token
+		// production died with the device. The crash already emitted the
+		// round boundary; discard the commits and let recovery restart the
+		// loop (unless it already completed).
+		s.abortRound = false
+		s.iterating = false
+		if !s.down {
+			s.kick()
+		}
+		return
+	}
 	decoding, chunks := s.decoding, s.chunks
 	now := float64(s.eng.Now())
 	s.roundProduced = 0
@@ -962,6 +1022,7 @@ func (s *scheduler) finishIteration() {
 			MissTokens:      s.kv.MissTokens(),
 		})
 	}
+	s.progress()
 	s.iterating = false
 	s.kick()
 }
@@ -984,6 +1045,11 @@ func (s *scheduler) report(states []*reqState) *Report {
 		SwapPoolBlocks:        s.kv.SwapPoolBlocks(),
 		PeakSwapBlocksInUse:   s.kv.PeakSwapBlocks(),
 		SwapBlocksAtEnd:       s.kv.SwappedBlocks(),
+		DroppedByReason:       s.drops,
+		Sheds:                 s.sheds,
+		Retries:               s.retries,
+		Crashes:               s.crashes,
+		DowntimeSec:           s.downtimeSec,
 	}
 	if len(s.cfg.Trace) > 0 {
 		span := 0.0
@@ -997,8 +1063,17 @@ func (s *scheduler) report(states []*reqState) *Report {
 		}
 	}
 	makespan := float64(s.eng.Now())
+	if s.failEnabled && s.lastProgress < makespan {
+		// Crash/recovery events keep the engine ticking long after the
+		// last request outcome; throughput is measured to the last progress
+		// instant instead.
+		makespan = s.lastProgress
+	}
 	rep.MakespanSec = makespan
 
+	// Tokens a retry discarded were still produced — they stay in the
+	// throughput total (and match the per-round event sums exactly).
+	rep.TotalTokens = s.wastedTokens
 	rep.Requests = make([]RequestMetrics, 0, len(states))
 	ttfts := make([]float64, 0, len(states))
 	tpots := make([]float64, 0, len(states))
@@ -1012,6 +1087,7 @@ func (s *scheduler) report(states []*reqState) *Report {
 			continue
 		case phaseFinished:
 			rep.Completed++
+			rep.CompletedByClass[st.req.Class]++
 			completedTokens += st.generated
 		default:
 			rep.Unfinished++
@@ -1040,6 +1116,7 @@ func (s *scheduler) report(states []*reqState) *Report {
 		if m.SLOMet {
 			goodReqs++
 			goodTokens += m.OutputTokens
+			rep.GoodTokensByClass[st.req.Class] += m.OutputTokens
 		}
 	}
 	rep.GoodRequests = goodReqs

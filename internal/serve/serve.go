@@ -83,6 +83,12 @@ type Request struct {
 	PrefixID int
 	// PrefixLen is the shared prefix length in tokens (at most InputLen).
 	PrefixLen int
+	// Class tiers the request for deadline-aware admission and
+	// decode-priority scheduling (zero = ClassStandard). Scenario loads
+	// derive it from the workload shape name (chat → interactive,
+	// agent → background); explicit traces may set it directly. Ignored
+	// under AdmitFIFO.
+	Class RequestClass
 }
 
 // Backend selects the hardware/TEE combination the server runs on. Exactly
@@ -275,6 +281,43 @@ type Config struct {
 	// keeps the scheduler's fast path branch-only and allocation-free. Not
 	// for concurrent runs: see the interface's contract.
 	Observer Observer
+	// FailMTBFSec injects replica failures as a Poisson process with this
+	// mean time between failures (simulated seconds, per replica, drawn
+	// from a private seeded stream). 0 — the default — disables fault
+	// injection. A crash destroys the replica's device state (running
+	// batch KV, parked swap copies, prefix cache) and takes the replica
+	// down for RecoverySec.
+	FailMTBFSec float64
+	// FailPlan injects scripted crashes instead: each point names a
+	// replica index and a crash time on the simulated clock. Takes
+	// precedence over FailMTBFSec. Points hitting an already-down replica
+	// are absorbed by the ongoing recovery.
+	FailPlan []FailPoint
+	// FailPolicy selects what happens to in-flight requests at a crash:
+	// FailRequeue (default) requeues them for recompute after recovery;
+	// FailLost loses them (retried when RetryMax allows, else dropped as
+	// failure-lost).
+	FailPolicy FailurePolicy
+	// RecoverySec is the crash-to-servable recovery time; 0 — the default —
+	// derives the platform's full TEE cold start (ColdStartSec: boot +
+	// weight load + TD accept/enclave build + attestation RTT).
+	RecoverySec float64
+	// Admission selects the admission policy: AdmitFIFO (default,
+	// byte-identical to prior releases), AdmitDeadline (EDF with expired
+	// requests dropped), or AdmitShed (EDF plus proactive shedding of
+	// infeasible deadlines). See AdmissionPolicy.
+	Admission AdmissionPolicy
+	// DeadlineSec is the interactive-class deadline measured from arrival
+	// (standard requests get 4×, background 16× — see RequestClass); 0
+	// defaults to TTFTSLOSec. Only meaningful under AdmitDeadline/AdmitShed.
+	DeadlineSec float64
+	// RetryMax is the per-request retry budget for shed and failure-lost
+	// requests (0 — the default — disables retries: those requests drop).
+	RetryMax int
+	// RetryBaseSec is the base of the exponential retry backoff
+	// (base × 2^(attempt−1), plus deterministic per-request jitter up to
+	// +50%); 0 defaults to 1s when RetryMax is set.
+	RetryBaseSec float64
 	// ClearCoster, when non-nil alongside Observer, prices every round's
 	// step shapes a second time on the platform's clear-hardware twin (see
 	// tee.Platform.Clear and NewClearStepCoster) and emits the results on
@@ -407,6 +450,42 @@ func (c *Config) normalize() error {
 	if c.QuantileMode == QuantileSketch && c.EpochRequests == 0 {
 		c.EpochRequests = DefaultEpochRequests
 	}
+	if c.FailMTBFSec < 0 {
+		return fmt.Errorf("serve: failure MTBF %g is negative", c.FailMTBFSec)
+	}
+	for _, fp := range c.FailPlan {
+		if fp.Replica < 0 || fp.TimeSec < 0 {
+			return fmt.Errorf("serve: invalid fail-plan point %+v", fp)
+		}
+	}
+	switch c.FailPolicy {
+	case FailRequeue, FailLost:
+	default:
+		return fmt.Errorf("serve: unknown failure policy %d", int(c.FailPolicy))
+	}
+	if c.RecoverySec < 0 {
+		return fmt.Errorf("serve: recovery time %g is negative", c.RecoverySec)
+	}
+	switch c.Admission {
+	case AdmitFIFO, AdmitDeadline, AdmitShed:
+	default:
+		return fmt.Errorf("serve: unknown admission policy %d", int(c.Admission))
+	}
+	switch {
+	case c.DeadlineSec == 0:
+		c.DeadlineSec = c.TTFTSLOSec
+	case c.DeadlineSec < 0:
+		return fmt.Errorf("serve: deadline %g is negative", c.DeadlineSec)
+	}
+	if c.RetryMax < 0 {
+		return fmt.Errorf("serve: retry budget %d is negative", c.RetryMax)
+	}
+	switch {
+	case c.RetryBaseSec < 0:
+		return fmt.Errorf("serve: retry backoff base %g is negative", c.RetryBaseSec)
+	case c.RetryBaseSec == 0 && c.RetryMax > 0:
+		c.RetryBaseSec = 1
+	}
 	return nil
 }
 
@@ -436,12 +515,32 @@ type Report struct {
 	Platform    string
 	OfferedRate float64
 	// Completed / Dropped / Unfinished partition the offered requests.
-	// Dropped requests could never fit the KV pool; Unfinished ones were
-	// still queued or running at the horizon.
+	// Unfinished ones were still queued, running, or awaiting a retry
+	// backoff at the horizon. Dropped is the lumped total (kept for
+	// compatibility — default output stays byte-identical);
+	// DroppedByReason splits it by cause in DropReason order (kv-exhausted,
+	// admission-shed, deadline-expired, failure-lost).
 	Completed, Dropped, Unfinished int
-	Preemptions                    int
-	MakespanSec                    float64
-	TotalTokens                    int
+	DroppedByReason                [NumDropReasons]int
+	// Sheds counts admission-shed decisions including retried ones (an
+	// EvShed per decision); Retries counts re-entries into the arrival
+	// stream after backoff. Both zero under FIFO admission with no
+	// failures.
+	Sheds, Retries int
+	// Crashes counts injected replica failures and DowntimeSec the total
+	// recovery time they cost — the TEE recovery tax, Crashes × the
+	// platform cold start.
+	Crashes     int
+	DowntimeSec float64
+	// CompletedByClass / GoodTokensByClass split completions and
+	// SLO-compliant output tokens by request class in RequestClass order
+	// (standard, interactive, background) — the overload experiments'
+	// per-tier goodput.
+	CompletedByClass  [NumClasses]int
+	GoodTokensByClass [NumClasses]int
+	Preemptions       int
+	MakespanSec       float64
+	TotalTokens       int
 	// TokensPerSec is aggregate generation throughput over the makespan.
 	TokensPerSec float64
 	// GoodputTokensPerSec counts only tokens of SLO-compliant requests —

@@ -80,6 +80,7 @@ func newArrivalSource(cfg Config, rng *rand.Rand) (*arrivalSource, error) {
 				ID: i, ArrivalSec: wr.ArrivalSec,
 				InputLen: wr.InputLen, OutputLen: wr.OutputLen,
 				PrefixID: wr.PrefixID, PrefixLen: wr.PrefixLen,
+				Class: classOfShape(wr.Shape),
 			}, cfg.Workload.Model.ContextLen)
 			i++
 			return r, true
@@ -110,6 +111,8 @@ type streamAccum struct {
 
 	completed, dropped                    int
 	goodReqs, goodTokens, completedTokens int
+	completedByClass                      [NumClasses]int
+	goodTokensByClass                     [NumClasses]int
 }
 
 func newStreamAccum(alpha float64) *streamAccum {
@@ -151,9 +154,11 @@ func (a *streamAccum) observe(st *reqState, ttftSLO, tpotSLO float64) {
 	}
 	a.completed++
 	a.completedTokens += st.generated
+	a.completedByClass[st.req.Class]++
 	if ttft <= ttftSLO && tpotOK {
 		a.goodReqs++
 		a.goodTokens += st.generated
+		a.goodTokensByClass[st.req.Class] += st.generated
 	}
 }
 
@@ -186,14 +191,27 @@ func meanOr(sum float64, count int64) float64 {
 // engine has drained. submitted is how many requests entered the run.
 func (s *scheduler) buildStreamReport(a *streamAccum, submitted int) *Report {
 	a.rotate()
+	makespan := float64(s.eng.Now())
+	if s.failEnabled && s.lastProgress < makespan {
+		// See report(): crash/recovery events outlive the last request
+		// outcome; throughput is measured to the last progress instant.
+		makespan = s.lastProgress
+	}
 	rep := &Report{
 		Platform:              s.be.platformName(),
 		OfferedRate:           offeredRate(s.cfg),
 		Completed:             a.completed,
 		Dropped:               a.dropped,
 		Unfinished:            submitted - a.completed - a.dropped,
+		DroppedByReason:       s.drops,
+		Sheds:                 s.sheds,
+		Retries:               s.retries,
+		Crashes:               s.crashes,
+		DowntimeSec:           s.downtimeSec,
+		CompletedByClass:      a.completedByClass,
+		GoodTokensByClass:     a.goodTokensByClass,
 		Preemptions:           s.preemptions,
-		MakespanSec:           float64(s.eng.Now()),
+		MakespanSec:           makespan,
 		TotalTokens:           s.producedTot,
 		KVBlocksTotal:         s.kv.TotalBlocks(),
 		PeakKVBlocksInUse:     s.kv.PeakInUse(),

@@ -101,6 +101,29 @@ type ServeConfig struct {
 	// run outgrows the window budget, windows coalesce and the width
 	// doubles.
 	ObserveWindowSec float64
+	// FailMTBFSec injects Poisson replica failures with this mean time
+	// between failures (seconds, per replica; 0 disables). A failed replica
+	// loses all in-flight KV state and pays the platform's full TEE cold
+	// start (reboot, weight provisioning, enclave/TD rebuild, attestation)
+	// before serving again.
+	FailMTBFSec float64
+	// FailPlan injects scripted failures instead: comma-separated
+	// "replica@seconds" points (bare "seconds" means replica 0).
+	FailPlan string
+	// FailPolicy says what a crash does to the victims' requests: "requeue"
+	// (default — they restart from scratch on recovery) or "lost" (they
+	// consume retry budget or drop).
+	FailPolicy string
+	// Admission selects the queue-admission policy: "fifo" (default),
+	// "deadline" (EDF order, expired requests dropped) or "shed" (EDF plus
+	// early rejection of requests that cannot start before their deadline).
+	Admission string
+	// RetryMax is the per-request retry budget for shed and failure-lost
+	// requests (0 = no retries).
+	RetryMax int
+	// RetryBackoffSec is the base of the exponential retry backoff with
+	// deterministic jitter (0 = default 1 s when RetryMax > 0).
+	RetryBackoffSec float64
 	// Attribution folds the run's event stream into per-request phase
 	// vectors (queue wait, prefill, decode, preemption stall, swap
 	// transfer — summing exactly to each request's latency) and prices a
@@ -121,6 +144,16 @@ type ServeReport struct {
 	// Completed/Dropped/Unfinished partition the offered requests.
 	Completed, Dropped, Unfinished int
 	Preemptions                    int
+	// DroppedByReason splits Dropped by cause, indexed by serve.DropReason
+	// (kv-exhausted, admission-shed, deadline-expired, failure-lost).
+	DroppedByReason [serve.NumDropReasons]int
+	// Sheds counts admission-control rejections (a shed request may still
+	// retry and complete); Retries counts backoff re-entries.
+	Sheds, Retries int
+	// Crashes counts injected replica failures; DowntimeSec sums the TEE
+	// cold-start recovery they paid.
+	Crashes     int
+	DowntimeSec float64
 	// TokensPerSec is aggregate generation throughput; goodput counts only
 	// tokens of requests that met the SLO.
 	TokensPerSec        float64
@@ -216,6 +249,18 @@ func (s *Session) Serve(cfg ServeConfig) (*ServeReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	failPolicy, err := serve.ParseFailurePolicy(cfg.FailPolicy)
+	if err != nil {
+		return nil, err
+	}
+	failPlan, err := serve.ParseFailPlan(cfg.FailPlan)
+	if err != nil {
+		return nil, err
+	}
+	admission, err := serve.ParseAdmissionPolicy(cfg.Admission)
+	if err != nil {
+		return nil, err
+	}
 	scfg := serve.Config{
 		Workload:      trace.Workload{Model: mcfg, Kind: kind, InputLen: cfg.InputLen, OutputLen: cfg.OutputLen},
 		Rate:          cfg.RatePerSec,
@@ -236,6 +281,12 @@ func (s *Session) Serve(cfg ServeConfig) (*ServeReport, error) {
 		QuantileMode:  qmode,
 		SketchAlpha:   cfg.SketchAlpha,
 		EpochRequests: cfg.EpochRequests,
+		FailMTBFSec:   cfg.FailMTBFSec,
+		FailPlan:      failPlan,
+		FailPolicy:    failPolicy,
+		Admission:     admission,
+		RetryMax:      cfg.RetryMax,
+		RetryBaseSec:  cfg.RetryBackoffSec,
 	}
 	policy, err := serve.ParseLBPolicy(cfg.LBPolicy)
 	if err != nil {
@@ -291,6 +342,11 @@ func (s *Session) Serve(cfg ServeConfig) (*ServeReport, error) {
 		Dropped:             rep.Dropped,
 		Unfinished:          rep.Unfinished,
 		Preemptions:         rep.Preemptions,
+		DroppedByReason:     rep.DroppedByReason,
+		Sheds:               rep.Sheds,
+		Retries:             rep.Retries,
+		Crashes:             rep.Crashes,
+		DowntimeSec:         rep.DowntimeSec,
 		TokensPerSec:        rep.TokensPerSec,
 		GoodputTokensPerSec: rep.GoodputTokensPerSec,
 		SLOAttainment:       rep.SLOAttainment(),
