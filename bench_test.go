@@ -61,6 +61,7 @@ func BenchmarkPreemptPolicies(b *testing.B)  { benchExperiment(b, "preempt") }
 func BenchmarkObservability(b *testing.B)    { benchExperiment(b, "obs") }
 func BenchmarkAttribution(b *testing.B)      { benchExperiment(b, "attrib") }
 func BenchmarkOverload(b *testing.B)         { benchExperiment(b, "overload") }
+func BenchmarkDisaggregated(b *testing.B)    { benchExperiment(b, "disagg") }
 
 // BenchmarkServeScheduler measures the serving simulator itself: simulated
 // requests completed per wall-clock second of scheduler execution.
@@ -217,7 +218,7 @@ func TestBenchmarkCoverage(t *testing.T) {
 		"spr": true, "ablation": true, "serving": true,
 		"chunked": true, "prefix": true, "fleet": true,
 		"hetero": true, "autoscale": true, "preempt": true, "obs": true,
-		"attrib": true, "overload": true,
+		"attrib": true, "overload": true, "disagg": true,
 	}
 	for _, e := range Experiments() {
 		if !covered[e.ID] {

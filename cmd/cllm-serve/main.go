@@ -14,6 +14,7 @@
 //	cllm-serve -platform sgx -rate 2 -prefix-share -prefix-groups 4 -chunk-size 512
 //	cllm-serve -replicas 4 -lb-policy prefix-affinity -prefix-share -chunk-size 512 -format json
 //	cllm-serve -platform tdx -scenario diurnal+rag -rate 6
+//	cllm-serve -topology cgpu:1=prefill,tdx:3=decode -rate 12 -in 2048 -out 128
 //	cllm-serve -scenario diurnal -autoscale -classes tdx:2,cgpu:2
 //	cllm-serve -scenario bursty -autoscale -classes tdx:4 -no-cold-start
 //
@@ -31,7 +32,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"cllm"
@@ -41,196 +41,139 @@ import (
 )
 
 func main() {
-	platforms := flag.String("platform", "baremetal,tdx,sgx", "comma-separated platform list (baremetal|vm|tdx|sgx|gpu|cgpu|...)")
-	system := flag.String("system", "EMR1", "CPU testbed: EMR1 or EMR2")
-	modelName := flag.String("model", "llama2-7b", "model name (see cllm-infer -models)")
-	dt := flag.String("dtype", "bf16", "datatype: bf16|int8|f32")
-	rate := flag.Float64("rate", 8, "base (mean) arrival rate (requests/s)")
-	requests := flag.Int("requests", 48, "arrivals per run")
-	scenario := flag.String("scenario", "", "traffic scenario: poisson|bursty|diurnal|ramp, chat|rag|agentic, or arrivals+mix (empty = plain Poisson synthesis)")
-	inLen := flag.Int("in", 128, "mean prompt tokens (ignored with -scenario)")
-	outLen := flag.Int("out", 32, "mean generated tokens (ignored with -scenario)")
-	batch := flag.Int("batch", 32, "max concurrent sequences")
-	chunkSize := flag.Int("chunk-size", 0, "chunked-prefill budget in prompt tokens per iteration (0 = monolithic prefill)")
-	prefixShare := flag.Bool("prefix-share", false, "enable prefix-cache sharing of common prompt prefixes")
-	prefixGroups := flag.Int("prefix-groups", 0, "synthetic shared-prefix groups (0 = independent prompts; defaults to 4 with -prefix-share)")
-	prefixFrac := flag.Float64("prefix-frac", 0.5, "shared fraction of the mean prompt per prefix group")
-	replicas := flag.Int("replicas", 1, "simulated fleet size behind the load balancer")
-	lbPolicy := flag.String("lb-policy", "round-robin", "fleet dispatch policy: round-robin|least-loaded|prefix-affinity")
-	autoscaleF := flag.Bool("autoscale", false, "simulate an elastic heterogeneous fleet (uses -classes; ignores -platform, -replicas, -lb-policy, -in, -out, -prefix-groups and -prefix-frac — the scenario's shape mixes own the request shapes)")
-	classes := flag.String("classes", "tdx:2", "autoscale replica classes as platform:max[:min], comma-separated (e.g. tdx:4,cgpu:2)")
-	dispatch := flag.String("dispatch", "cost-aware", "autoscale dispatch policy: uniform|cost-aware")
-	noColdStart := flag.Bool("no-cold-start", false, "zero TEE cold starts (counterfactual elasticity baseline)")
-	targetUtil := flag.Float64("target-util", 0.7, "autoscaler target utilization (lower = more headroom)")
-	interval := flag.Float64("interval", 15, "autoscaler control period (seconds)")
-	costBucket := flag.Int("cost-bucket", 1, "step-costing quantization width in tokens (1 = exact; larger buckets trade bounded modeled-time error for memo hits in big sweeps)")
-	quantileMode := flag.String("quantile-mode", "exact", "latency quantile computation: exact (per-request samples, sorted) or sketch (streaming DDSketch + epoch-sharded simulation — flat memory at any request count)")
-	sketchAlpha := flag.Float64("sketch-alpha", 0, "sketch relative error bound in (0,1) (0 = 0.01 default; sketch mode only)")
-	epochRequests := flag.Int("epoch-requests", 0, "arrivals scheduled per simulation epoch (0 = 65536 in sketch mode, unsharded in exact mode)")
-	rateMults := flag.String("rate-mults", "0.25,0.5,1,1.5,2", "comma-separated multipliers of -rate swept per platform")
-	preempt := flag.String("preempt", "recompute", "preemption policy: recompute|swap|auto (swap parks KV in a host swap pool at the backend's swap bandwidth; auto picks the cheaper per preemption)")
-	format := flag.String("format", "table", "output format: table|csv|json")
-	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline (Perfetto-loadable) of the observed run to this file")
-	metricsOut := flag.String("metrics-out", "", "write a Prometheus text-format snapshot of the observed run to this file")
-	timeseriesOut := flag.String("timeseries-out", "", "write the windowed CSV time series of the observed run to this file")
-	obsWindow := flag.Float64("obs-window", 0, "observation time-series window in simulated seconds (0 = 1s default)")
-	attribF := flag.Bool("attrib", false, "attribute the observed run's latency to phases (queue/prefill/decode/stall/swap) and price a clear-hardware counterfactual for the per-phase TEE tax; attributes the first platform's base-rate point")
-	attribOut := flag.String("attrib-out", "", "write the attribution report JSON to this file (requires -attrib)")
-	attribCSV := flag.String("attrib-csv", "", "write the phase-breakdown CSV to this file (requires -attrib)")
-	compare := flag.String("compare", "", "diff the attributed run against a baseline attribution JSON (from -attrib-out); prints movements beyond the sketch error bounds and exits 1 on regression (requires -attrib)")
-	compareSlack := flag.Float64("compare-slack", 0.02, "extra tolerance added to the sketch error bounds when diffing with -compare")
-	demandAlpha := flag.Float64("demand-alpha", 0, "autoscaler EWMA demand-smoothing factor in (0,1]; 0 or 1 keeps the raw one-window estimator")
-	failMTBF := flag.Float64("fail-mtbf", 0, "inject Poisson replica failures with this mean time between failures in seconds (0 = no failures); a crashed replica pays the platform's full TEE cold start before serving again")
-	failPlan := flag.String("fail-plan", "", "inject scripted failures instead: comma-separated replica@seconds points (bare seconds = replica 0)")
-	failPolicy := flag.String("fail-policy", "requeue", "what a crash does to in-flight requests: requeue (restart on recovery) or lost (consume retry budget or drop)")
-	admission := flag.String("admission", "fifo", "queue admission policy: fifo|deadline|shed (deadline = EDF order with expired-request drops; shed also rejects requests that cannot start before their deadline)")
-	retryMax := flag.Int("retry-max", 0, "per-request retry budget for shed and failure-lost requests (0 = no retries)")
-	retryBackoff := flag.Float64("retry-backoff", 0, "exponential retry backoff base in seconds with deterministic jitter (0 = 1s default; needs -retry-max)")
-	sloTTFT := flag.Float64("slo-ttft", 5, "TTFT SLO (seconds)")
-	sloTPOT := flag.Float64("slo-tpot", 0.5, "TPOT SLO (seconds/token)")
-	sockets := flag.Int("sockets", 1, "CPU sockets")
-	seed := flag.Int64("seed", 1, "deterministic seed")
+	var o options
+	specs := flagTable(&o)
+	registerFlags(flag.CommandLine, specs)
 	flag.Parse()
 
-	if err := validateFlags(flagOpts{
-		format: *format, obsWindow: *obsWindow, sketchAlpha: *sketchAlpha,
-		attrib: *attribF, attribOut: *attribOut, attribCSV: *attribCSV,
-		compare: *compare, autoscale: *autoscaleF,
-		failMTBF: *failMTBF, failPlan: *failPlan, failPolicy: *failPolicy,
-		admission: *admission, retryMax: *retryMax, retryBackoff: *retryBackoff,
-	}); err != nil {
+	if err := checkFlags(specs); err != nil {
 		fmt.Fprintf(os.Stderr, "cllm-serve: %v\n", err)
 		os.Exit(1)
 	}
-	if *prefixShare && *prefixGroups <= 0 {
-		*prefixGroups = 4 // sharing without declared groups would never hit
+	if o.prefixShare && o.prefixGroups <= 0 {
+		o.prefixGroups = 4 // sharing without declared groups would never hit
 	}
 
-	if *autoscaleF {
+	if o.autoscale {
 		// The sweep default of 48 arrivals spans seconds; an elastic run
 		// needs enough stream for the control loop to act. Unless the user
 		// set -requests, defer to the API default.
 		nReq := 0
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "requests" {
-				nReq = *requests
+				nReq = o.requests
 			}
 		})
 		runAutoscale(autoscaleArgs{
-			modelName: *modelName, dt: *dt, system: *system,
-			scenario: *scenario, rate: *rate, requests: nReq,
-			classes: *classes, dispatch: *dispatch, noColdStart: *noColdStart,
-			targetUtil: *targetUtil, interval: *interval, batch: *batch,
-			chunkSize: *chunkSize, prefixShare: *prefixShare,
-			costBucket: *costBucket, preempt: *preempt,
-			sloTTFT: *sloTTFT, sloTPOT: *sloTPOT, sockets: *sockets,
-			seed: *seed, format: *format,
-			demandAlpha: *demandAlpha, obsWindow: *obsWindow,
-			traceOut: *traceOut, metricsOut: *metricsOut, timeseriesOut: *timeseriesOut,
+			modelName: o.modelName, dt: o.dt, system: o.system,
+			scenario: o.scenario, rate: o.rate, requests: nReq,
+			classes: o.classes, dispatch: o.dispatch, noColdStart: o.noColdStart,
+			targetUtil: o.targetUtil, interval: o.interval, batch: o.batch,
+			chunkSize: o.chunkSize, prefixShare: o.prefixShare,
+			costBucket: o.costBucket, preempt: o.preempt,
+			sloTTFT: o.sloTTFT, sloTPOT: o.sloTPOT, sockets: o.sockets,
+			seed: o.seed, format: o.format,
+			demandAlpha: o.demandAlpha, obsWindow: o.obsWindow,
+			traceOut: o.traceOut, metricsOut: o.metricsOut, timeseriesOut: o.timesOut,
 		})
 		return
 	}
 
-	load := fmt.Sprintf("in/out %d/%d tokens", *inLen, *outLen)
-	if *scenario != "" {
-		load = "scenario " + *scenario
+	load := fmt.Sprintf("in/out %d/%d tokens", o.inLen, o.outLen)
+	if o.scenario != "" {
+		load = "scenario " + o.scenario
 	}
 	// The default recompute policy keeps the historical table schema (and
 	// byte-identical output); swap/auto runs add the policy to the title and
 	// a swaps column (out/in transfer counts). Decide off the parsed policy
 	// so spelling variants of recompute keep the historical schema too.
-	preemptPol, err := serve.ParsePreemptPolicy(*preempt)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cllm-serve: %v\n", err)
-		os.Exit(1)
+	swapMode := o.preemptPol != serve.PreemptRecompute
+	// A role-aware topology replaces the replicas+policy fleet description
+	// (and the -platform list: the groups name their own platforms).
+	fleetDesc := fmt.Sprintf("%d replica(s) %s", o.replicas, o.lbPolicy)
+	platList := strings.Split(o.platforms, ",")
+	if o.topology != "" {
+		fleetDesc = "topology " + o.topology
+		groups, err := cllm.ParseTopology(o.topology)
+		if err != nil { // unreachable: checkFlags parsed it already
+			fmt.Fprintf(os.Stderr, "cllm-serve: %v\n", err)
+			os.Exit(1)
+		}
+		platList = []string{groups[0].Platform}
 	}
-	swapMode := preemptPol != serve.PreemptRecompute
-	title := fmt.Sprintf("%s (%s), %d requests per point, %s, chunk %d, share %v, %d replica(s) %s, SLO TTFT %.2gs TPOT %.2gs",
-		*modelName, *dt, *requests, load, *chunkSize, *prefixShare, *replicas, *lbPolicy, *sloTTFT, *sloTPOT)
+	title := fmt.Sprintf("%s (%s), %d requests per point, %s, chunk %d, share %v, %s, SLO TTFT %.2gs TPOT %.2gs",
+		o.modelName, o.dt, o.requests, load, o.chunkSize, o.prefixShare, fleetDesc, o.sloTTFT, o.sloTPOT)
 	header := []string{"platform", "rate(req/s)", "tput(tok/s)", "goodput", "SLO%", "TTFT p50(s)", "TTFT p99(s)", "TPOT(s)", "TPOT p99(s)", "p99 lat(s)", "prefix-hit(tok)", "preempt", "replicas", "$/Mtok@SLO"}
 	if swapMode {
-		title += ", preempt " + preemptPol.String()
+		title += ", preempt " + o.preemptPol.String()
 		header = append(header, "swaps(out/in)")
 	}
 	// The machine formats carry the full report: the text table keeps its
 	// historical (byte-identical) schema, csv|json append every remaining
 	// counter so plots never need a second run.
-	machine := *format != "table"
+	machine := o.format != "table"
 	if machine {
 		header = append(header, "completed", "dropped", "unfinished",
 			"kv-blocks", "kv-peak", "prefix-miss(tok)", "evicted-blocks", "swap-out", "swap-in",
 			"shed", "dropped-kv", "dropped-shed", "dropped-deadline", "dropped-lost",
-			"retries", "crashes", "downtime(s)")
+			"retries", "crashes", "downtime(s)",
+			"handoffs", "handoffs-in", "handoff-fallbacks", "handoff-bytes")
 	}
 	// The export artifacts come from one observed run: the first platform's
 	// base-rate (×1) sweep point. Attribution follows the same rule.
-	wantObserve := *traceOut != "" || *metricsOut != "" || *timeseriesOut != ""
-	wantAttrib := *attribF
+	wantObserve := o.traceOut != "" || o.metricsOut != "" || o.timesOut != ""
+	wantAttrib := o.attrib
 	var attribRep *obs.AttribReport
-	var mults []float64
-	for _, f := range strings.Split(*rateMults, ",") {
-		f = strings.TrimSpace(f)
-		if f == "" {
-			continue
-		}
-		m, err := strconv.ParseFloat(f, 64)
-		if err != nil || m <= 0 {
-			fmt.Fprintf(os.Stderr, "cllm-serve: -rate-mults entry %q is not a positive number\n", f)
-			os.Exit(1)
-		}
-		mults = append(mults, m)
-	}
-	if len(mults) == 0 {
-		fmt.Fprintln(os.Stderr, "cllm-serve: -rate-mults is empty")
-		os.Exit(1)
-	}
 	table := &harness.Result{
 		ID:     "serve",
 		Title:  title,
 		Header: header,
 	}
-	for _, plat := range strings.Split(*platforms, ",") {
+	for _, plat := range platList {
 		plat = strings.TrimSpace(plat)
 		if plat == "" {
 			continue
 		}
-		sess, err := cllm.Open(cllm.Config{Platform: plat, System: *system, Seed: *seed})
+		sess, err := cllm.Open(cllm.Config{Platform: plat, System: o.system, Seed: o.seed})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cllm-serve: %v\n", err)
 			os.Exit(1)
 		}
-		for _, m := range mults {
+		for _, m := range o.mults {
 			observe := wantObserve && m == 1
 			attribute := wantAttrib && m == 1
 			rep, err := sess.Serve(cllm.ServeConfig{
-				Observe: observe, ObserveWindowSec: *obsWindow,
+				Observe: observe, ObserveWindowSec: o.obsWindow,
 				Attribution: attribute,
-				Model:       *modelName, DType: *dt,
-				InputLen: *inLen, OutputLen: *outLen,
-				Scenario:   *scenario,
-				RatePerSec: *rate * m, Requests: *requests,
-				MaxBatch: *batch, Sockets: *sockets,
-				ChunkTokens:     *chunkSize,
-				PrefixSharing:   *prefixShare,
-				PrefixGroups:    *prefixGroups,
-				PrefixFrac:      *prefixFrac,
-				Replicas:        *replicas,
-				LBPolicy:        *lbPolicy,
-				CostBucket:      *costBucket,
-				PreemptPolicy:   preemptPol.String(),
-				QuantileMode:    *quantileMode,
-				SketchAlpha:     *sketchAlpha,
-				EpochRequests:   *epochRequests,
-				FailMTBFSec:     *failMTBF,
-				FailPlan:        *failPlan,
-				FailPolicy:      *failPolicy,
-				Admission:       *admission,
-				RetryMax:        *retryMax,
-				RetryBackoffSec: *retryBackoff,
-				TTFTSLOSec:      *sloTTFT, TPOTSLOSec: *sloTPOT,
+				Model:       o.modelName, DType: o.dt,
+				InputLen: o.inLen, OutputLen: o.outLen,
+				Scenario:   o.scenario,
+				RatePerSec: o.rate * m, Requests: o.requests,
+				MaxBatch: o.batch, Sockets: o.sockets,
+				ChunkTokens:   o.chunkSize,
+				PrefixSharing: o.prefixShare,
+				PrefixGroups:  o.prefixGroups,
+				PrefixFrac:    o.prefixFrac,
+				Replicas:      o.replicas,
+				LBPolicy:      o.lbPolicy,
+				Topology:      o.topology,
+				CostBucket:    o.costBucket,
+				PreemptPolicy: o.preemptPol.String(),
+				QuantileMode:  o.quantileMode,
+				SketchAlpha:   o.sketchAlpha,
+				EpochRequests: o.epochReqs,
+				Faults: cllm.FaultConfig{
+					MTBFSec:         o.failMTBF,
+					Plan:            o.failPlan,
+					Policy:          o.failPolicy,
+					Admission:       o.admission,
+					RetryMax:        o.retryMax,
+					RetryBackoffSec: o.retryBackoff,
+				},
+				TTFTSLOSec: o.sloTTFT, TPOTSLOSec: o.sloTPOT,
 			})
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "cllm-serve: %s at rate %.2f: %v\n", plat, *rate*m, err)
+				fmt.Fprintf(os.Stderr, "cllm-serve: %s at rate %.2f: %v\n", plat, o.rate*m, err)
 				os.Exit(1)
 			}
 			nRepl, cost := "-", "-"
@@ -275,100 +218,31 @@ func main() {
 					fmt.Sprintf("%d", rep.DroppedByReason[serve.DropFailureLost]),
 					fmt.Sprintf("%d", rep.Retries),
 					fmt.Sprintf("%d", rep.Crashes),
-					fmt.Sprintf("%.3f", rep.DowntimeSec))
+					fmt.Sprintf("%.3f", rep.DowntimeSec),
+					fmt.Sprintf("%d", rep.Handoffs),
+					fmt.Sprintf("%d", rep.HandoffsIngested),
+					fmt.Sprintf("%d", rep.HandoffFallbacks),
+					fmt.Sprintf("%.4g", rep.HandoffBytes))
 			}
 			table.Rows = append(table.Rows, row)
 			if observe {
-				writeArtifacts(rep.Observation, *traceOut, *metricsOut, *timeseriesOut)
+				writeArtifacts(rep.Observation, o.traceOut, o.metricsOut, o.timesOut)
 				wantObserve = false
 			}
 			if attribute {
 				attribRep = rep.Attrib
-				writeAttrib(attribRep, *attribOut, *attribCSV)
+				writeAttrib(attribRep, o.attribOut, o.attribCSV)
 				wantAttrib = false
 			}
 		}
 	}
 
-	emit(table, *format)
-	if *compare != "" {
-		if !compareBaseline(attribRep, *compare, *compareSlack, *format) {
+	emit(table, o.format)
+	if o.compare != "" {
+		if !compareBaseline(attribRep, o.compare, o.compareSlack, o.format) {
 			os.Exit(1)
 		}
 	}
-}
-
-// flagOpts carries the flag values that are cross-validated before any
-// simulation runs, so misuse fails fast with a clear message.
-type flagOpts struct {
-	format       string
-	obsWindow    float64
-	sketchAlpha  float64
-	attrib       bool
-	attribOut    string
-	attribCSV    string
-	compare      string
-	autoscale    bool
-	failMTBF     float64
-	failPlan     string
-	failPolicy   string
-	admission    string
-	retryMax     int
-	retryBackoff float64
-}
-
-// validateFlags rejects inconsistent flag combinations at parse time.
-func validateFlags(o flagOpts) error {
-	if o.format != "table" && o.format != "csv" && o.format != "json" {
-		return fmt.Errorf("unknown -format %q (table|csv|json)", o.format)
-	}
-	if o.obsWindow < 0 {
-		return fmt.Errorf("-obs-window %g is negative; pass a window in simulated seconds (0 = 1s default)", o.obsWindow)
-	}
-	if o.sketchAlpha < 0 || o.sketchAlpha >= 1 {
-		return fmt.Errorf("-sketch-alpha %g outside [0, 1) (0 = 0.01 default)", o.sketchAlpha)
-	}
-	if o.failMTBF < 0 {
-		return fmt.Errorf("-fail-mtbf %g is negative; pass a mean time between failures in seconds (0 = no failures)", o.failMTBF)
-	}
-	if _, err := serve.ParseFailPlan(o.failPlan); err != nil {
-		return fmt.Errorf("-fail-plan: %w", err)
-	}
-	if o.failMTBF > 0 && o.failPlan != "" {
-		return fmt.Errorf("-fail-mtbf and -fail-plan are mutually exclusive (Poisson vs scripted failures)")
-	}
-	if _, err := serve.ParseFailurePolicy(o.failPolicy); err != nil {
-		return fmt.Errorf("-fail-policy: %w", err)
-	}
-	if _, err := serve.ParseAdmissionPolicy(o.admission); err != nil {
-		return fmt.Errorf("-admission: %w", err)
-	}
-	if o.retryMax < 0 {
-		return fmt.Errorf("-retry-max %d is negative; pass a per-request retry budget (0 = no retries)", o.retryMax)
-	}
-	if o.retryBackoff < 0 {
-		return fmt.Errorf("-retry-backoff %g is negative; pass a backoff base in seconds (0 = 1s default)", o.retryBackoff)
-	}
-	if o.retryBackoff > 0 && o.retryMax == 0 {
-		return fmt.Errorf("-retry-backoff requires -retry-max > 0 (there is nothing to back off without a retry budget)")
-	}
-	if o.autoscale && (o.failMTBF > 0 || o.failPlan != "" || o.retryMax > 0) {
-		return fmt.Errorf("fault injection and retries are not supported with -autoscale yet (run a fixed fleet)")
-	}
-	if o.autoscale && o.admission != "fifo" && o.admission != "" {
-		return fmt.Errorf("-admission is not supported with -autoscale yet (run a fixed fleet)")
-	}
-	for name, v := range map[string]string{
-		"-attrib-out": o.attribOut, "-attrib-csv": o.attribCSV, "-compare": o.compare,
-	} {
-		if v != "" && !o.attrib {
-			return fmt.Errorf("%s requires -attrib (it consumes the attributed run)", name)
-		}
-	}
-	if o.attrib && o.autoscale {
-		return fmt.Errorf("-attrib is not supported with -autoscale (attribute a fixed fleet run instead)")
-	}
-	return nil
 }
 
 // writeAttrib writes the attribution report JSON and/or phase CSV.

@@ -1,72 +1,99 @@
 package main
 
 import (
+	"flag"
+	"fmt"
+	"io"
 	"strings"
 	"testing"
 )
 
-func okOpts() flagOpts {
-	return flagOpts{format: "table"}
+// parseAndCheck binds a fresh flag table, parses args, and runs the
+// validators — the exact path main takes before any simulation runs.
+func parseAndCheck(args []string) error {
+	var o options
+	table := flagTable(&o)
+	fs := flag.NewFlagSet("cllm-serve", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	registerFlags(fs, table)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return checkFlags(table)
 }
 
-func TestValidateFlagsAccepts(t *testing.T) {
-	cases := []flagOpts{
-		okOpts(),
-		{format: "csv", obsWindow: 0.5, sketchAlpha: 0.05},
-		{format: "json", attrib: true, attribOut: "a.json", attribCSV: "a.csv", compare: "base.json"},
-		{format: "table", attrib: true},
-		{format: "table", autoscale: true},
-		{format: "table", failMTBF: 120, failPolicy: "requeue", admission: "shed", retryMax: 3, retryBackoff: 0.5},
-		{format: "table", failPlan: "0@30,1@45.5", failPolicy: "lost"},
-		{format: "table", failPlan: "30"},
-		{format: "table", admission: "deadline"},
-		{format: "table", retryMax: 2},
-		{format: "table", autoscale: true, admission: "fifo"},
+func TestFlagTableNamesUnique(t *testing.T) {
+	var o options
+	seen := map[string]bool{}
+	for _, s := range flagTable(&o) {
+		if s.name == "" || s.add == nil {
+			t.Fatalf("flag spec %+v missing name or registration", s.name)
+		}
+		if seen[s.name] {
+			t.Fatalf("flag -%s declared twice in the table", s.name)
+		}
+		seen[s.name] = true
 	}
-	for _, o := range cases {
-		if err := validateFlags(o); err != nil {
-			t.Errorf("validateFlags(%+v) rejected valid flags: %v", o, err)
+}
+
+func TestFlagDefaultsAccepted(t *testing.T) {
+	if err := parseAndCheck(nil); err != nil {
+		t.Fatalf("default flag values rejected: %v", err)
+	}
+}
+
+func TestFlagAccepts(t *testing.T) {
+	cases := [][]string{
+		{"-format", "csv", "-obs-window", "0.5", "-sketch-alpha", "0.05"},
+		{"-format", "json", "-attrib", "-attrib-out", "a.json", "-attrib-csv", "a.csv", "-compare", "base.json"},
+		{"-attrib"},
+		{"-autoscale"},
+		{"-fail-mtbf", "120", "-fail-policy", "requeue", "-admission", "shed", "-retry-max", "3", "-retry-backoff", "0.5"},
+		{"-fail-plan", "0@30,1@45.5", "-fail-policy", "lost"},
+		{"-fail-plan", "30"},
+		{"-admission", "deadline"},
+		{"-retry-max", "2"},
+		{"-autoscale", "-admission", "fifo"},
+		{"-topology", "cgpu:2=prefill,tdx:4=decode"},
+		{"-topology", "tdx:4"},
+		{"-topology", "tdx=decode,cgpu=prefill", "-lb-policy", "least-loaded"},
+		{"-preempt", "auto", "-quantile-mode", "sketch", "-rate-mults", "1,2"},
+	}
+	for _, args := range cases {
+		if err := parseAndCheck(args); err != nil {
+			t.Errorf("flags %v rejected: %v", args, err)
 		}
 	}
 }
 
-func TestValidateFlagsRejects(t *testing.T) {
-	cases := []struct {
-		name string
-		mut  func(*flagOpts)
-		want string
-	}{
-		{"bad format", func(o *flagOpts) { o.format = "xml" }, "-format"},
-		{"negative obs window", func(o *flagOpts) { o.obsWindow = -1 }, "-obs-window"},
-		{"negative sketch alpha", func(o *flagOpts) { o.sketchAlpha = -0.1 }, "-sketch-alpha"},
-		{"sketch alpha one", func(o *flagOpts) { o.sketchAlpha = 1 }, "-sketch-alpha"},
-		{"sketch alpha above one", func(o *flagOpts) { o.sketchAlpha = 1.5 }, "-sketch-alpha"},
-		{"attrib-out without attrib", func(o *flagOpts) { o.attribOut = "a.json" }, "-attrib-out"},
-		{"attrib-csv without attrib", func(o *flagOpts) { o.attribCSV = "a.csv" }, "-attrib-csv"},
-		{"compare without attrib", func(o *flagOpts) { o.compare = "base.json" }, "-compare"},
-		{"attrib with autoscale", func(o *flagOpts) { o.attrib = true; o.autoscale = true }, "-autoscale"},
-		{"negative fail mtbf", func(o *flagOpts) { o.failMTBF = -1 }, "-fail-mtbf"},
-		{"malformed fail plan", func(o *flagOpts) { o.failPlan = "a@30" }, "-fail-plan"},
-		{"fail plan negative time", func(o *flagOpts) { o.failPlan = "0@-5" }, "-fail-plan"},
-		{"mtbf and plan together", func(o *flagOpts) { o.failMTBF = 60; o.failPlan = "30" }, "-fail-mtbf"},
-		{"unknown fail policy", func(o *flagOpts) { o.failPolicy = "explode" }, "-fail-policy"},
-		{"unknown admission", func(o *flagOpts) { o.admission = "lottery" }, "-admission"},
-		{"negative retry max", func(o *flagOpts) { o.retryMax = -1 }, "-retry-max"},
-		{"negative retry backoff", func(o *flagOpts) { o.retryMax = 1; o.retryBackoff = -0.5 }, "-retry-backoff"},
-		{"backoff without budget", func(o *flagOpts) { o.retryBackoff = 2 }, "-retry-backoff"},
-		{"fail mtbf with autoscale", func(o *flagOpts) { o.autoscale = true; o.failMTBF = 60 }, "-autoscale"},
-		{"admission with autoscale", func(o *flagOpts) { o.autoscale = true; o.admission = "shed" }, "-autoscale"},
-	}
-	for _, tc := range cases {
-		o := okOpts()
-		tc.mut(&o)
-		err := validateFlags(o)
-		if err == nil {
-			t.Errorf("%s: validateFlags(%+v) accepted invalid flags", tc.name, o)
-			continue
+// TestFlagRejections regenerates its cases from the flag table: every
+// spec's rejection examples must fail parse-or-check with an error that
+// names the offending flag.
+func TestFlagRejections(t *testing.T) {
+	var o options
+	for _, spec := range flagTable(&o) {
+		for i, rej := range spec.rejects {
+			t.Run(fmt.Sprintf("%s/%d", spec.name, i), func(t *testing.T) {
+				err := parseAndCheck(rej.args)
+				if err == nil {
+					t.Fatalf("args %v accepted; want rejection mentioning %q", rej.args, rej.want)
+				}
+				if rej.want != "" && !strings.Contains(err.Error(), rej.want) {
+					t.Fatalf("args %v rejected with %q; want it to mention %q", rej.args, err, rej.want)
+				}
+			})
 		}
-		if !strings.Contains(err.Error(), tc.want) {
-			t.Errorf("%s: error %q does not name the offending flag %q", tc.name, err, tc.want)
+	}
+}
+
+// TestFlagValidatorsHaveRejections keeps the table honest: a spec that
+// installs a validator must ship at least one rejection example, so the
+// rejection test exercises every validated flag.
+func TestFlagValidatorsHaveRejections(t *testing.T) {
+	var o options
+	for _, spec := range flagTable(&o) {
+		if spec.check != nil && len(spec.rejects) == 0 {
+			t.Errorf("flag -%s has a validator but no rejection examples", spec.name)
 		}
 	}
 }

@@ -247,6 +247,7 @@ func ProbeCapacity(be serve.Backend, scfg serve.Config) (float64, error) {
 	// A capacity probe measures the healthy saturated rate: fault injection,
 	// admission shedding and retries would contaminate it with downtime and
 	// turned-away load, so the probe twin runs failure-free and open-door.
+	cfg.Faults = serve.FaultConfig{}
 	cfg.FailMTBFSec, cfg.FailPlan = 0, nil
 	cfg.Admission, cfg.RetryMax = serve.AdmitFIFO, 0
 	// Probes need only Completed and MakespanSec. Sketch mode skips the

@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10", "fig11", "fig12", "fig13", "fig14", "table1", "othermodels", "snc",
 		"sev", "b100", "scaleout", "hybrid", "spr", "ablation", "serving",
 		"chunked", "prefix", "fleet", "hetero", "autoscale", "preempt", "obs",
-		"attrib", "overload",
+		"attrib", "overload", "disagg",
 	}
 	for _, id := range want {
 		if _, err := Lookup(id); err != nil {

@@ -65,9 +65,7 @@ func runOverload(o Options) (*Result, error) {
 			// missed deadlines rather than invisible slack.
 			MaxBatch:   4,
 			TTFTSLOSec: 2,
-			Admission:  admission,
-			FailPlan:   plan,
-			RetryMax:   retryMax,
+			Faults:     serve.FaultConfig{Admission: admission, Plan: plan, RetryMax: retryMax},
 		}
 	}
 

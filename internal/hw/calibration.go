@@ -159,6 +159,20 @@ const (
 	// (see tee.Platform.SwapBWFactor).
 	HostSwapBytesPerSec = 24e9
 
+	// NICBytesPerSec is the sustained cross-replica interconnect bandwidth
+	// a KV handoff transfer sees between two serving nodes: 200 GbE
+	// datacenter Ethernet (25 GB/s raw) at ~88% achievable goodput after
+	// framing and congestion control. Disaggregated prefill→decode serving
+	// prices the inter-node leg of every handoff against it; the TEE-side
+	// drain and ingest legs are priced separately by each endpoint's swap
+	// bandwidth (perf.StepCoster.SwapTime).
+	NICBytesPerSec = 22e9
+	// NICHandoffSetupSec is the fixed per-transfer setup cost of a
+	// cross-replica KV handoff: rendezvous and connection reuse plus the
+	// TLS record layer bound to the attestation-derived session keys both
+	// TEEs insist on before moving cache state.
+	NICHandoffSetupSec = 50e-6
+
 	// NoiseBase is the baseline relative latency jitter of a bare-metal run.
 	NoiseBase = 0.008
 	// OutlierProb/OutlierScale parameterize TEE heavy-tail samples.

@@ -8,8 +8,8 @@ import (
 	"cllm/internal/stats"
 )
 
-// Phase indexes the five disjoint components latency attribution splits a
-// completed request's end-to-end latency into. The five phase times of a
+// Phase indexes the six disjoint components latency attribution splits a
+// completed request's end-to-end latency into. The six phase times of a
 // request sum to its arrival-to-completion latency exactly — an integer
 // identity on the nanosecond-quantized sim clock, not a float
 // approximation (see nanos).
@@ -28,6 +28,11 @@ const (
 	// PhaseSwap is the share attributed to KV swap transfers (the host
 	// swap pool's coalesced copies — cGPU's encrypted bounce buffer).
 	PhaseSwap
+	// PhaseHandoff is handoff launch to decode-side admission on
+	// disaggregated topologies: the source KV drain, the cross-replica NIC
+	// transfer, and any queueing at the decode replica before it admits
+	// the request. Always zero on unified fleets.
+	PhaseHandoff
 	// NumPhases sizes per-phase arrays.
 	NumPhases
 )
@@ -45,6 +50,8 @@ func (p Phase) String() string {
 		return "preempt-stall"
 	case PhaseSwap:
 		return "swap-transfer"
+	case PhaseHandoff:
+		return "handoff"
 	}
 	return fmt.Sprintf("Phase(%d)", int(p))
 }
@@ -57,8 +64,8 @@ var taxPhases = [3]Phase{PhasePrefill, PhaseDecode, PhaseSwap}
 // nanos quantizes a sim-clock timestamp to integer nanoseconds — the unit
 // every phase accumulator uses. Each timestamp is quantized exactly once,
 // so interval sums telescope exactly in int64 arithmetic and the
-// conservation invariant (queue + prefill + decode + stall + swap ==
-// finish − arrive) holds bit-for-bit per request. float64 still resolves
+// conservation invariant (queue + prefill + decode + stall + swap +
+// handoff == finish − arrive) holds bit-for-bit per request. float64 still resolves
 // ~4 ns at 10⁷-second horizons, well inside the quantum.
 func nanos(sec float64) int64 { return int64(math.Round(sec * 1e9)) }
 
@@ -95,6 +102,7 @@ type attribReq struct {
 	arriveN  int64
 	admitted bool  // first admission seen (queue phase closed)
 	preemptN int64 // last preemption instant while waiting to re-admit
+	handoffN int64 // pending handoff launch instant (disaggregated fleets)
 	finished bool  // EvFinish seen; finalized by the same round's event
 
 	phaseN [NumPhases]int64
@@ -112,7 +120,7 @@ type replicaAttrib struct {
 
 // Attribution is a streaming serve.Observer that folds the lifecycle event
 // stream into per-request phase vectors — queue wait, prefill compute,
-// decode compute, preemption stall, swap transfer — and aggregates each
+// decode compute, preemption stall, swap transfer, KV handoff — and aggregates each
 // phase into a DDSketch. With a clear-hardware counterfactual coster
 // attached to the run (serve.Config.ClearCoster), it additionally
 // accumulates the per-phase TEE tax: the delta between the real and
@@ -218,10 +226,17 @@ func (a *Attribution) Event(ev serve.Event) {
 			return
 		}
 		evN := nanos(ev.TimeSec)
-		if !r.admitted {
+		switch {
+		case !r.admitted:
 			r.admitted = true
 			r.phaseN[PhaseQueue] = evN - r.arriveN
-		} else {
+		case r.handoffN != 0:
+			// First admission on the decode side: the span since the
+			// handoff launched — source drain, NIC transfer, decode-side
+			// queueing — is the handoff phase.
+			r.phaseN[PhaseHandoff] += evN - r.handoffN
+			r.handoffN = 0
+		default:
 			r.phaseN[PhaseStall] += evN - r.preemptN
 		}
 		rep := a.replica(ev.Replica)
@@ -235,16 +250,17 @@ func (a *Attribution) Event(ev serve.Event) {
 			return
 		}
 		r.preemptN = nanos(ev.TimeSec)
-		rep := a.replica(ev.Replica)
-		for i, m := range rep.members {
-			if m == r {
-				n := len(rep.members)
-				rep.members[i] = rep.members[n-1]
-				rep.members[n-1] = nil
-				rep.members = rep.members[:n-1]
-				break
-			}
+		a.leave(ev.Replica, r)
+	case serve.EvHandoff:
+		// The request leaves the prefill replica's batch; emitted after the
+		// same-timestamp round event (the scheduler defers the handoff), so
+		// the round that produced the first token attributed its span first.
+		r := a.reqs[ev.ReqID]
+		if r == nil {
+			return
 		}
+		r.handoffN = nanos(ev.TimeSec)
+		a.leave(ev.Replica, r)
 	case serve.EvDrop:
 		if r := a.reqs[ev.ReqID]; r != nil {
 			delete(a.reqs, ev.ReqID)
@@ -352,6 +368,21 @@ func (a *Attribution) finalize(r *attribReq, replica int, finishN int64) {
 	a.recycle(r)
 }
 
+// leave removes a request from a replica's batch membership (preemption
+// or handoff departure) via swap-delete.
+func (a *Attribution) leave(replica int, r *attribReq) {
+	rep := a.replica(replica)
+	for i, m := range rep.members {
+		if m == r {
+			n := len(rep.members)
+			rep.members[i] = rep.members[n-1]
+			rep.members[n-1] = nil
+			rep.members = rep.members[:n-1]
+			break
+		}
+	}
+}
+
 // replica returns (creating if needed) one replica's round state.
 func (a *Attribution) replica(id int) *replicaAttrib {
 	rep := a.reps[id]
@@ -419,7 +450,7 @@ func (a *Attribution) Merge(o *Attribution) error {
 // PhaseStat summarizes one phase (or tax component) across completed
 // requests. Quantiles come from the phase's sketch and carry its alpha
 // relative-error bound; Share is the phase's fraction of total completed
-// latency (phases partition latency, so the five phase shares sum to 1).
+// latency (phases partition latency, so the six phase shares sum to 1).
 type PhaseStat struct {
 	Phase    string  `json:"phase"`
 	Count    int64   `json:"count"`
@@ -432,7 +463,7 @@ type PhaseStat struct {
 }
 
 // AttribReport is the serializable summary of an attribution run: the
-// five-phase latency breakdown, and — when the run was clear-costed — the
+// six-phase latency breakdown, and — when the run was clear-costed — the
 // per-phase TEE tax. It round-trips through JSON (cllm-serve -attrib-out)
 // and is what Diff compares.
 type AttribReport struct {
@@ -444,11 +475,11 @@ type AttribReport struct {
 	Dropped    int64   `json:"dropped"`
 	Unfinished int64   `json:"unfinished"`
 	// LatencyTotalSec is the summed end-to-end latency of completed
-	// requests — exactly the sum of the five phase totals.
+	// requests — exactly the sum of the six phase totals.
 	LatencyTotalSec float64 `json:"latency_total_sec"`
 	LatencyP50Sec   float64 `json:"latency_p50_sec"`
-	// Phases holds the five phase rows in fixed order: queue, prefill,
-	// decode, preempt-stall, swap-transfer.
+	// Phases holds the six phase rows in fixed order: queue, prefill,
+	// decode, preempt-stall, swap-transfer, handoff.
 	Phases []PhaseStat `json:"phases"`
 	// ClearCosted reports whether the run carried the clear-hardware
 	// counterfactual coster; the tax fields are meaningful only when true.

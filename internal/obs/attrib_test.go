@@ -302,7 +302,7 @@ func TestPhaseCSVShape(t *testing.T) {
 	if rows[0][0] != "platform" || rows[0][2] != "phase" || len(rows[0]) != 10 {
 		t.Fatalf("unexpected header %v", rows[0])
 	}
-	// 5 phase rows, then 3 tax rows on a clear-costed run.
+	// 6 phase rows, then 3 tax rows on a clear-costed run.
 	if len(rows) != 1+int(NumPhases)+3 {
 		t.Fatalf("expected %d rows, got %d", 1+int(NumPhases)+3, len(rows))
 	}
@@ -311,8 +311,8 @@ func TestPhaseCSVShape(t *testing.T) {
 			t.Fatalf("row %d has %d fields, header has %d", i+1, len(row), len(rows[0]))
 		}
 	}
-	if rows[1][1] != "phase" || rows[1][2] != "queue" || rows[6][1] != "tee-tax" {
-		t.Fatalf("unexpected row layout: %v / %v", rows[1], rows[6])
+	if rows[1][1] != "phase" || rows[1][2] != "queue" || rows[7][1] != "tee-tax" {
+		t.Fatalf("unexpected row layout: %v / %v", rows[1], rows[7])
 	}
 }
 

@@ -97,8 +97,8 @@ func (r *Recorder) perfettoTrace(a *Attribution) []byte {
 		flush()
 	}
 	type track struct {
-		arrive, admit, firstTok, preempt float64
-		hasAdmit, hasPreempt             bool
+		arrive, admit, firstTok, preempt, handoff float64
+		hasAdmit, hasPreempt, hasHandoff          bool
 	}
 	tracks := map[int]*track{}
 	for _, ev := range r.events {
@@ -130,6 +130,21 @@ func (r *Recorder) perfettoTrace(a *Attribution) []byte {
 				t.hasAdmit = true
 				t.admit = ev.TimeSec
 				span("queued", ev, t.arrive, ev.TimeSec)
+			} else if t.hasHandoff {
+				// Decode-side admission closes the handoff: a span on the
+				// destination track plus the flow arrow's binding end, so
+				// Perfetto draws the transfer between the two replica
+				// tracks. The decode span then starts here.
+				t.hasHandoff = false
+				span("handoff", ev, t.handoff, ev.TimeSec)
+				scratch = append(scratch, `{"name":"kv-handoff","cat":"handoff","ph":"f","bp":"e"`...)
+				num(`,"id":`, ev.ReqID)
+				num(`,"pid":`, ev.Replica)
+				num(`,"tid":`, ev.ReqID)
+				ts(`,"ts":`, ev.TimeSec)
+				scratch = append(scratch, '}')
+				flush()
+				t.firstTok = ev.TimeSec
 			} else if t.hasPreempt {
 				t.hasPreempt = false
 				span("preempted", ev, t.preempt, ev.TimeSec)
@@ -190,6 +205,30 @@ func (r *Recorder) perfettoTrace(a *Attribution) []byte {
 			scratch = strconv.AppendFloat(scratch, ev.XferSec*1e3, 'g', 6, 64)
 			scratch = append(scratch, "}}"...)
 			flush()
+		case serve.EvHandoff:
+			// Launch instant on the prefill replica's track with the priced
+			// transfer, then the flow arrow's start; the matching binding
+			// end is emitted at the destination's EvAdmit above.
+			t.handoff = ev.TimeSec
+			t.hasHandoff = true
+			scratch = append(scratch, `{"name":"handoff","cat":"handoff","ph":"i","s":"t"`...)
+			num(`,"pid":`, ev.Replica)
+			num(`,"tid":`, ev.ReqID)
+			ts(`,"ts":`, ev.TimeSec)
+			num(`,"args":{"tokens":`, ev.Tokens)
+			scratch = append(scratch, `,"bytes":`...)
+			scratch = strconv.AppendFloat(scratch, ev.Bytes, 'f', 0, 64)
+			scratch = append(scratch, `,"xfer_ms":`...)
+			scratch = strconv.AppendFloat(scratch, ev.XferSec*1e3, 'g', 6, 64)
+			scratch = append(scratch, "}}"...)
+			flush()
+			scratch = append(scratch, `{"name":"kv-handoff","cat":"handoff","ph":"s"`...)
+			num(`,"id":`, ev.ReqID)
+			num(`,"pid":`, ev.Replica)
+			num(`,"tid":`, ev.ReqID)
+			ts(`,"ts":`, ev.TimeSec)
+			scratch = append(scratch, '}')
+			flush()
 		}
 	}
 	if a != nil {
@@ -244,6 +283,12 @@ func PrometheusText(rep *serve.Report) []byte {
 	counter("preemptions_total", "Sequences evicted from the running batch.", rep.Preemptions)
 	counter("swap_outs_total", "Preemption victims parked in the host swap pool.", rep.SwapOuts)
 	counter("swap_ins_total", "Parked requests restored from the host swap pool.", rep.SwapIns)
+	counter("kv_handoffs_total", "KV handoffs launched from prefill-role replicas (disaggregated topologies).", rep.HandoffsOut)
+	counter("kv_handoffs_ingested_total", "Handed-off requests admitted by decode-role replicas.", rep.HandoffsIn)
+	counter("kv_handoff_fallbacks_total", "Handoffs recomputed on arrival because the decode staging pool was full.", rep.HandoffFallbacks)
+	counter("kv_handoff_tokens_total", "KV entries transferred across the prefill-to-decode edge.", rep.HandoffTokens)
+	fmt.Fprintf(&buf, "# HELP cllm_kv_handoff_bytes_total KV bytes drained across the interconnect by handoffs.\n"+
+		"# TYPE cllm_kv_handoff_bytes_total counter\ncllm_kv_handoff_bytes_total{%s} %g\n", lbl, rep.HandoffBytes)
 	counter("tokens_generated_total", "Output tokens produced.", rep.TotalTokens)
 	counter("prefix_cache_hit_tokens_total", "Prompt tokens served from shared prefix blocks.", rep.PrefixCacheHitTokens)
 	counter("prefix_cache_miss_tokens_total", "Shareable prefix tokens that had to be computed.", rep.PrefixCacheMissTokens)

@@ -38,6 +38,8 @@ func ReconcileReport(events []serve.Event, rep *serve.Report) []string {
 	tracks := map[int]*reqTrack{}
 	order := map[int][]int{} // replica -> request IDs in arrival order
 	var arrivals, drops, finishes, preempts, swapOuts, swapIns, roundTokens int
+	var handoffs, handoffTokens int
+	var handoffBytes float64
 	var crashes, recovers, sheds, retries int
 	var downtime float64
 	var dropsByReason [serve.NumDropReasons]int
@@ -95,6 +97,10 @@ func ReconcileReport(events []serve.Event, rep *serve.Report) []string {
 			t.slo = ev.SLOMet
 		case serve.EvDecodeRound:
 			roundTokens += ev.Tokens
+		case serve.EvHandoff:
+			handoffs++
+			handoffTokens += ev.Tokens
+			handoffBytes += ev.Bytes
 		}
 	}
 
@@ -111,6 +117,11 @@ func ReconcileReport(events []serve.Event, rep *serve.Report) []string {
 	check("swap-ins", swapIns, rep.SwapIns)
 	check("total tokens (per-round sum)", roundTokens, rep.TotalTokens)
 	check("crashes", crashes, rep.Crashes)
+	check("handoffs launched", handoffs, rep.HandoffsOut)
+	check("handoff tokens", handoffTokens, rep.HandoffTokens)
+	if handoffBytes != rep.HandoffBytes {
+		mismatch("handoff bytes: events sum %g, report says %g", handoffBytes, rep.HandoffBytes)
+	}
 	check("sheds", sheds, rep.Sheds)
 	check("retries", retries, rep.Retries)
 	for i, n := range dropsByReason {

@@ -185,7 +185,7 @@ func (s *scheduler) admitNext(now float64) *reqState {
 			s.dropQueued(best, DropDeadlineExpired, best.ctxTokens())
 			continue
 		}
-		if s.cfg.Admission == AdmitShed {
+		if s.cfg.Faults.Admission == AdmitShed {
 			pt, err := s.coster.ChunkTime(1, best.ctxTokens(), 0)
 			if err != nil {
 				s.err = err
@@ -215,7 +215,7 @@ func (s *scheduler) shed(st *reqState) {
 	if s.obs != nil {
 		s.event(Event{Kind: EvShed, ReqID: st.req.ID, Tokens: st.req.InputLen})
 	}
-	if st.attempt < s.cfg.RetryMax {
+	if st.attempt < s.cfg.Faults.RetryMax {
 		s.scheduleRetry(st)
 		return
 	}
@@ -247,7 +247,7 @@ func (s *scheduler) dropQueued(st *reqState, reason DropReason, tokens int) {
 // work yields before interactive decodes stall).
 func (s *scheduler) victim() *reqState {
 	best := s.running[len(s.running)-1]
-	if s.cfg.Admission == AdmitFIFO {
+	if s.cfg.Faults.Admission == AdmitFIFO {
 		return best
 	}
 	bestRank := best.req.Class.victimRank()

@@ -103,9 +103,9 @@ func (s *scheduler) armFailures() {
 		return
 	}
 	s.failArmed = true
-	if len(s.cfg.FailPlan) > 0 {
+	if len(s.cfg.Faults.Plan) > 0 {
 		now := float64(s.eng.Now())
-		for _, fp := range s.cfg.FailPlan {
+		for _, fp := range s.cfg.Faults.Plan {
 			if fp.Replica != s.replica || fp.TimeSec < now {
 				continue
 			}
@@ -120,7 +120,7 @@ func (s *scheduler) armFailures() {
 // scheduleNextCrash draws the next Poisson failure from the private
 // failure stream. One crash is pending at a time; recovery draws the next.
 func (s *scheduler) scheduleNextCrash() {
-	dt := s.failRNG.ExpFloat64() * s.cfg.FailMTBFSec
+	dt := s.failRNG.ExpFloat64() * s.cfg.Faults.MTBFSec
 	s.eng.Schedule(sim.Time(dt), func(*sim.Engine) { s.crash() })
 }
 
@@ -165,13 +165,13 @@ func (s *scheduler) crash() {
 		st.prefilled, st.prefillTarget = 0, 0
 	}
 	s.kv.FlushCache()
-	if s.cfg.FailPolicy == FailLost {
+	if s.cfg.Faults.Policy == FailLost {
 		// The crash-preempted victims sit at the queue front; under
 		// FailLost they leave the queue for the retry path or the
 		// failure-lost drop.
 		for ; lost > 0; lost-- {
 			st := s.queue.PopFront()
-			if st.attempt < s.cfg.RetryMax {
+			if st.attempt < s.cfg.Faults.RetryMax {
 				s.scheduleRetry(st)
 				continue
 			}
@@ -191,7 +191,7 @@ func (s *scheduler) recoverReplica() {
 	if s.obs != nil {
 		s.event(Event{Kind: EvRecover, ReqID: -1, XferSec: s.recoverySec})
 	}
-	if len(s.cfg.FailPlan) == 0 && s.cfg.FailMTBFSec > 0 {
+	if len(s.cfg.Faults.Plan) == 0 && s.cfg.Faults.MTBFSec > 0 {
 		s.scheduleNextCrash()
 	}
 	s.kick()
@@ -210,7 +210,7 @@ func (s *scheduler) scheduleRetry(st *reqState) {
 	st.generated = 0
 	st.prefilled, st.prefillTarget = 0, 0
 	st.firstTokenAt = 0
-	back := s.cfg.RetryBaseSec * math.Pow(2, float64(st.attempt-1))
+	back := s.cfg.Faults.RetryBackoffSec * math.Pow(2, float64(st.attempt-1))
 	j := float64(mix64(uint64(st.req.ID)*0x9e3779b97f4a7c15+uint64(st.attempt))>>11) / float64(uint64(1)<<53)
 	back *= 1 + 0.5*j
 	s.eng.Schedule(sim.Time(back), func(*sim.Engine) { s.resubmit(st) })
@@ -224,7 +224,7 @@ func (s *scheduler) resubmit(st *reqState) {
 		return
 	}
 	s.retries++
-	if s.cfg.Admission != AdmitFIFO {
+	if s.cfg.Faults.Admission != AdmitFIFO {
 		st.deadline = float64(s.eng.Now()) + st.req.Class.deadlineMult()*s.cfg.DeadlineSec
 	}
 	if s.obs != nil {

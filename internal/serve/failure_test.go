@@ -105,8 +105,11 @@ func TestFailureDefaultConfigByteIdentical(t *testing.T) {
 		t.Errorf("scenario golden drifted:\ngot  %s\nwant %s", gotS, wantS)
 	}
 
-	// The new knobs at their zero values must not perturb the report either.
+	// The resilience knobs at their zero values must not perturb the
+	// report, whether spelled through the Faults sub-struct or the
+	// deprecated flat fields.
 	cfgZ := cfgP
+	cfgZ.Faults = FaultConfig{Policy: FailRequeue, Admission: AdmitFIFO}
 	cfgZ.FailMTBFSec, cfgZ.FailPlan, cfgZ.FailPolicy = 0, nil, FailRequeue
 	cfgZ.Admission, cfgZ.RetryMax, cfgZ.RetryBaseSec = AdmitFIFO, 0, 0
 	repZ, err := Run(cpuBackend(tee.TDX()), cfgZ)
@@ -124,7 +127,7 @@ func TestFailureDefaultConfigByteIdentical(t *testing.T) {
 func TestFailureCrashRequeueConservesBlocks(t *testing.T) {
 	cfg := tinyConfig(30, 24)
 	cfg.MaxBatch = 4
-	cfg.FailPlan = []FailPoint{{TimeSec: 0.2}, {TimeSec: 0.6}}
+	cfg.Faults.Plan = []FailPoint{{TimeSec: 0.2}, {TimeSec: 0.6}}
 	cfg.RecoverySec = 0.25
 	if err := cfg.normalize(); err != nil {
 		t.Fatal(err)
@@ -190,7 +193,7 @@ func TestFailureCrashRequeueConservesBlocks(t *testing.T) {
 // downtime per crash is the platform's full confidential cold start.
 func TestFailureRecoveryBillsTEEColdStart(t *testing.T) {
 	cfg := tinyConfig(20, 8)
-	cfg.FailPlan = []FailPoint{{TimeSec: 0.1}}
+	cfg.Faults.Plan = []FailPoint{{TimeSec: 0.1}}
 	be := cpuBackend(tee.TDX())
 	rep, err := Run(be, cfg)
 	if err != nil {
@@ -203,7 +206,7 @@ func TestFailureRecoveryBillsTEEColdStart(t *testing.T) {
 		t.Fatalf("downtime %.6f, want cold start %.6f", rep.DowntimeSec, want)
 	}
 	// A crash on another replica's plan entry must not fire here.
-	cfg.FailPlan = []FailPoint{{Replica: 3, TimeSec: 0.1}}
+	cfg.Faults.Plan = []FailPoint{{Replica: 3, TimeSec: 0.1}}
 	rep, err = Run(be, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -220,10 +223,10 @@ func TestFailureScheduleDeterministic(t *testing.T) {
 	mk := func(seed int64, epoch int) Config {
 		cfg := tinyConfig(25, 30)
 		cfg.Seed = seed
-		cfg.FailMTBFSec = 2
+		cfg.Faults.MTBFSec = 2
 		cfg.RecoverySec = 0.2
-		cfg.RetryMax = 1
-		cfg.FailPolicy = FailLost
+		cfg.Faults.RetryMax = 1
+		cfg.Faults.Policy = FailLost
 		cfg.EpochRequests = epoch
 		return cfg
 	}
@@ -286,16 +289,18 @@ func TestRetryTokenConservation(t *testing.T) {
 	}
 	tally := &eventTally{}
 	cfg := Config{
-		Workload:     trace.Workload{Model: tinyModel(), Kind: dtype.BF16},
-		Trace:        tr,
-		MaxBatch:     4,
-		Seed:         1,
-		FailPlan:     []FailPoint{{TimeSec: 0.05}, {TimeSec: 0.4}, {TimeSec: 1.2}},
-		FailPolicy:   FailLost,
-		RecoverySec:  0.1,
-		RetryMax:     2,
-		RetryBaseSec: 0.05,
-		Observer:     tally,
+		Workload: trace.Workload{Model: tinyModel(), Kind: dtype.BF16},
+		Trace:    tr,
+		MaxBatch: 4,
+		Seed:     1,
+		Faults: FaultConfig{
+			Plan:            []FailPoint{{TimeSec: 0.05}, {TimeSec: 0.4}, {TimeSec: 1.2}},
+			Policy:          FailLost,
+			RetryMax:        2,
+			RetryBackoffSec: 0.05,
+		},
+		RecoverySec: 0.1,
+		Observer:    tally,
 	}
 	rep, err := Run(cpuBackend(tee.TDX()), cfg)
 	if err != nil {
@@ -353,11 +358,11 @@ func TestAdmitDeadlineOrdersEDF(t *testing.T) {
 		{ID: 2, ArrivalSec: 2e-4, InputLen: 64, OutputLen: 8, Class: ClassInteractive},
 	}
 	cfg := Config{
-		Workload:  trace.Workload{Model: tinyModel(), Kind: dtype.BF16},
-		Trace:     tr,
-		MaxBatch:  1,
-		Seed:      1,
-		Admission: AdmitDeadline,
+		Workload: trace.Workload{Model: tinyModel(), Kind: dtype.BF16},
+		Trace:    tr,
+		MaxBatch: 1,
+		Seed:     1,
+		Faults:   FaultConfig{Admission: AdmitDeadline},
 	}
 	rep, order, err := RunAudited(cpuBackend(tee.Baremetal()), cfg)
 	if err != nil {
@@ -375,7 +380,7 @@ func TestAdmitDeadlineOrdersEDF(t *testing.T) {
 
 	// The identical trace under FIFO must keep arrival order — the
 	// default path ignores Class entirely.
-	cfg.Admission = AdmitFIFO
+	cfg.Faults.Admission = AdmitFIFO
 	_, order, err = RunAudited(cpuBackend(tee.Baremetal()), cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -398,7 +403,7 @@ func TestAdmitDeadlineDropsExpired(t *testing.T) {
 		Trace:       tr,
 		MaxBatch:    1,
 		Seed:        1,
-		Admission:   AdmitDeadline,
+		Faults:      FaultConfig{Admission: AdmitDeadline},
 		DeadlineSec: 5e-3, // expires while request 0 monopolizes the batch
 	}
 	rep, order, err := RunAudited(cpuBackend(tee.Baremetal()), cfg)
@@ -429,13 +434,11 @@ func TestShedRetriesThenDrops(t *testing.T) {
 		tr = append(tr, Request{ID: i, ArrivalSec: float64(i) * 1e-3, InputLen: 64, OutputLen: 8, Class: ClassInteractive})
 	}
 	cfg := Config{
-		Workload:     trace.Workload{Model: tinyModel(), Kind: dtype.BF16},
-		Trace:        tr,
-		Seed:         1,
-		Admission:    AdmitShed,
-		DeadlineSec:  1e-9, // no prefill can ever fit: every admission sheds
-		RetryMax:     1,
-		RetryBaseSec: 0.01,
+		Workload:    trace.Workload{Model: tinyModel(), Kind: dtype.BF16},
+		Trace:       tr,
+		Seed:        1,
+		Faults:      FaultConfig{Admission: AdmitShed, RetryMax: 1, RetryBackoffSec: 0.01},
+		DeadlineSec: 1e-9, // no prefill can ever fit: every admission sheds
 	}
 	rep, err := Run(cpuBackend(tee.Baremetal()), cfg)
 	if err != nil {
@@ -464,5 +467,71 @@ func TestShedRetriesThenDrops(t *testing.T) {
 	if rep.Completed != n || rep.Sheds != 0 || rep.Retries != 0 || rep.Dropped != 0 {
 		t.Fatalf("feasible deadlines still shed: completed=%d sheds=%d retries=%d dropped=%d",
 			rep.Completed, rep.Sheds, rep.Retries, rep.Dropped)
+	}
+}
+
+// TestFaultConfigFlatFieldCompat: for one release the deprecated flat
+// spelling of the resilience knobs (FailMTBFSec/FailPlan/FailPolicy/
+// Admission/RetryMax/RetryBaseSec) must drive the scheduler identically
+// to the Faults sub-struct, and normalize's migration fold must be
+// idempotent — replicas re-normalize shared configs.
+func TestFaultConfigFlatFieldCompat(t *testing.T) {
+	var tr []Request
+	for i := 0; i < 16; i++ {
+		tr = append(tr, Request{ID: i, ArrivalSec: float64(i) * 1e-3, InputLen: 64, OutputLen: 64})
+	}
+	base := Config{
+		Workload:    trace.Workload{Model: tinyModel(), Kind: dtype.BF16},
+		Trace:       tr,
+		MaxBatch:    4,
+		Seed:        1,
+		RecoverySec: 0.1,
+	}
+	flat := base
+	flat.FailPlan = []FailPoint{{TimeSec: 0.05}, {TimeSec: 0.4}}
+	flat.FailPolicy = FailLost
+	flat.RetryMax = 1
+	flat.RetryBaseSec = 0.05
+
+	grouped := base
+	grouped.Faults = FaultConfig{
+		Plan:            []FailPoint{{TimeSec: 0.05}, {TimeSec: 0.4}},
+		Policy:          FailLost,
+		RetryMax:        1,
+		RetryBackoffSec: 0.05,
+	}
+
+	be := cpuBackend(tee.TDX())
+	a, err := Run(be, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(be, grouped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("flat and grouped spellings diverged:\n%+v\n%+v", a, b)
+	}
+	if a.Crashes == 0 || a.Retries == 0 {
+		t.Fatalf("compat run too mild to prove anything: %d crashes, %d retries", a.Crashes, a.Retries)
+	}
+
+	// The fold is idempotent and mirrors both spellings onto each other.
+	if err := flat.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	once := flat
+	if err := flat.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(once.Faults, flat.Faults) {
+		t.Fatalf("normalize is not idempotent over Faults: %+v vs %+v", once.Faults, flat.Faults)
+	}
+	if flat.Faults.Policy != FailLost || flat.Faults.RetryMax != 1 || flat.Faults.RetryBackoffSec != 0.05 {
+		t.Fatalf("flat fields did not fold into Faults: %+v", flat.Faults)
+	}
+	if flat.FailPolicy != FailLost || flat.RetryMax != 1 || flat.RetryBaseSec != 0.05 {
+		t.Fatalf("resolved Faults did not mirror back to the flat fields: %+v", flat)
 	}
 }

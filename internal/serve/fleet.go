@@ -77,16 +77,29 @@ type FleetConfig struct {
 // FleetReport is the outcome of one fleet simulation: the aggregate view
 // the operator sees plus each replica's own report.
 type FleetReport struct {
-	// Policy is the dispatch policy's name.
+	// Policy is the dispatch policy's name. Disaggregated topologies show
+	// both stages' policies as "prefill→decode".
 	Policy string
+	// Topology is the role-group layout in -topology syntax; empty for a
+	// classic unified fleet.
+	Topology string
 	// Aggregate merges all replicas: counters are summed, quantiles are
 	// computed over the union of completed requests, and KV/prefix-cache
 	// figures are fleet totals (peak block usage sums per-replica peaks,
 	// which may occur at different times).
 	Aggregate *Report
-	// PerReplica holds each replica's own report, indexed by replica.
+	// PerReplica holds each replica's own report, indexed by replica. In a
+	// disaggregated topology each request's terminal outcome is reported
+	// by the prefill replica its arrival was dispatched to (the replica
+	// that owns its observer stream); decode replicas report zero
+	// requests but carry their own round/KV/handoff counters.
 	PerReplica []*Report
-	// Dispatch counts arrivals routed to each replica.
+	// Roles labels each replica with its role name, parallel to
+	// PerReplica.
+	Roles []string
+	// Dispatch counts arrivals routed to each replica (always zero for
+	// decode-role replicas, which only admit handoffs — see
+	// Report.HandoffsIn for their intake).
 	Dispatch []int
 }
 
@@ -103,103 +116,225 @@ func (f *FleetReport) CostPerMTok(hourlyPerReplica float64) (float64, error) {
 	return cloud.FleetCostPerMTok(hourlyPerReplica, len(f.PerReplica), f.Aggregate.GoodputTokensPerSec)
 }
 
+// CostPerMTokTotal prices a heterogeneous fleet — a disaggregated topology
+// mixing platforms with different rental rates — from its total hourly
+// rent: the whole fleet is rented for the whole run while only
+// SLO-compliant tokens count as served.
+func (f *FleetReport) CostPerMTokTotal(totalHourlyUSD float64) (float64, error) {
+	return cloud.FleetCostPerMTok(totalHourlyUSD, 1, f.Aggregate.GoodputTokensPerSec)
+}
+
 // RunFleet simulates cfg's offered load against a fleet of identical
 // replicas sharing one simulated clock: the load balancer dispatches each
 // arrival to a replica per fc.Policy, and every replica runs its own
 // continuous-batching scheduler, KV pool and noise stream. The offered
 // rate is the fleet rate — fc.Replicas divides it implicitly through
-// dispatch, not by pre-splitting the trace.
+// dispatch, not by pre-splitting the trace. It is a thin wrapper over the
+// one-group unified topology: NewFleet(Unified(be, fc)).Run(cfg), with
+// byte-identical output.
 func RunFleet(be Backend, cfg Config, fc FleetConfig) (*FleetReport, error) {
-	if fc.Replicas <= 0 {
-		fc.Replicas = 1
-	}
-	if err := cfg.normalize(); err != nil {
+	f, err := NewFleet(Unified(be, fc))
+	if err != nil {
 		return nil, err
 	}
+	return f.Run(cfg)
+}
+
+// fleetTestHook, when non-nil, observes a fleet's schedulers after the
+// engine drains and before reports are assembled. White-box tests assert
+// cross-role invariants here (KV-block conservation over the handoff
+// edge); nil in production, so the hook costs one predictable branch.
+var fleetTestHook func(reps []*scheduler, roles []Role)
+
+// buildReplica is the single scheduler-construction path for every
+// multi-replica deployment: Fleet.Run's role groups, the exported Replica
+// handle internal/autoscale composes elastic fleets from, and (through
+// RunFleet) SizeFleetForSLO's candidates. cfg must already be normalized;
+// be passes by value, so the socket defaulting stays local.
+func buildReplica(be Backend, cfg Config, eng *sim.Engine, seed int64) (*scheduler, error) {
 	if !be.IsGPU && be.CPU.Sockets <= 0 {
 		be.CPU.Sockets = 1
 	}
-	if be.Coster == nil {
-		// All replicas run the same backend and model: share one costing
-		// table so an iteration shape costed on one replica is a table hit
-		// on every other.
-		coster, err := NewStepCoster(be, cfg)
-		if err != nil {
-			return nil, err
+	return newScheduler(be, cfg, eng, newNoise(be, seed))
+}
+
+// stageLB dispatches requests across one stage's replicas — the arrival
+// stage (unified or prefill replicas) or the decode stage of a
+// disaggregated topology. Indices are positions within reps; idx maps
+// them back to global fleet indices.
+type stageLB struct {
+	reps   []*scheduler
+	idx    []int
+	policy LBPolicy
+	rr     int
+}
+
+// leastLoaded returns the stage position with the fewest outstanding
+// requests among servable replicas, lowest position on ties
+// (deterministic). Crashed replicas are skipped — the balancer sees the
+// failure — unless the whole stage is down, in which case arrivals queue
+// on the least-loaded replica anyway and wait out its recovery. Without
+// fault injection no replica is ever down, so dispatch is byte-identical
+// to prior releases.
+func (d *stageLB) leastLoaded() (int, int) {
+	best, load := -1, 0
+	for i := range d.reps {
+		if d.reps[i].down {
+			continue
 		}
-		be.Coster = coster
+		if l := d.reps[i].outstanding(); best < 0 || l < load {
+			best, load = i, l
+		}
+	}
+	if best < 0 {
+		best, load = 0, d.reps[0].outstanding()
+		for i := 1; i < len(d.reps); i++ {
+			if l := d.reps[i].outstanding(); l < load {
+				best, load = i, l
+			}
+		}
+	}
+	return best, load
+}
+
+// pick chooses the stage position for one request per the stage policy.
+func (d *stageLB) pick(req Request) int {
+	n := len(d.reps)
+	switch d.policy {
+	case RoundRobin:
+		i := d.rr % n
+		d.rr++
+		if d.reps[i].down {
+			// Failover: route past the crashed replica without
+			// disturbing the survivors' rotation order.
+			for j := 1; j < n; j++ {
+				if cand := (i + j) % n; !d.reps[cand].down {
+					return cand
+				}
+			}
+		}
+		return i
+	case PrefixAffinity:
+		if req.PrefixID != 0 {
+			home := int(prefixHash(req.PrefixID) % uint64(n))
+			best, load := d.leastLoaded()
+			if !d.reps[home].down && d.reps[home].outstanding() <= 2*load+affinityOverloadSlack {
+				return home
+			}
+			return best
+		}
+	}
+	best, _ := d.leastLoaded()
+	return best
+}
+
+// Run simulates cfg's offered load against the fleet topology on one
+// shared simulated clock. Unified topologies behave exactly as RunFleet
+// always has. Disaggregated topologies route every arrival to a
+// prefill-role replica; after its first token the request's KV cache is
+// handed off — drain at the source's swap bandwidth, a NIC transfer, and
+// ingest on a decode-role replica that admits it with the cache already
+// computed (see handoff.go for the pricing). Fault injection and
+// non-FIFO admission are not supported across the handoff edge yet and
+// are rejected for disaggregated topologies.
+func (f *Fleet) Run(cfg Config) (*FleetReport, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	// Work on a copy of the groups: socket defaulting and coster building
+	// mutate the backends, and the fleet may be re-run.
+	groups := append([]RoleGroup(nil), f.topo.Groups...)
+	disagg := f.topo.Disaggregated()
+	if disagg {
+		if cfg.Faults.MTBFSec > 0 || len(cfg.Faults.Plan) > 0 {
+			return nil, fmt.Errorf("serve: fault injection is not supported with disaggregated topologies (a crash would strand in-flight handoffs)")
+		}
+		if cfg.Faults.Admission != AdmitFIFO {
+			return nil, fmt.Errorf("serve: admission policy %v is not supported with disaggregated topologies (deadlines do not survive the handoff edge)", cfg.Faults.Admission)
+		}
+	}
+	for i := range groups {
+		g := &groups[i]
+		if !g.Backend.IsGPU && g.Backend.CPU.Sockets <= 0 {
+			g.Backend.CPU.Sockets = 1
+		}
+		if g.Backend.Coster == nil {
+			// All replicas of a group run the same backend and model: share
+			// one costing table so an iteration shape costed on one replica
+			// is a table hit on every other.
+			coster, err := NewStepCoster(g.Backend, cfg)
+			if err != nil {
+				return nil, err
+			}
+			g.Backend.Coster = coster
+		}
 	}
 	eng := sim.NewEngine()
-	reps := make([]*scheduler, fc.Replicas)
-	for i := range reps {
-		s, err := newScheduler(be, cfg, eng, newNoise(be, cfg.Seed+int64(i)*7919+1))
-		if err != nil {
-			return nil, err
+	total := f.topo.Replicas()
+	reps := make([]*scheduler, 0, total)
+	roles := make([]Role, 0, total)
+	for _, g := range groups {
+		for k := 0; k < g.Replicas; k++ {
+			i := len(reps)
+			s, err := buildReplica(g.Backend, cfg, eng, cfg.Seed+int64(i)*7919+1)
+			if err != nil {
+				return nil, err
+			}
+			s.replica = i // label observer events with the fleet index
+			reps = append(reps, s)
+			roles = append(roles, g.Role)
 		}
-		s.replica = i // label observer events with the fleet index
-		reps[i] = s
 	}
 	arrivals, err := genArrivals(cfg, rand.New(rand.NewSource(cfg.Seed)))
 	if err != nil {
 		return nil, err
 	}
 
-	dispatch := make([]int, fc.Replicas)
-	perReplica := make([][]*reqState, fc.Replicas)
-	rr := 0
-	leastLoaded := func() (int, int) {
-		// Fewest outstanding requests among servable replicas, lowest index
-		// on ties (deterministic). Crashed replicas are skipped — the
-		// balancer sees the failure — unless the whole fleet is down, in
-		// which case arrivals queue on the least-loaded replica anyway and
-		// wait out its recovery. Without fault injection no replica is ever
-		// down, so dispatch is byte-identical to prior releases.
-		best, load := -1, 0
-		for i := 0; i < fc.Replicas; i++ {
-			if reps[i].down {
-				continue
-			}
-			if l := reps[i].outstanding(); best < 0 || l < load {
-				best, load = i, l
-			}
+	// Stage dispatchers: arrivals go to the front stage (every replica of
+	// a unified fleet, the prefill replicas of a disaggregated one);
+	// handoffs go to the decode stage.
+	front := &stageLB{}
+	decode := &stageLB{}
+	for _, g := range groups {
+		switch g.Role {
+		case RoleUnified, RolePrefill:
+			front.policy = g.Policy
+		case RoleDecode:
+			decode.policy = g.Policy
 		}
-		if best < 0 {
-			best, load = 0, reps[0].outstanding()
-			for i := 1; i < fc.Replicas; i++ {
-				if l := reps[i].outstanding(); l < load {
-					best, load = i, l
-				}
-			}
-		}
-		return best, load
 	}
-	pick := func(req Request) int {
-		switch fc.Policy {
-		case RoundRobin:
-			i := rr % fc.Replicas
-			rr++
-			if reps[i].down {
-				// Failover: route past the crashed replica without
-				// disturbing the survivors' rotation order.
-				for j := 1; j < fc.Replicas; j++ {
-					if cand := (i + j) % fc.Replicas; !reps[cand].down {
-						return cand
-					}
+	for i, s := range reps {
+		switch roles[i] {
+		case RoleUnified, RolePrefill:
+			front.reps = append(front.reps, s)
+			front.idx = append(front.idx, i)
+		case RoleDecode:
+			decode.reps = append(decode.reps, s)
+			decode.idx = append(decode.idx, i)
+		}
+	}
+
+	dispatch := make([]int, total)
+	perReplica := make([][]*reqState, total)
+	var hd *handoffDispatcher
+	if disagg {
+		hd = &handoffDispatcher{eng: eng, stage: decode}
+		for i, s := range reps {
+			switch roles[i] {
+			case RolePrefill:
+				src := s
+				src.handoff = func(r *reqState) { hd.initiate(src, r) }
+			case RoleDecode:
+				// Decode replicas always stage inbound KV copies in the host
+				// swap pool, whatever the preemption policy: size it to the
+				// device pool if the config left it smaller. (SwapPoolFrac's
+				// negative "disabled" sentinel still governs preemption
+				// swaps on unified and prefill replicas.)
+				if s.kv.SwapPoolBlocks() < s.kv.TotalBlocks() {
+					s.kv.ConfigureSwapPool(s.kv.TotalBlocks())
 				}
-			}
-			return i
-		case PrefixAffinity:
-			if req.PrefixID != 0 {
-				home := int(prefixHash(req.PrefixID) % uint64(fc.Replicas))
-				best, load := leastLoaded()
-				if !reps[home].down && reps[home].outstanding() <= 2*load+affinityOverloadSlack {
-					return home
-				}
-				return best
 			}
 		}
-		best, _ := leastLoaded()
-		return best
 	}
 
 	lastArrival := 0.0
@@ -210,21 +345,33 @@ func RunFleet(be Backend, cfg Config, fc FleetConfig) (*FleetReport, error) {
 			lastArrival = req.ArrivalSec
 		}
 		eng.Schedule(sim.Time(req.ArrivalSec), func(*sim.Engine) {
-			i := pick(req)
+			j := front.pick(req)
+			i := front.idx[j]
 			dispatch[i]++
 			perReplica[i] = append(perReplica[i], st)
-			reps[i].submit(st)
+			front.reps[j].submit(st)
 		})
 	}
 	horizon := sim.Time(lastArrival + cfg.HorizonSec)
 	if _, err := eng.RunUntil(horizon, cfg.MaxSteps); err != nil {
 		return nil, err
 	}
+	if fleetTestHook != nil {
+		fleetTestHook(reps, roles)
+	}
 
 	out := &FleetReport{
-		Policy:     fc.Policy.String(),
-		PerReplica: make([]*Report, fc.Replicas),
+		Policy:     front.policy.String(),
+		PerReplica: make([]*Report, total),
 		Dispatch:   dispatch,
+	}
+	if disagg {
+		out.Policy = front.policy.String() + "→" + decode.policy.String()
+		out.Topology = f.topo.String()
+	}
+	out.Roles = make([]string, total)
+	for i, role := range roles {
+		out.Roles[i] = role.String()
 	}
 	for i, s := range reps {
 		if s.err != nil {
@@ -344,6 +491,11 @@ func MergeReports(offeredRate float64, reps []*Report) *Report {
 		agg.Retries += r.Retries
 		agg.Crashes += r.Crashes
 		agg.DowntimeSec += r.DowntimeSec
+		agg.HandoffsOut += r.HandoffsOut
+		agg.HandoffsIn += r.HandoffsIn
+		agg.HandoffFallbacks += r.HandoffFallbacks
+		agg.HandoffTokens += r.HandoffTokens
+		agg.HandoffBytes += r.HandoffBytes
 		for i, n := range r.CompletedByClass {
 			agg.CompletedByClass[i] += n
 		}

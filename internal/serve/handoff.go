@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"cllm/internal/hw"
+	"cllm/internal/sim"
+	"cllm/internal/trace"
+)
+
+// handoffDispatcher moves a request's computed KV cache from a
+// prefill-role replica to a decode-role replica. The transfer is priced
+// mechanistically per edge, leg by leg:
+//
+//	drain  = source StepCoster.SwapTime(tokens)   — the prefill side's
+//	         swap-out bandwidth: a cGPU pays the AES-GCM bounce buffer
+//	         (CGPUPCIeBWFactor × PCIe), a CPU TEE its encrypted-DRAM
+//	         memcpy (MemEncryptBWFactor × HostSwapBytesPerSec).
+//	nic    = hw.NICHandoffSetupSec + bytes/hw.NICBytesPerSec — the
+//	         cross-replica interconnect, attested-TLS setup plus wire time.
+//	ingest = priced by the decode replica's admission round via the
+//	         existing swapped-restore path (the parked copy transfers into
+//	         device blocks at the decode side's swap-in bandwidth, showing
+//	         up as that replica's SwapIns).
+//
+// The source's device blocks stay pinned until the drain completes (an
+// async copy out of live memory), then free for the next prompt. The
+// decode replica is picked when the transfer lands — load-aware policies
+// see the queue depths of that instant, and the choice is deterministic
+// because the engine is.
+type handoffDispatcher struct {
+	eng   *sim.Engine
+	stage *stageLB // decode-stage dispatcher
+}
+
+// initiate prices and launches one handoff. Called by the prefill
+// scheduler after the round that produced the request's first token has
+// emitted its events (see finishIteration's deferral), so EvHandoff
+// always follows that round's EvDecodeRound at the same timestamp.
+func (d *handoffDispatcher) initiate(src *scheduler, r *reqState) {
+	tokens := r.computedTokens()
+	bytes := trace.KVSwapBytes(src.cfg.Workload, tokens)
+	drain, err := src.coster.SwapTime(tokens)
+	if err != nil {
+		src.err = err
+		return
+	}
+	nic := hw.NICHandoffSetupSec + bytes/hw.NICBytesPerSec
+	src.handoffsOut++
+	src.handoffTokens += tokens
+	src.handoffBytes += bytes
+	if src.obs != nil {
+		src.event(Event{Kind: EvHandoff, ReqID: r.req.ID, Tokens: tokens, Bytes: bytes, XferSec: drain + nic})
+	}
+	reqID := r.req.ID
+	d.eng.Schedule(sim.Time(drain), func(*sim.Engine) {
+		src.kv.Release(reqID)
+		src.kick()
+	})
+	d.eng.Schedule(sim.Time(drain+nic), func(*sim.Engine) {
+		d.ingest(r, tokens)
+	})
+}
+
+// ingest lands the transfer on a decode replica: the KV copy parks in the
+// replica's staging (host swap) pool and the request enters its queue as
+// a swapped request — admission restores it through the same
+// swapped-restore path a swap-to-host preemption uses, pricing the ingest
+// copy in the admitting round and consulting the decode side's prefix
+// cache. A full staging pool forces the fallback: the decode replica
+// recomputes the prompt from scratch and the transfer was wasted work.
+func (d *handoffDispatcher) ingest(r *reqState, tokens int) {
+	j := d.stage.pick(r.req)
+	dst := d.stage.reps[j]
+	if dst.kv.SwapOut(r.req.ID, tokens) {
+		r.swapped = true
+		r.swappedTokens = tokens
+	} else {
+		dst.handoffFallbacks++
+		r.swapped = false
+		r.swappedTokens = 0
+	}
+	r.prefilled, r.prefillTarget = 0, 0
+	r.phase = phaseWaiting
+	dst.submitHandoff(r)
+}

@@ -64,6 +64,14 @@ const (
 	// stream after its backoff. Tokens is its prompt length, Hist the
 	// retry attempt number (1-based).
 	EvRetry
+	// EvHandoff: a prefill-role replica launched the request's KV handoff
+	// toward the decode stage (disaggregated topologies). Emitted on the
+	// source replica right after the round that produced the first token.
+	// Tokens is the computed KV entries leaving, Bytes their payload, and
+	// XferSec the priced source-drain plus NIC transfer time; the
+	// decode-side ingest is priced separately by the admitting round (the
+	// destination's EvAdmit/EvSwapIn pair closes the transfer).
+	EvHandoff
 )
 
 // String names the kind as the exporters spell it.
@@ -97,6 +105,8 @@ func (k EventKind) String() string {
 		return "shed"
 	case EvRetry:
 		return "retry"
+	case EvHandoff:
+		return "handoff"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }

@@ -15,17 +15,15 @@ type Replica struct {
 	states []*reqState
 }
 
-// NewReplica builds one replica of the backend on the given engine. The
+// NewReplica builds one replica of the backend on the given engine through
+// the same construction path Fleet.Run uses for its role groups. The
 // config is normalized locally (the caller's copy is untouched); seed
 // decorrelates this replica's noise stream from its siblings'.
 func NewReplica(be Backend, cfg Config, eng *sim.Engine, seed int64) (*Replica, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	if !be.IsGPU && be.CPU.Sockets <= 0 {
-		be.CPU.Sockets = 1
-	}
-	s, err := newScheduler(be, cfg, eng, newNoise(be, seed))
+	s, err := buildReplica(be, cfg, eng, seed)
 	if err != nil {
 		return nil, err
 	}

@@ -19,6 +19,12 @@ const (
 	phaseRunning
 	phaseFinished
 	phaseDropped
+	// phaseHandoff marks a request that produced its first token on a
+	// prefill-role replica and is now in flight to a decode replica: its KV
+	// drains at the source, crosses the interconnect, and re-enters a
+	// decode replica's queue (see handoff.go). Terminally it reports as
+	// Unfinished — a handoff cut off by the horizon never completed.
+	phaseHandoff
 )
 
 // reqState tracks one request through the scheduler.
@@ -131,6 +137,20 @@ type scheduler struct {
 	swapIns    int
 	swapOutTok int
 	swapInTok  int
+	// Disaggregated-serving hooks (see topology.go / handoff.go). handoff,
+	// set only on prefill-role replicas, receives each request right after
+	// its first token; handoffQ defers those callbacks until the round's
+	// events are emitted, so the attribution round span closes before the
+	// request changes hands. The counters feed the report: Out at the
+	// prefill side, In/fallbacks at the decode side, tokens and bytes on
+	// the edge that drained them.
+	handoff          func(*reqState)
+	handoffQ         []*reqState
+	handoffsOut      int
+	handoffsIn       int
+	handoffFallbacks int
+	handoffTokens    int
+	handoffBytes     float64
 	// producedTot counts every output token produced so far; gauge samples
 	// report it cumulatively so windowed throughput differences cleanly.
 	producedTot int
@@ -221,7 +241,7 @@ func newScheduler(be Backend, cfg Config, eng *sim.Engine, noise *sim.Noise) (*s
 	}
 	s := &scheduler{cfg: cfg, be: be, eng: eng, noise: noise, kv: kv, coster: coster, clear: clear, obs: cfg.Observer}
 	s.finishFn = func(*sim.Engine) { s.finishIteration() }
-	s.failEnabled = cfg.FailMTBFSec > 0 || len(cfg.FailPlan) > 0
+	s.failEnabled = cfg.Faults.MTBFSec > 0 || len(cfg.Faults.Plan) > 0
 	if s.failEnabled {
 		s.recoverySec = cfg.RecoverySec
 		if s.recoverySec <= 0 {
@@ -260,12 +280,24 @@ func (s *scheduler) submit(st *reqState) {
 		s.armFailures()
 		s.lastProgress = float64(s.eng.Now())
 	}
-	if s.cfg.Admission != AdmitFIFO {
+	if s.cfg.Faults.Admission != AdmitFIFO {
 		st.deadline = float64(s.eng.Now()) + st.req.Class.deadlineMult()*s.cfg.DeadlineSec
 	}
 	if s.obs != nil {
 		s.event(Event{Kind: EvArrive, ReqID: st.req.ID, Tokens: st.req.InputLen, Hist: st.req.OutputLen})
 	}
+	s.queue.PushBack(st)
+	s.kick()
+}
+
+// submitHandoff enqueues a request arriving over a KV handoff at a
+// decode-role replica. Unlike submit it emits no EvArrive — the request
+// arrived at the fleet exactly once, on its prefill replica, and the
+// observer stream keys per-request ownership off that event. Fault
+// injection and non-FIFO admission are rejected for disaggregated
+// topologies, so neither hook runs here.
+func (s *scheduler) submitHandoff(st *reqState) {
+	s.handoffsIn++
 	s.queue.PushBack(st)
 	s.kick()
 }
@@ -568,7 +600,7 @@ func (s *scheduler) iterate() {
 	// enclave bigger.
 	for s.queue.Len() > 0 && len(s.running) < s.cfg.MaxBatch {
 		head := s.queue.Front()
-		if s.cfg.Admission != AdmitFIFO {
+		if s.cfg.Faults.Admission != AdmitFIFO {
 			if head = s.admitNext(now); head == nil {
 				break // queue drained by expiry/shedding, or a costing error
 			}
@@ -956,6 +988,21 @@ func (s *scheduler) finishIteration() {
 				s.event(Event{Kind: EvFirstToken, ReqID: r.req.ID})
 			}
 		}
+		if s.handoff != nil && r.generated == 1 && r.generated < r.req.OutputLen {
+			// Prefill-role replica: the request stops here with its first
+			// token delivered. It leaves the batch now (its KV blocks stay
+			// held until the source drain completes) and the dispatch layer
+			// prices its handoff after this round's events are emitted.
+			r.phase = phaseHandoff
+			for i, cand := range s.running {
+				if cand == r {
+					s.running = append(s.running[:i], s.running[i+1:]...)
+					break
+				}
+			}
+			s.handoffQ = append(s.handoffQ, r)
+			return
+		}
 		if r.generated >= r.req.OutputLen {
 			s.kv.Release(r.req.ID)
 			r.phase = phaseFinished
@@ -1022,6 +1069,15 @@ func (s *scheduler) finishIteration() {
 			MissTokens:      s.kv.MissTokens(),
 		})
 	}
+	if len(s.handoffQ) > 0 {
+		// Deferred handoff initiations: run them after the round event so
+		// attribution's round span closes with the request still a member.
+		q := s.handoffQ
+		s.handoffQ = s.handoffQ[:0]
+		for _, r := range q {
+			s.handoff(r)
+		}
+	}
 	s.progress()
 	s.iterating = false
 	s.kick()
@@ -1050,6 +1106,11 @@ func (s *scheduler) report(states []*reqState) *Report {
 		Retries:               s.retries,
 		Crashes:               s.crashes,
 		DowntimeSec:           s.downtimeSec,
+		HandoffsOut:           s.handoffsOut,
+		HandoffsIn:            s.handoffsIn,
+		HandoffFallbacks:      s.handoffFallbacks,
+		HandoffTokens:         s.handoffTokens,
+		HandoffBytes:          s.handoffBytes,
 	}
 	if len(s.cfg.Trace) > 0 {
 		span := 0.0

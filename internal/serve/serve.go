@@ -281,42 +281,32 @@ type Config struct {
 	// keeps the scheduler's fast path branch-only and allocation-free. Not
 	// for concurrent runs: see the interface's contract.
 	Observer Observer
-	// FailMTBFSec injects replica failures as a Poisson process with this
-	// mean time between failures (simulated seconds, per replica, drawn
-	// from a private seeded stream). 0 — the default — disables fault
-	// injection. A crash destroys the replica's device state (running
-	// batch KV, parked swap copies, prefix cache) and takes the replica
-	// down for RecoverySec.
+	// Faults groups the fault-injection, admission-control and retry knobs
+	// (see FaultConfig). The six flat fields below are the deprecated
+	// pre-grouping spelling: normalize folds them into Faults when the
+	// sub-struct leaves the knob zero, then mirrors the resolved values
+	// back, so configs written against either spelling behave identically
+	// for one release.
+	Faults FaultConfig
+	// FailMTBFSec is deprecated: set Faults.MTBFSec.
 	FailMTBFSec float64
-	// FailPlan injects scripted crashes instead: each point names a
-	// replica index and a crash time on the simulated clock. Takes
-	// precedence over FailMTBFSec. Points hitting an already-down replica
-	// are absorbed by the ongoing recovery.
+	// FailPlan is deprecated: set Faults.Plan.
 	FailPlan []FailPoint
-	// FailPolicy selects what happens to in-flight requests at a crash:
-	// FailRequeue (default) requeues them for recompute after recovery;
-	// FailLost loses them (retried when RetryMax allows, else dropped as
-	// failure-lost).
+	// FailPolicy is deprecated: set Faults.Policy.
 	FailPolicy FailurePolicy
 	// RecoverySec is the crash-to-servable recovery time; 0 — the default —
 	// derives the platform's full TEE cold start (ColdStartSec: boot +
 	// weight load + TD accept/enclave build + attestation RTT).
 	RecoverySec float64
-	// Admission selects the admission policy: AdmitFIFO (default,
-	// byte-identical to prior releases), AdmitDeadline (EDF with expired
-	// requests dropped), or AdmitShed (EDF plus proactive shedding of
-	// infeasible deadlines). See AdmissionPolicy.
+	// Admission is deprecated: set Faults.Admission.
 	Admission AdmissionPolicy
 	// DeadlineSec is the interactive-class deadline measured from arrival
 	// (standard requests get 4×, background 16× — see RequestClass); 0
 	// defaults to TTFTSLOSec. Only meaningful under AdmitDeadline/AdmitShed.
 	DeadlineSec float64
-	// RetryMax is the per-request retry budget for shed and failure-lost
-	// requests (0 — the default — disables retries: those requests drop).
+	// RetryMax is deprecated: set Faults.RetryMax.
 	RetryMax int
-	// RetryBaseSec is the base of the exponential retry backoff
-	// (base × 2^(attempt−1), plus deterministic per-request jitter up to
-	// +50%); 0 defaults to 1s when RetryMax is set.
+	// RetryBaseSec is deprecated: set Faults.RetryBackoffSec.
 	RetryBaseSec float64
 	// ClearCoster, when non-nil alongside Observer, prices every round's
 	// step shapes a second time on the platform's clear-hardware twin (see
@@ -325,6 +315,42 @@ type Config struct {
 	// never influences scheduling or timing: the real coster alone drives
 	// the simulation. Ignored when Observer is nil.
 	ClearCoster *perf.StepCoster
+}
+
+// FaultConfig groups the serving run's resilience knobs: fault injection,
+// queue-admission policy and the retry budget. It embeds in Config as
+// Faults; the matching flat Config fields are deprecated and folded in by
+// normalize for one release.
+type FaultConfig struct {
+	// MTBFSec injects replica failures as a Poisson process with this
+	// mean time between failures (simulated seconds, per replica, drawn
+	// from a private seeded stream). 0 — the default — disables fault
+	// injection. A crash destroys the replica's device state (running
+	// batch KV, parked swap copies, prefix cache) and takes the replica
+	// down for Config.RecoverySec.
+	MTBFSec float64
+	// Plan injects scripted crashes instead: each point names a replica
+	// index and a crash time on the simulated clock. Takes precedence
+	// over MTBFSec. Points hitting an already-down replica are absorbed
+	// by the ongoing recovery.
+	Plan []FailPoint
+	// Policy selects what happens to in-flight requests at a crash:
+	// FailRequeue (default) requeues them for recompute after recovery;
+	// FailLost loses them (retried when RetryMax allows, else dropped as
+	// failure-lost).
+	Policy FailurePolicy
+	// Admission selects the admission policy: AdmitFIFO (default,
+	// byte-identical to prior releases), AdmitDeadline (EDF with expired
+	// requests dropped), or AdmitShed (EDF plus proactive shedding of
+	// infeasible deadlines). See AdmissionPolicy.
+	Admission AdmissionPolicy
+	// RetryMax is the per-request retry budget for shed and failure-lost
+	// requests (0 — the default — disables retries: those requests drop).
+	RetryMax int
+	// RetryBackoffSec is the base of the exponential retry backoff
+	// (base × 2^(attempt−1), plus deterministic per-request jitter up to
+	// +50%); 0 defaults to 1s when RetryMax is set.
+	RetryBackoffSec float64
 }
 
 // Normalize validates the config and fills defaults in place. Exported for
@@ -450,26 +476,48 @@ func (c *Config) normalize() error {
 	if c.QuantileMode == QuantileSketch && c.EpochRequests == 0 {
 		c.EpochRequests = DefaultEpochRequests
 	}
-	if c.FailMTBFSec < 0 {
-		return fmt.Errorf("serve: failure MTBF %g is negative", c.FailMTBFSec)
+	// One-release migration: the deprecated flat fields fill their Faults
+	// counterparts wherever the sub-struct left the knob zero, then the
+	// resolved values mirror back so readers of either spelling agree.
+	// Both steps are no-ops on a re-normalized config (idempotent).
+	if c.Faults.MTBFSec == 0 {
+		c.Faults.MTBFSec = c.FailMTBFSec
 	}
-	for _, fp := range c.FailPlan {
+	if c.Faults.Plan == nil {
+		c.Faults.Plan = c.FailPlan
+	}
+	if c.Faults.Policy == FailRequeue {
+		c.Faults.Policy = c.FailPolicy
+	}
+	if c.Faults.Admission == AdmitFIFO {
+		c.Faults.Admission = c.Admission
+	}
+	if c.Faults.RetryMax == 0 {
+		c.Faults.RetryMax = c.RetryMax
+	}
+	if c.Faults.RetryBackoffSec == 0 {
+		c.Faults.RetryBackoffSec = c.RetryBaseSec
+	}
+	if c.Faults.MTBFSec < 0 {
+		return fmt.Errorf("serve: failure MTBF %g is negative", c.Faults.MTBFSec)
+	}
+	for _, fp := range c.Faults.Plan {
 		if fp.Replica < 0 || fp.TimeSec < 0 {
 			return fmt.Errorf("serve: invalid fail-plan point %+v", fp)
 		}
 	}
-	switch c.FailPolicy {
+	switch c.Faults.Policy {
 	case FailRequeue, FailLost:
 	default:
-		return fmt.Errorf("serve: unknown failure policy %d", int(c.FailPolicy))
+		return fmt.Errorf("serve: unknown failure policy %d", int(c.Faults.Policy))
 	}
 	if c.RecoverySec < 0 {
 		return fmt.Errorf("serve: recovery time %g is negative", c.RecoverySec)
 	}
-	switch c.Admission {
+	switch c.Faults.Admission {
 	case AdmitFIFO, AdmitDeadline, AdmitShed:
 	default:
-		return fmt.Errorf("serve: unknown admission policy %d", int(c.Admission))
+		return fmt.Errorf("serve: unknown admission policy %d", int(c.Faults.Admission))
 	}
 	switch {
 	case c.DeadlineSec == 0:
@@ -477,15 +525,17 @@ func (c *Config) normalize() error {
 	case c.DeadlineSec < 0:
 		return fmt.Errorf("serve: deadline %g is negative", c.DeadlineSec)
 	}
-	if c.RetryMax < 0 {
-		return fmt.Errorf("serve: retry budget %d is negative", c.RetryMax)
+	if c.Faults.RetryMax < 0 {
+		return fmt.Errorf("serve: retry budget %d is negative", c.Faults.RetryMax)
 	}
 	switch {
-	case c.RetryBaseSec < 0:
-		return fmt.Errorf("serve: retry backoff base %g is negative", c.RetryBaseSec)
-	case c.RetryBaseSec == 0 && c.RetryMax > 0:
-		c.RetryBaseSec = 1
+	case c.Faults.RetryBackoffSec < 0:
+		return fmt.Errorf("serve: retry backoff base %g is negative", c.Faults.RetryBackoffSec)
+	case c.Faults.RetryBackoffSec == 0 && c.Faults.RetryMax > 0:
+		c.Faults.RetryBackoffSec = 1
 	}
+	c.FailMTBFSec, c.FailPlan, c.FailPolicy = c.Faults.MTBFSec, c.Faults.Plan, c.Faults.Policy
+	c.Admission, c.RetryMax, c.RetryBaseSec = c.Faults.Admission, c.Faults.RetryMax, c.Faults.RetryBackoffSec
 	return nil
 }
 
@@ -532,6 +582,19 @@ type Report struct {
 	// platform cold start.
 	Crashes     int
 	DowntimeSec float64
+	// KV handoff ledger (disaggregated topologies only; all zero on
+	// unified fleets). HandoffsOut counts handoffs a prefill-role replica
+	// initiated, HandoffsIn those a decode-role replica admitted;
+	// aggregates may differ by the transfers still in flight at the
+	// horizon. HandoffFallbacks counts handoffs whose staging pool was
+	// full at ingest, forcing a full KV recompute on the decode side.
+	// HandoffTokens/HandoffBytes total the KV entries and bytes drained
+	// across the interconnect (counted at the initiating side).
+	HandoffsOut      int
+	HandoffsIn       int
+	HandoffFallbacks int
+	HandoffTokens    int
+	HandoffBytes     float64
 	// CompletedByClass / GoodTokensByClass split completions and
 	// SLO-compliant output tokens by request class in RequestClass order
 	// (standard, interactive, background) — the overload experiments'

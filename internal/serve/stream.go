@@ -208,6 +208,11 @@ func (s *scheduler) buildStreamReport(a *streamAccum, submitted int) *Report {
 		Retries:               s.retries,
 		Crashes:               s.crashes,
 		DowntimeSec:           s.downtimeSec,
+		HandoffsOut:           s.handoffsOut,
+		HandoffsIn:            s.handoffsIn,
+		HandoffFallbacks:      s.handoffFallbacks,
+		HandoffTokens:         s.handoffTokens,
+		HandoffBytes:          s.handoffBytes,
 		CompletedByClass:      a.completedByClass,
 		GoodTokensByClass:     a.goodTokensByClass,
 		Preemptions:           s.preemptions,

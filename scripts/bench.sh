@@ -3,11 +3,11 @@
 #
 # Runs the serving-path benchmarks (scheduler hot loop — disabled and
 # observed — plus the serving / fleet / autoscale / observability
-# experiment sweeps) and distills them into BENCH_8.json so future PRs
+# experiment sweeps) and distills them into BENCH_9.json so future PRs
 # have a perf baseline to compare against (the CI gate,
 # scripts/bench_compare.sh, diffs new runs against the newest BENCH_*.json):
 #
-#   sh scripts/bench.sh            # writes BENCH_8.json in the repo root
+#   sh scripts/bench.sh            # writes BENCH_9.json in the repo root
 #   sh scripts/bench.sh out.json   # custom output path
 #
 # Schema: {"benchmarks": [{"name", "runs", "ns_per_op", "allocs_per_op",
@@ -15,7 +15,7 @@
 # benchmark, each field the mean over -count=3 runs.
 set -eu
 
-out=${1:-BENCH_8.json}
+out=${1:-BENCH_9.json}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 

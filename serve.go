@@ -56,6 +56,16 @@ type ServeConfig struct {
 	// LBPolicy picks the fleet dispatch policy:
 	// round-robin|least-loaded|prefix-affinity (default round-robin).
 	LBPolicy string
+	// Topology simulates a role-aware fleet instead of Replicas identical
+	// copies of the session platform: comma-separated
+	// "platform:replicas=role" groups, e.g. "cgpu:2=prefill,tdx:4=decode"
+	// splits prefill and decode across the TEE boundary with an explicitly
+	// priced KV handoff between the stages (source drain at the prefill
+	// side's swap bandwidth, a NIC transfer, ingest at the decode side).
+	// Each group's platform opens as a sub-session of this one (same
+	// testbed, seed and attestation policy); LBPolicy applies to both
+	// stages. Mutually exclusive with Replicas > 1.
+	Topology string
 	// Sockets / Cores select the CPU deployment as in MeasureOptions.
 	Sockets, Cores int
 	// TTFTSLOSec / TPOTSLOSec are SLO targets (defaults 5s / 0.5s).
@@ -101,28 +111,22 @@ type ServeConfig struct {
 	// run outgrows the window budget, windows coalesce and the width
 	// doubles.
 	ObserveWindowSec float64
-	// FailMTBFSec injects Poisson replica failures with this mean time
-	// between failures (seconds, per replica; 0 disables). A failed replica
-	// loses all in-flight KV state and pays the platform's full TEE cold
-	// start (reboot, weight provisioning, enclave/TD rebuild, attestation)
-	// before serving again.
+	// Faults groups the fault-injection, admission-control and retry knobs
+	// (see FaultConfig). The six flat fields below are the deprecated
+	// pre-grouping spelling, still honored for one release: Serve folds
+	// them into Faults wherever the sub-struct leaves the knob zero.
+	Faults FaultConfig
+	// FailMTBFSec is deprecated: set Faults.MTBFSec.
 	FailMTBFSec float64
-	// FailPlan injects scripted failures instead: comma-separated
-	// "replica@seconds" points (bare "seconds" means replica 0).
+	// FailPlan is deprecated: set Faults.Plan.
 	FailPlan string
-	// FailPolicy says what a crash does to the victims' requests: "requeue"
-	// (default — they restart from scratch on recovery) or "lost" (they
-	// consume retry budget or drop).
+	// FailPolicy is deprecated: set Faults.Policy.
 	FailPolicy string
-	// Admission selects the queue-admission policy: "fifo" (default),
-	// "deadline" (EDF order, expired requests dropped) or "shed" (EDF plus
-	// early rejection of requests that cannot start before their deadline).
+	// Admission is deprecated: set Faults.Admission.
 	Admission string
-	// RetryMax is the per-request retry budget for shed and failure-lost
-	// requests (0 = no retries).
+	// RetryMax is deprecated: set Faults.RetryMax.
 	RetryMax int
-	// RetryBackoffSec is the base of the exponential retry backoff with
-	// deterministic jitter (0 = default 1 s when RetryMax > 0).
+	// RetryBackoffSec is deprecated: set Faults.RetryBackoffSec.
 	RetryBackoffSec float64
 	// Attribution folds the run's event stream into per-request phase
 	// vectors (queue wait, prefill, decode, preemption stall, swap
@@ -134,6 +138,36 @@ type ServeConfig struct {
 	// bounded by in-flight requests, so it composes with sketch mode on
 	// 10⁸-request runs. Off by default.
 	Attribution bool
+}
+
+// FaultConfig groups a serving run's resilience knobs — fault injection,
+// queue admission and retries — mirroring serve.FaultConfig with the CLI's
+// string spellings.
+type FaultConfig struct {
+	// MTBFSec injects Poisson replica failures with this mean time
+	// between failures (seconds, per replica; 0 disables). A failed
+	// replica loses all in-flight KV state and pays the platform's full
+	// TEE cold start (reboot, weight provisioning, enclave/TD rebuild,
+	// attestation) before serving again.
+	MTBFSec float64
+	// Plan injects scripted failures instead: comma-separated
+	// "replica@seconds" points (bare "seconds" means replica 0).
+	Plan string
+	// Policy says what a crash does to the victims' requests: "requeue"
+	// (default — they restart from scratch on recovery) or "lost" (they
+	// consume retry budget or drop).
+	Policy string
+	// Admission selects the queue-admission policy: "fifo" (default),
+	// "deadline" (EDF order, expired requests dropped) or "shed" (EDF
+	// plus early rejection of requests that cannot start before their
+	// deadline).
+	Admission string
+	// RetryMax is the per-request retry budget for shed and failure-lost
+	// requests (0 = no retries).
+	RetryMax int
+	// RetryBackoffSec is the base of the exponential retry backoff with
+	// deterministic jitter (0 = default 1 s when RetryMax > 0).
+	RetryBackoffSec float64
 }
 
 // ServeReport summarizes a serving run: load-level throughput and tail
@@ -176,9 +210,21 @@ type ServeReport struct {
 	// policy): victims parked in the host swap pool and restores from it.
 	SwapOuts, SwapIns int
 	// Replicas and LBPolicy echo the simulated deployment (1 replica uses
-	// no load balancer).
+	// no load balancer). Topology echoes the role-group layout of a
+	// disaggregated run ("" otherwise).
 	Replicas int
 	LBPolicy string
+	Topology string
+	// KV handoff activity across the prefill→decode edge of a
+	// disaggregated topology (zero for unified fleets): transfers
+	// launched by prefill replicas, transfers ingested by decode
+	// replicas, ingests that fell back to recompute because the decode
+	// side's staging pool was full, and the bytes drained across the
+	// interconnect.
+	Handoffs         int
+	HandoffsIngested int
+	HandoffFallbacks int
+	HandoffBytes     float64
 	// SLO-aware cost. With Replicas == 1 the fleet is *extrapolated*: sized
 	// so the offered rate fits the measured per-replica SLO-compliant rate.
 	// With Replicas > 1 the fleet is *simulated*: ReplicasAtSLO echoes the
@@ -249,15 +295,35 @@ func (s *Session) Serve(cfg ServeConfig) (*ServeReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	failPolicy, err := serve.ParseFailurePolicy(cfg.FailPolicy)
+	// One-release migration: the deprecated flat fault fields fill their
+	// Faults counterparts wherever the sub-struct leaves the knob zero.
+	if cfg.Faults.MTBFSec == 0 {
+		cfg.Faults.MTBFSec = cfg.FailMTBFSec
+	}
+	if cfg.Faults.Plan == "" {
+		cfg.Faults.Plan = cfg.FailPlan
+	}
+	if cfg.Faults.Policy == "" {
+		cfg.Faults.Policy = cfg.FailPolicy
+	}
+	if cfg.Faults.Admission == "" {
+		cfg.Faults.Admission = cfg.Admission
+	}
+	if cfg.Faults.RetryMax == 0 {
+		cfg.Faults.RetryMax = cfg.RetryMax
+	}
+	if cfg.Faults.RetryBackoffSec == 0 {
+		cfg.Faults.RetryBackoffSec = cfg.RetryBackoffSec
+	}
+	failPolicy, err := serve.ParseFailurePolicy(cfg.Faults.Policy)
 	if err != nil {
 		return nil, err
 	}
-	failPlan, err := serve.ParseFailPlan(cfg.FailPlan)
+	failPlan, err := serve.ParseFailPlan(cfg.Faults.Plan)
 	if err != nil {
 		return nil, err
 	}
-	admission, err := serve.ParseAdmissionPolicy(cfg.Admission)
+	admission, err := serve.ParseAdmissionPolicy(cfg.Faults.Admission)
 	if err != nil {
 		return nil, err
 	}
@@ -281,12 +347,14 @@ func (s *Session) Serve(cfg ServeConfig) (*ServeReport, error) {
 		QuantileMode:  qmode,
 		SketchAlpha:   cfg.SketchAlpha,
 		EpochRequests: cfg.EpochRequests,
-		FailMTBFSec:   cfg.FailMTBFSec,
-		FailPlan:      failPlan,
-		FailPolicy:    failPolicy,
-		Admission:     admission,
-		RetryMax:      cfg.RetryMax,
-		RetryBaseSec:  cfg.RetryBackoffSec,
+		Faults: serve.FaultConfig{
+			MTBFSec:         cfg.Faults.MTBFSec,
+			Plan:            failPlan,
+			Policy:          failPolicy,
+			Admission:       admission,
+			RetryMax:        cfg.Faults.RetryMax,
+			RetryBackoffSec: cfg.Faults.RetryBackoffSec,
+		},
 	}
 	policy, err := serve.ParseLBPolicy(cfg.LBPolicy)
 	if err != nil {
@@ -304,31 +372,50 @@ func (s *Session) Serve(cfg ServeConfig) (*ServeReport, error) {
 		}
 	}
 	scfg.Observer = obs.Multi(rec, attrib)
-	// Reuse the session's memoized costing table for this deployment shape:
-	// sweeps calling Serve repeatedly re-cost identical iteration shapes
-	// from the table (bit-identical floats; see serve.Backend.Coster).
-	be.Coster, err = s.costerFor(be, scfg)
-	if err != nil {
-		return nil, err
-	}
-	if attrib != nil {
-		// The clear-twin coster shares the session memo too: sweeps re-price
-		// the counterfactual from the same table.
-		scfg.ClearCoster, err = s.clearCosterFor(be, scfg)
+	if cfg.Topology == "" {
+		// Reuse the session's memoized costing table for this deployment
+		// shape: sweeps calling Serve repeatedly re-cost identical iteration
+		// shapes from the table (bit-identical floats; see
+		// serve.Backend.Coster). Topology runs skip the memo — each role
+		// group's backend gets its own table inside Fleet.Run, keyed by
+		// nothing the session cache distinguishes (two CPU TEEs share a
+		// deployment shape but not a cost model).
+		be.Coster, err = s.costerFor(be, scfg)
 		if err != nil {
 			return nil, err
+		}
+		if attrib != nil {
+			// The clear-twin coster shares the session memo too: sweeps
+			// re-price the counterfactual from the same table. A topology
+			// run has no single clear twin (each group would need its own),
+			// so its attribution reports zero TEE tax.
+			scfg.ClearCoster, err = s.clearCosterFor(be, scfg)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 
 	var rep *serve.Report
 	var fleet *serve.FleetReport
-	if cfg.Replicas > 1 {
+	var topoHourly float64
+	switch {
+	case cfg.Topology != "":
+		if cfg.Replicas > 1 {
+			return nil, fmt.Errorf("cllm: set Replicas or Topology, not both (the topology fixes the fleet size)")
+		}
+		fleet, topoHourly, err = s.runTopology(cfg, scfg, policy)
+		if err != nil {
+			return nil, err
+		}
+		rep = fleet.Aggregate
+	case cfg.Replicas > 1:
 		fleet, err = serve.RunFleet(be, scfg, serve.FleetConfig{Replicas: cfg.Replicas, Policy: policy})
 		if err != nil {
 			return nil, err
 		}
 		rep = fleet.Aggregate
-	} else {
+	default:
 		rep, err = serve.Run(be, scfg)
 		if err != nil {
 			return nil, err
@@ -365,6 +452,10 @@ func (s *Session) Serve(cfg ServeConfig) (*ServeReport, error) {
 		EvictedKVBlocks:       rep.EvictedBlocks,
 		SwapOuts:              rep.SwapOuts,
 		SwapIns:               rep.SwapIns,
+		Handoffs:              rep.HandoffsOut,
+		HandoffsIngested:      rep.HandoffsIn,
+		HandoffFallbacks:      rep.HandoffFallbacks,
+		HandoffBytes:          rep.HandoffBytes,
 		Replicas:              1,
 		Sketched:              rep.Sketched,
 		SketchAlpha:           rep.SketchAlpha,
@@ -377,6 +468,20 @@ func (s *Session) Serve(cfg ServeConfig) (*ServeReport, error) {
 		rec.Recycle()
 	}
 
+	if cfg.Topology != "" {
+		// A topology fleet mixes rental rates: price the whole fleet from
+		// the per-group sum runTopology computed.
+		out.Replicas = len(fleet.PerReplica)
+		out.LBPolicy = fleet.Policy
+		out.Topology = fleet.Topology
+		out.ReplicasAtSLO = len(fleet.PerReplica)
+		out.FleetHourlyUSD = topoHourly
+		if usd, err := fleet.CostPerMTokTotal(topoHourly); err == nil {
+			out.SLOFeasible = true
+			out.USDPerMTokAtSLO = usd
+		}
+		return out, nil
+	}
 	hourly, err := s.serveHourlyUSD(cfg)
 	if err != nil {
 		return nil, err
@@ -399,6 +504,59 @@ func (s *Session) Serve(cfg ServeConfig) (*ServeReport, error) {
 		out.USDPerMTokAtSLO = cost.USDPerMTok
 	}
 	return out, nil
+}
+
+// runTopology builds and runs a role-aware fleet from the -topology
+// syntax. Each group's platform opens as a sub-session of this one (same
+// testbed, enclave size, seed and attestation policy) and contributes
+// Replicas backends at that platform's rental rate; the returned hourly
+// figure is the whole fleet's rent. Backends carry no pre-built coster —
+// Fleet.Run builds one per group, shared by the group's replicas.
+func (s *Session) runTopology(cfg ServeConfig, scfg serve.Config, policy serve.LBPolicy) (*serve.FleetReport, float64, error) {
+	groups, err := ParseTopology(cfg.Topology)
+	if err != nil {
+		return nil, 0, err
+	}
+	var topo serve.Topology
+	totalHourly := 0.0
+	for _, g := range groups {
+		role, err := serve.ParseRole(g.Role)
+		if err != nil {
+			return nil, 0, err
+		}
+		sub, err := Open(Config{
+			Platform:        g.Platform,
+			System:          s.cfg.System,
+			EnclaveSize:     s.cfg.EnclaveSize,
+			SkipAttestation: s.cfg.SkipAttestation,
+			Seed:            s.cfg.Seed,
+		})
+		if err != nil {
+			return nil, 0, fmt.Errorf("cllm: topology group %q: %w", g.Platform, err)
+		}
+		var be serve.Backend
+		if sub.isGPU {
+			be = serve.Backend{IsGPU: true, GPU: perf.GPURun{GPU: sub.gpu, Platform: sub.platform, Seed: s.cfg.Seed}}
+		} else {
+			be = serve.Backend{CPU: perf.CPURun{
+				CPU: sub.cpu, Platform: sub.platform,
+				Sockets: cfg.Sockets, CoresPerSocket: cfg.Cores,
+				AMX: true, Seed: s.cfg.Seed,
+			}}
+		}
+		hourly, err := sub.serveHourlyUSD(cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		totalHourly += hourly * float64(g.Replicas)
+		topo.Groups = append(topo.Groups, serve.RoleGroup{Role: role, Backend: be, Replicas: g.Replicas, Policy: policy})
+	}
+	f, err := serve.NewFleet(topo)
+	if err != nil {
+		return nil, 0, err
+	}
+	rep, err := f.Run(scfg)
+	return rep, totalHourly, err
 }
 
 // costerFor returns the session's shared step coster for one serving

@@ -1,0 +1,64 @@
+package cllm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cllm/internal/serve"
+)
+
+// TopologyGroup is one role group of a serving fleet topology: Replicas
+// instances of Platform serving Role. Platform names are the ones Open
+// accepts (tdx, sgx, cgpu, ...); Role is "prefill", "decode" or "unified".
+type TopologyGroup struct {
+	Platform string
+	Replicas int
+	Role     string
+}
+
+// ParseTopology parses the CLI fleet-topology syntax: comma-separated
+// "platform:replicas=role" groups, e.g. "cgpu:2=prefill,tdx:4=decode".
+// The replica count defaults to 1 ("tdx=decode") and the role to unified
+// ("tdx:4"), so a plain "tdx:4" is the classic homogeneous fleet.
+func ParseTopology(s string) ([]TopologyGroup, error) {
+	var out []TopologyGroup
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		g := TopologyGroup{Replicas: 1}
+		spec := item
+		if eq := strings.IndexByte(spec, '='); eq >= 0 {
+			g.Role = strings.TrimSpace(spec[eq+1:])
+			spec = spec[:eq]
+			if g.Role == "" {
+				return nil, fmt.Errorf("cllm: topology group %q has an empty role", item)
+			}
+		}
+		if colon := strings.IndexByte(spec, ':'); colon >= 0 {
+			n, err := strconv.Atoi(strings.TrimSpace(spec[colon+1:]))
+			if err != nil {
+				return nil, fmt.Errorf("cllm: topology group %q: %w", item, err)
+			}
+			if n < 1 {
+				return nil, fmt.Errorf("cllm: topology group %q needs at least one replica", item)
+			}
+			g.Replicas = n
+			spec = spec[:colon]
+		}
+		g.Platform = strings.TrimSpace(spec)
+		if g.Platform == "" {
+			return nil, fmt.Errorf("cllm: topology group %q has an empty platform", item)
+		}
+		if _, err := serve.ParseRole(g.Role); err != nil {
+			return nil, fmt.Errorf("cllm: topology group %q: %w", item, err)
+		}
+		out = append(out, g)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cllm: empty topology %q", s)
+	}
+	return out, nil
+}
